@@ -1,0 +1,1 @@
+"""Benchmark package (importable so modules can share conftest helpers)."""

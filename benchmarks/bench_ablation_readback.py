@@ -1,0 +1,80 @@
+"""Ablation: how the root learns a circulation completed (Fig 2c vs 2d).
+
+The paper's h*c accounting idealizes the leaf-root links of Figure 2(c)
+as free.  With a per-message processing cost at the receiver, a star of
+N/2 leaf links serializes at the root, while the Figure 2(d) double
+tree aggregates acknowledgements with bounded fan-in.  This benchmark
+prices all three models and asserts the crossover that motivates the
+double tree.
+"""
+
+import pytest
+
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+
+C = 0.001  # cheap links
+P = 0.02  # expensive message processing
+NPROCS = 128
+PHASES = 20
+
+
+def time_per_phase(readback: str, per_message_cost: float = P) -> float:
+    sim = FTTreeBarrierSim(
+        nprocs=NPROCS,
+        config=SimConfig(
+            latency=C,
+            readback=readback,
+            per_message_cost=per_message_cost,
+            seed=0,
+        ),
+    )
+    return sim.run(phases=PHASES).time_per_phase
+
+
+def test_readback_models(benchmark):
+    def run():
+        return {
+            mode: time_per_phase(mode) for mode in ("instant", "star", "tree")
+        }
+
+    times = benchmark(run)
+    benchmark.extra_info["times"] = {k: round(v, 4) for k, v in times.items()}
+    # Idealized < double tree < star, at this processing cost and scale.
+    assert times["instant"] < times["tree"] < times["star"]
+    # The double tree recovers most of the star's fan-in penalty.
+    star_penalty = times["star"] - times["instant"]
+    tree_penalty = times["tree"] - times["instant"]
+    assert tree_penalty < 0.5 * star_penalty
+
+
+def test_star_fine_when_processing_is_free(benchmark):
+    def run():
+        return {
+            mode: time_per_phase(mode, per_message_cost=0.0)
+            for mode in ("instant", "star", "tree")
+        }
+
+    times = benchmark(run)
+    benchmark.extra_info["times"] = {k: round(v, 4) for k, v in times.items()}
+    # With p = 0 the star costs one extra hop per circulation and the
+    # tree one extra traversal; the paper's idealization is benign.
+    assert times["star"] == pytest.approx(times["instant"], abs=3 * 3 * C + 1e-9)
+    assert times["tree"] == pytest.approx(
+        times["instant"], abs=3 * 7 * C + 1e-9
+    )
+
+
+def test_tree_scales_with_processing_cost(benchmark):
+    def run():
+        return {
+            p: (time_per_phase("star", p), time_per_phase("tree", p))
+            for p in (0.001, 0.01, 0.05)
+        }
+
+    by_p = benchmark(run)
+    benchmark.extra_info["star_vs_tree"] = {
+        str(p): (round(s, 4), round(t, 4)) for p, (s, t) in by_p.items()
+    }
+    # The star's penalty grows ~N*p per circulation; the tree's ~h*arity*p.
+    gaps = [s - t for s, t in by_p.values()]
+    assert gaps[0] < gaps[1] < gaps[2]

@@ -1,0 +1,136 @@
+"""Ablations on the simulation/timing model choices DESIGN.md calls out.
+
+1. Work accounting: the paper charges phases serially after the execute
+   circulation (1 + 3hc); a real implementation can overlap work with
+   the execute wave (1 + 2hc) -- quantifying how much of the paper's
+   overhead is accounting conservatism.
+2. Early abort: failed instances finishing early is what drives the
+   Figure 6 < Figure 4 gap; turning it off reproduces the analytical
+   worst case.
+3. Daemon choice: maximal parallelism recovers CB from arbitrary states
+   in fewer steps than one-action-per-step interleaving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model import intolerant_phase_time, overhead
+from repro.barrier.cb import make_cb
+from repro.barrier.legitimacy import cb_legitimate
+from repro.gc.properties import convergence_steps
+from repro.gc.scheduler import MaximalParallelDaemon, RoundRobinDaemon
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+
+
+def test_work_overlap_ablation(benchmark):
+    c = 0.05
+
+    def run():
+        out = {}
+        for model in ("serialized", "overlap"):
+            sim = FTTreeBarrierSim(
+                nprocs=32,
+                config=SimConfig(latency=c, work_model=model, seed=0),
+            )
+            out[model] = sim.run(phases=50).time_per_phase
+        return out
+
+    times = benchmark(run)
+    benchmark.extra_info["times"] = {k: round(v, 4) for k, v in times.items()}
+    assert times["serialized"] == pytest.approx(1 + 3 * 5 * c, rel=0.01)
+    assert times["overlap"] == pytest.approx(1 + 2 * 5 * c, rel=0.01)
+    # Overlap erases the paper's fault-free overhead entirely: the FT
+    # barrier costs the same as the intolerant baseline.
+    assert times["overlap"] == pytest.approx(
+        intolerant_phase_time(5, c), rel=0.01
+    )
+
+
+def test_early_abort_ablation(benchmark):
+    c, f = 0.03, 0.1
+
+    def run():
+        out = {}
+        for early in (True, False):
+            sim = FTTreeBarrierSim(
+                nprocs=32,
+                config=SimConfig(
+                    latency=c, fault_frequency=f, early_abort=early, seed=1
+                ),
+            )
+            m = sim.run(phases=400, max_time=20_000)
+            out[early] = m
+        return out
+
+    metrics = benchmark(run)
+    base = intolerant_phase_time(5, c)
+    oh_early = metrics[True].time_per_phase / base - 1
+    oh_late = metrics[False].time_per_phase / base - 1
+    benchmark.extra_info["overhead_early_abort"] = round(oh_early, 4)
+    benchmark.extra_info["overhead_no_abort"] = round(oh_late, 4)
+    benchmark.extra_info["overhead_analytic"] = round(overhead(5, c, f), 4)
+    # The per-failure saving is deterministic: aborted instances are
+    # strictly cheaper.  (The end-to-end overhead difference is within
+    # sampling noise at this fault rate, so the benchmark reports both
+    # overheads but asserts on the duration effect.)
+    assert (
+        metrics[True].mean_failed_duration()
+        < metrics[False].mean_failed_duration()
+    )
+    # Without early abort, failed instances run their full course
+    # (work plus both remaining circulations)...
+    assert metrics[False].mean_failed_duration() == pytest.approx(
+        1 + 2 * 5 * c, rel=0.01
+    )
+    # ...and both variants stay under the analytical bound: faults
+    # landing after a node's success transition are harmless, a window
+    # the worst-case analysis charges anyway.
+    assert overhead(5, c, 0.0) < oh_early <= overhead(5, c, f) + 0.02
+    assert overhead(5, c, 0.0) < oh_late <= overhead(5, c, f) + 0.02
+
+
+def test_daemon_synchrony_ablation(benchmark):
+    """Asynchrony is load-bearing for CB's stabilization.
+
+    Under strict synchronous maximal parallelism, processes perturbed
+    into different phases move in lockstep -- every step all are ready
+    (or all executing, or all in success), so CB3's phase-copying branch
+    never fires and the phases never re-unify: a livelock the paper's
+    fair-interleaving proofs never encounter.  Interleaving daemons
+    converge from every perturbation.
+    """
+    prog = make_cb(6, 4)
+    rng = np.random.default_rng(7)
+    states = [prog.arbitrary_state(rng) for _ in range(20)]
+
+    def run():
+        converged = {"round-robin": 0, "maximal-parallel": 0}
+        for state in states:
+            if (
+                convergence_steps(
+                    prog,
+                    state.snapshot(),
+                    lambda s: cb_legitimate(s, 4),
+                    RoundRobinDaemon(),
+                    max_steps=4000,
+                )
+                is not None
+            ):
+                converged["round-robin"] += 1
+            if (
+                convergence_steps(
+                    prog,
+                    state.snapshot(),
+                    lambda s: cb_legitimate(s, 4),
+                    MaximalParallelDaemon(seed=0),
+                    max_steps=4000,
+                )
+                is not None
+            ):
+                converged["maximal-parallel"] += 1
+        return converged
+
+    converged = benchmark(run)
+    benchmark.extra_info["converged_of_20"] = converged
+    assert converged["round-robin"] == len(states)
+    assert converged["maximal-parallel"] < len(states)

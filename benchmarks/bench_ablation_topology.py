@@ -1,0 +1,65 @@
+"""Ablation: ring vs tree topology (the Section 4.2 motivation).
+
+The ring refinement needs O(N) time per barrier; organizing the
+processes in a binary tree with leaf-root links drops it to O(h) =
+O(log N).  We measure both in the timed protocol simulator and assert
+the crossover the paper's design argument predicts.
+"""
+
+import pytest
+
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+from repro.topology.graphs import kary_tree, ring
+
+LATENCY = 0.01
+PHASES = 40
+
+
+def time_per_phase(topology) -> float:
+    sim = FTTreeBarrierSim(
+        topology=topology,
+        config=SimConfig(latency=LATENCY, seed=0),
+    )
+    return sim.run(phases=PHASES).time_per_phase
+
+
+@pytest.mark.parametrize("nprocs", [16, 32, 64])
+def test_tree_beats_ring(benchmark, nprocs):
+    ring_time = time_per_phase(ring(nprocs))
+    tree_time = benchmark(lambda: time_per_phase(kary_tree(nprocs, 2)))
+    benchmark.extra_info["ring_time_per_phase"] = round(ring_time, 4)
+    benchmark.extra_info["tree_time_per_phase"] = round(tree_time, 4)
+    # Ring pays 3(N-1)c per phase; tree pays 3*log2(N)*c.
+    assert tree_time < ring_time
+    expected_ring = 1 + 3 * (nprocs - 1) * LATENCY
+    assert ring_time == pytest.approx(expected_ring, rel=0.02)
+
+
+def test_gap_widens_with_scale(benchmark):
+    def gaps():
+        out = []
+        for nprocs in (8, 32, 128):
+            out.append(
+                time_per_phase(ring(nprocs))
+                - time_per_phase(kary_tree(nprocs, 2))
+            )
+        return out
+
+    g8, g32, g128 = benchmark(gaps)
+    benchmark.extra_info["gaps"] = [round(g, 4) for g in (g8, g32, g128)]
+    assert g8 < g32 < g128
+
+
+def test_arity_tradeoff(benchmark):
+    """Higher arity lowers the height but the tree stays O(log N):
+    all arities beat the ring at 64 processes."""
+
+    def run():
+        return {
+            arity: time_per_phase(kary_tree(64, arity)) for arity in (2, 4, 8)
+        }
+
+    times = benchmark(run)
+    benchmark.extra_info["by_arity"] = {k: round(v, 4) for k, v in times.items()}
+    ring_time = time_per_phase(ring(64))
+    assert all(t < ring_time for t in times.values())

@@ -1,0 +1,19 @@
+"""Figure 4 benchmark: analytical overhead of fault-tolerance."""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.experiments import fig4
+
+
+def test_fig4_regeneration(benchmark):
+    result = benchmark(fig4.run)
+    attach_rows(benchmark, result)
+    by_c = {row[0]: row[1:] for row in result.rows}
+    f0, f1, f5 = by_c[0.01]
+    assert f0 == pytest.approx(0.045, abs=0.001)  # 4.5%
+    assert f1 == pytest.approx(0.0576, abs=0.001)  # 5.7%
+    assert f5 == pytest.approx(0.109, abs=0.002)  # <= 10.8% (quoted bound)
+    # Overhead ordering: grows with f at every latency.
+    for row in result.rows:
+        assert row[1] <= row[2] <= row[3]

@@ -1,0 +1,32 @@
+"""Figure 6 benchmark: simulated overhead of fault-tolerance.
+
+Asserts the paper's headline claim for this figure: the simulated
+overhead tracks, and in expectation undercuts, the analytical bound
+(failed instances abort early).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.experiments import fig6
+
+
+def run_reduced():
+    return fig6.run(
+        c_values=(0.01, 0.03, 0.05),
+        f_values=(0.0, 0.05),
+        phases=300,
+        seed=0,
+    )
+
+
+def test_fig6_regeneration(benchmark):
+    result = benchmark(run_reduced)
+    attach_rows(benchmark, result)
+    for row in result.rows:
+        _c, sim0, sim5, ana0, ana5 = row
+        assert sim0 == pytest.approx(ana0, abs=0.01)  # f=0: deterministic
+        assert sim5 <= ana5 + 0.025  # <= analytic (sampling tolerance)
+    # Monotone in c at f=0.
+    col = result.column("f=0 sim")
+    assert all(b >= a for a, b in zip(col, col[1:]))

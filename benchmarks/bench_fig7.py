@@ -1,0 +1,36 @@
+"""Figure 7 benchmark: recovery from undetectable faults.
+
+Asserts the paper's three claims: recovery grows with latency and with
+process count, sits under the analytical envelope, and stays below one
+time unit around the quoted 128-process, c=0.05 operating point.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.analysis.model import recovery_time_bound
+from repro.experiments import fig7
+
+
+def run_reduced():
+    return fig7.run(h_values=(3, 5, 7), c_values=(0.01, 0.03, 0.05), trials=20)
+
+
+def test_fig7_regeneration(benchmark):
+    result = benchmark(run_reduced)
+    attach_rows(benchmark, result)
+    # Monotone in h at fixed c (small tolerance for sampling noise).
+    for row in result.rows:
+        assert row[1] <= row[2] + 0.05 and row[2] <= row[3] + 0.05
+    # Monotone in c at fixed h.
+    for col_name in ("h=3", "h=5", "h=7"):
+        col = result.column(col_name)
+        assert all(b >= a - 0.05 for a, b in zip(col, col[1:]))
+    # Envelope: mean recovery below 5hc + work in progress.
+    for row in result.rows:
+        c = row[0]
+        for h, mean in zip((3, 5, 7), row[1:]):
+            assert mean <= recovery_time_bound(h, c) + 1.0
+    # The quoted operating point: 128 processes, c=0.05 -> under ~1.
+    last = {row[0]: row for row in result.rows}[0.05]
+    assert last[3] < 1.25

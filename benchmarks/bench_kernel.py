@@ -1,0 +1,58 @@
+"""Substrate throughput benchmarks (guides the simulation budgets).
+
+Not a paper figure: these keep the kernels honest -- guarded-command
+stepping, the discrete-event queue, and the simulated-MPI collective
+engine -- so regressions in the substrates show up as slowdowns in every
+experiment.
+"""
+
+import pytest
+
+from repro.barrier.rb import make_rb
+from repro.des.core import Simulation
+from repro.gc.scheduler import RoundRobinDaemon
+from repro.gc.simulator import Simulator
+from repro.simmpi import Runtime
+
+
+def test_gc_stepping_throughput(benchmark):
+    prog = make_rb(16, nphases=4)
+
+    def run():
+        sim = Simulator(prog, RoundRobinDaemon(), record_trace=False)
+        return sim.run(max_steps=5_000).steps
+
+    steps = benchmark(run)
+    assert steps == 5_000
+
+
+def test_des_event_throughput(benchmark):
+    def run():
+        sim = Simulation(seed=0)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.after(0.001, tick)
+
+        sim.after(0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_simmpi_barrier_throughput(benchmark):
+    def worker(comm):
+        for _ in range(50):
+            yield comm.barrier()
+        return None
+
+    def run():
+        rt = Runtime(nprocs=16, latency=0.001, seed=0)
+        rt.run(worker)
+        return rt.stats.collectives_completed
+
+    completed = benchmark(run)
+    assert completed == 50 * 16

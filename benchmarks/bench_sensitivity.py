@@ -1,0 +1,31 @@
+"""Extension sensitivity sweeps as benchmarks."""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.experiments.sensitivity import arity_sweep, push_interval_sweep, severity_sweep
+
+
+def test_arity_sweep(benchmark):
+    result = benchmark(lambda: arity_sweep(nprocs=64, arities=(2, 4, 8), phases=30))
+    attach_rows(benchmark, result)
+    times = result.column("time/phase")
+    assert times == sorted(times, reverse=True)
+
+
+def test_severity_sweep(benchmark):
+    result = benchmark(
+        lambda: severity_sweep(h=5, fractions=(0.25, 1.0), trials=15)
+    )
+    attach_rows(benchmark, result)
+    for row in result.rows:
+        assert row[1] <= 5 * 5 * 0.01 + 1.0
+
+
+def test_push_interval_sweep(benchmark):
+    result = benchmark(
+        lambda: push_interval_sweep(nprocs=4, intervals=(0.05, 0.2), phases=5)
+    )
+    attach_rows(benchmark, result)
+    msgs = result.column("messages")
+    assert msgs[0] > msgs[1]

@@ -1,0 +1,19 @@
+"""Table 1 benchmark: the executable fault-classification table."""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.experiments import table1
+
+
+def test_table1_regeneration(benchmark):
+    result = benchmark(lambda: table1.run(seed=0))
+    attach_rows(benchmark, result)
+    assert result.rows == [
+        ("immediately-correctable", "trivially-masking", "trivially-masking"),
+        ("eventually-correctable", "masking", "stabilizing"),
+        ("uncorrectable", "fail-safe", "intolerant"),
+    ]
+    notes = "\n".join(result.notes)
+    assert "0 violations" in notes
+    assert "safety_ok=True" in notes

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures
+(possibly on a reduced grid so a full benchmark run stays fast) and
+reports the headline quantities through pytest-benchmark's ``extra_info``
+so a benchmark run doubles as a paper-vs-measured record.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_rows(benchmark, result) -> None:
+    """Stash an ExperimentResult's headline rows in the benchmark JSON."""
+    benchmark.extra_info["experiment"] = result.exp_id
+    benchmark.extra_info["columns"] = list(result.columns)
+    benchmark.extra_info["rows"] = [
+        [round(v, 5) if isinstance(v, float) else v for v in row]
+        for row in result.rows[:12]
+    ]

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""A 1-D Jacobi heat-diffusion solver on the simulated MPI runtime.
+
+This is the workload class the paper's introduction motivates: an
+iterative parallel algorithm whose phases are separated by barriers.
+Each rank owns a slice of the rod, exchanges halo cells with its
+neighbours every iteration, and synchronizes with the fault-tolerant
+barrier.  Process faults strike mid-run; in TOLERATE mode the job still
+produces exactly the same temperatures as a sequential reference solve.
+
+Run:  python examples/jacobi_stencil.py
+"""
+
+import numpy as np
+
+from repro.simmpi import FTMode, Runtime
+
+NPROCS = 8
+CELLS_PER_RANK = 16
+ITERATIONS = 60
+ALPHA = 0.25  # diffusion coefficient
+
+
+def reference_solution() -> np.ndarray:
+    """Sequential solve for comparison."""
+    n = NPROCS * CELLS_PER_RANK
+    u = np.zeros(n)
+    u[0], u[-1] = 100.0, 50.0  # fixed boundary temperatures
+    for _ in range(ITERATIONS):
+        new = u.copy()
+        new[1:-1] = u[1:-1] + ALPHA * (u[:-2] - 2 * u[1:-1] + u[2:])
+        u = new
+    return u
+
+
+def worker(comm):
+    """One rank of the distributed solve."""
+    n_local = CELLS_PER_RANK
+    u = np.zeros(n_local)
+    first, last = comm.rank == 0, comm.rank == comm.size - 1
+    if first:
+        u[0] = 100.0
+    if last:
+        u[-1] = 50.0
+
+    for _ in range(ITERATIONS):
+        # Halo exchange with neighbours (tags keep directions apart).
+        if not last:
+            yield comm.send(comm.rank + 1, float(u[-1]), tag=1)
+        if not first:
+            yield comm.send(comm.rank - 1, float(u[0]), tag=2)
+        left = (yield comm.recv(src=comm.rank - 1, tag=1)) if not first else None
+        right = (yield comm.recv(src=comm.rank + 1, tag=2)) if not last else None
+
+        # Jacobi update on the interior of the extended slice.
+        ext = np.empty(n_local + 2)
+        ext[1:-1] = u
+        ext[0] = left if left is not None else u[0]
+        ext[-1] = right if right is not None else u[-1]
+        new = ext[1:-1] + ALPHA * (ext[:-2] - 2 * ext[1:-1] + ext[2:])
+        if first:
+            new[0] = 100.0
+        if last:
+            new[-1] = 50.0
+        u = new
+
+        yield comm.compute(1.0)  # model the phase's compute time
+        yield comm.barrier()  # iteration boundary (fault tolerant)
+
+    return u.tolist()
+
+
+def main() -> None:
+    runtime = Runtime(
+        nprocs=NPROCS,
+        latency=0.01,
+        seed=123,
+        ft_mode=FTMode.TOLERATE,
+        fault_frequency=0.02,
+    )
+    slices = runtime.run(worker)
+    distributed = np.concatenate([np.asarray(s) for s in slices])
+    reference = reference_solution()
+
+    err = float(np.max(np.abs(distributed - reference)))
+    print(f"ranks             : {NPROCS} x {CELLS_PER_RANK} cells")
+    print(f"iterations        : {ITERATIONS}")
+    print(f"faults injected   : {runtime.stats.faults_injected}")
+    print(f"instances retried : {runtime.stats.instances_retried}")
+    print(f"virtual time      : {runtime.sim.now:.2f}")
+    print(f"max |err| vs sequential reference: {err:.3e}")
+    assert err < 1e-12, "distributed result diverged from the reference!"
+    print("jacobi stencil OK (identical to sequential solve despite faults)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the paper's performance figures, with terminal charts.
+
+A condensed tour of the Section 6 evaluation: analytical Figures 3 and
+4 exactly, simulated Figures 5-7 on reduced grids, each rendered as an
+ASCII chart next to its numeric table.  (The full grids: use
+``repro-experiments all``.)
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.experiments import fig3, fig4, fig5, fig7
+from repro.experiments.cli import chart_of
+
+
+def show(result) -> None:
+    print(result.render())
+    print()
+    print(chart_of(result))
+    print()
+
+
+def main() -> None:
+    show(fig3.run(f_values=(0.0, 0.01, 0.02, 0.05, 0.1)))
+    show(fig4.run())
+    show(
+        fig5.run(
+            f_values=(0.0, 0.02, 0.05, 0.1),
+            c_values=(0.01,),
+            phases=200,
+        )
+    )
+    show(fig7.run(h_values=(3, 5, 7), c_values=(0.0, 0.02, 0.05), trials=15))
+
+    # Sanity: the headline numbers still hold.
+    overheads = fig4.run(c_values=(0.01,)).rows[0]
+    assert abs(overheads[1] - 0.045) < 0.001  # 4.5% at f=0
+    assert abs(overheads[2] - 0.0576) < 0.001  # 5.7% at f=0.01
+    print("paper figures OK (4.5% / 5.7% overheads reproduced)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim for offline editable installs (no `wheel` package available)."""
+from setuptools import setup
+
+setup()

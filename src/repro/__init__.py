@@ -1,0 +1,46 @@
+"""repro -- a full reproduction of Kulkarni & Arora,
+"Low-cost Fault-tolerance in Barrier Synchronizations" (ICPP 1998).
+
+The package provides:
+
+* :mod:`repro.gc` -- a guarded-command program kernel (the paper's
+  SIEFAST environment rebuilt): domains, actions, daemons including
+  maximal-parallel semantics, timed execution, fault environments, traces,
+  property checkers and a small explicit-state model checker.
+* :mod:`repro.barrier` -- the paper's programs: the coarse-grain barrier
+  CB (Section 3), the multitolerant token ring T1-T5 and the ring-refined
+  barrier RB (Section 4.1), tree refinements (Section 4.2), the
+  message-passing refinement MB (Section 5), a fault-intolerant baseline,
+  the barrier-synchronization specification oracle and legitimate-state
+  predicates.
+* :mod:`repro.topology` -- rings, trees with leaf-root links (Fig 2c),
+  double trees (Fig 2d) and spanning-tree embeddings of arbitrary graphs.
+* :mod:`repro.analysis` -- the Section 6.1 closed-form performance model.
+* :mod:`repro.des` / :mod:`repro.protosim` -- a discrete-event simulator
+  and the timed tree-barrier protocol simulation behind Figures 5-7.
+* :mod:`repro.simmpi` -- an MPI-flavoured simulated runtime whose
+  collectives offer the paper's "third alternative": tolerate faults
+  instead of aborting or returning an error code.
+* :mod:`repro.extensions` -- Section 7: the fault-classification table,
+  fail-safe tolerance, crash/Byzantine modelling, and the atomic
+  commitment / clock unison / phase synchronization / fuzzy barrier
+  instantiations.
+* :mod:`repro.experiments` -- one runner per paper table/figure.
+
+Quickstart::
+
+    from repro.barrier import make_cb
+    from repro.gc import Simulator, RandomFairDaemon
+    from repro.barrier.spec import BarrierSpecChecker
+
+    program = make_cb(nprocs=4, nphases=3)
+    sim = Simulator(program, RandomFairDaemon(seed=0))
+    result = sim.run(max_steps=500)
+    checker = BarrierSpecChecker(nprocs=4, nphases=3)
+    report = checker.check(result.trace)
+    assert report.safety_ok and report.phases_completed > 0
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,164 @@
+"""The Section 6.1 analytical performance model.
+
+Units: the time to execute one phase is the unit time; ``c`` is the
+communication latency per tree hop and ``h`` the tree height, so one
+token circulation over the Figure 2(c) tree costs ``h*c``; ``f`` is the
+fault frequency per unit time, so the probability that no fault occurs
+during a duration ``d`` is ``(1 - f)**d``.
+
+Key formulae (all derived in the paper):
+
+* a successful phase instance of the fault-tolerant barrier costs
+  ``1 + 3hc`` (three control-position changes, each one circulation);
+* the probability a fault hits an instance is
+  ``f_inst = 1 - (1-f)**(1+3hc)``;
+* the number of instances per successful phase is geometric:
+  ``E[instances] = 1 / (1-f)**(1+3hc)``;
+* the expected time per successful phase is
+  ``(1 + 3hc) / (1-f)**(1+3hc)`` (worst case: failed instances are
+  charged their full duration);
+* the fault-intolerant barrier costs ``1 + 2hc`` per phase;
+* the overhead of fault-tolerance is the ratio of the two minus one;
+* recovery from an arbitrary state takes at most ``5hc`` beyond work in
+  progress (one circulation to fix the sequence numbers, at most four
+  to restore the control positions); with the operating assumption
+  ``2hc <= 0.5`` that is at most 1.25 time units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _validate(h: int, c: float, f: float) -> None:
+    if h < 0:
+        raise ValueError(f"tree height must be >= 0, got {h}")
+    if c < 0:
+        raise ValueError(f"communication latency must be >= 0, got {c}")
+    if not 0.0 <= f < 1.0:
+        raise ValueError(f"fault frequency must lie in [0, 1), got {f}")
+
+
+def ft_instance_time(h: int, c: float) -> float:
+    """Duration of one instance of the fault-tolerant barrier:
+    ``1 + 3hc``."""
+    _validate(h, c, 0.0)
+    return 1.0 + 3.0 * h * c
+
+
+def intolerant_phase_time(h: int, c: float) -> float:
+    """Duration of one phase under the fault-intolerant barrier:
+    ``1 + 2hc``."""
+    _validate(h, c, 0.0)
+    return 1.0 + 2.0 * h * c
+
+
+def fault_probability_per_instance(h: int, c: float, f: float) -> float:
+    """``f_inst = 1 - (1-f)**(1+3hc)``."""
+    _validate(h, c, f)
+    return 1.0 - (1.0 - f) ** ft_instance_time(h, c)
+
+
+def expected_instances(h: int, c: float, f: float) -> float:
+    """Expected instances per successful phase:
+    ``1 / (1-f)**(1+3hc)`` (mean of the geometric distribution)."""
+    _validate(h, c, f)
+    return 1.0 / (1.0 - f) ** ft_instance_time(h, c)
+
+
+def ft_phase_time(h: int, c: float, f: float) -> float:
+    """Expected time per successful phase of the fault-tolerant barrier
+    (worst case: every instance charged ``1 + 3hc``)."""
+    return ft_instance_time(h, c) * expected_instances(h, c, f)
+
+
+def overhead(h: int, c: float, f: float) -> float:
+    """Fractional overhead of fault-tolerance over the intolerant
+    baseline: ``ft_phase_time / intolerant_phase_time - 1``."""
+    return ft_phase_time(h, c, f) / intolerant_phase_time(h, c) - 1.0
+
+
+def recovery_time_bound(h: int, c: float) -> float:
+    """Upper bound on the protocol's recovery from an arbitrary state:
+    ``5hc`` (one circulation for sequence numbers, four for the
+    control positions)."""
+    _validate(h, c, 0.0)
+    return 5.0 * h * c
+
+
+def recovery_envelope(h: int, c: float) -> float:
+    """The paper's operating-point envelope: with ``2hc <= 0.5`` the
+    recovery bound 5hc is at most 1.25 time units."""
+    return min(recovery_time_bound(h, c), 1.25)
+
+
+def instances_variance(h: int, c: float, f: float) -> float:
+    """Variance of the geometric instance count: ``p / (1-p)^2`` with
+    failure probability ``p`` per instance."""
+    p_fail = fault_probability_per_instance(h, c, f)
+    if p_fail >= 1.0:
+        return float("inf")
+    return p_fail / (1.0 - p_fail) ** 2
+
+
+def instances_ci(
+    h: int, c: float, f: float, phases: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the *mean measured*
+    instances-per-phase over ``phases`` successful phases.
+
+    This is what makes the Figure 5 sim-vs-analytic comparisons honest:
+    the acceptance band in the tests is the sampling noise of the
+    geometric mean, not an arbitrary epsilon.
+    """
+    if phases < 1:
+        raise ValueError("need at least one phase")
+    mean = expected_instances(h, c, f)
+    half = z * (instances_variance(h, c, f) / phases) ** 0.5
+    return (mean - half, mean + half)
+
+
+def instances_quantile(h: int, c: float, f: float, q: float) -> int:
+    """Quantile of the geometric instance count (diagnostics for the
+    simulation-vs-analysis comparison)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    p_fail = fault_probability_per_instance(h, c, f)
+    if p_fail == 0.0:
+        return 1
+    # P(K <= k) = 1 - p_fail**k  >= q  <=>  k >= log(1-q)/log(p_fail)
+    return max(1, math.ceil(math.log(1.0 - q) / math.log(p_fail)))
+
+
+def height_for_procs(nprocs: int, arity: int = 2) -> int:
+    """The paper's mapping from process count to tree height:
+    32 processes <-> h = 5, 128 <-> h = 7 (i.e. ``h = log2 N``)."""
+    if nprocs < 2:
+        raise ValueError("need at least 2 processes")
+    return max(1, math.ceil(math.log(nprocs, arity)))
+
+
+@dataclass(frozen=True)
+class AnalyticalModel:
+    """Bundled model for a fixed tree height (convenience facade)."""
+
+    h: int
+
+    def instance_time(self, c: float) -> float:
+        return ft_instance_time(self.h, c)
+
+    def expected_instances(self, c: float, f: float) -> float:
+        return expected_instances(self.h, c, f)
+
+    def phase_time(self, c: float, f: float) -> float:
+        return ft_phase_time(self.h, c, f)
+
+    def intolerant_time(self, c: float) -> float:
+        return intolerant_phase_time(self.h, c)
+
+    def overhead(self, c: float, f: float) -> float:
+        return overhead(self.h, c, f)
+
+    def recovery_bound(self, c: float) -> float:
+        return recovery_time_bound(self.h, c)

@@ -1,0 +1,89 @@
+"""Parameter sweeps generating the analytical figure series.
+
+The paper's operating ranges: 32 processes (h = 5), fault frequency
+``f`` in [0, 0.1], latency ``c`` in [0, 0.05] (so that ``2hc <= 0.5``,
+i.e. synchronization costs at most half a phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.model import expected_instances, overhead, recovery_time_bound
+
+#: Default sweep values, matching the paper's figures.
+DEFAULT_H = 5
+DEFAULT_F_VALUES = tuple(np.round(np.linspace(0.0, 0.1, 11), 3))
+DEFAULT_C_VALUES = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
+DEFAULT_H_VALUES = (1, 2, 3, 4, 5, 6, 7)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted series: x values, y values, a label, and the fixed
+    parameters it was generated under."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    params: dict
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x/y length mismatch")
+
+
+def fig3_series(
+    h: int = DEFAULT_H,
+    f_values: Sequence[float] = DEFAULT_F_VALUES,
+    c_values: Sequence[float] = (0.0, 0.01, 0.05),
+) -> list[Series]:
+    """Figure 3: expected instances per successful phase vs fault
+    frequency, one series per communication latency."""
+    return [
+        Series(
+            label=f"c={c:g}",
+            x=tuple(float(f) for f in f_values),
+            y=tuple(expected_instances(h, c, float(f)) for f in f_values),
+            params={"h": h, "c": c},
+        )
+        for c in c_values
+    ]
+
+
+def fig4_series(
+    h: int = DEFAULT_H,
+    c_values: Sequence[float] = DEFAULT_C_VALUES,
+    f_values: Sequence[float] = (0.0, 0.01, 0.05),
+) -> list[Series]:
+    """Figure 4: fractional overhead of fault-tolerance vs latency, one
+    series per fault frequency."""
+    return [
+        Series(
+            label=f"f={f:g}",
+            x=tuple(float(c) for c in c_values),
+            y=tuple(overhead(h, float(c), f) for c in c_values),
+            params={"h": h, "f": f},
+        )
+        for f in f_values
+    ]
+
+
+def recovery_bound_series(
+    h_values: Sequence[int] = DEFAULT_H_VALUES,
+    c_values: Sequence[float] = DEFAULT_C_VALUES,
+) -> list[Series]:
+    """The 5hc analytical recovery bound vs latency, one series per tree
+    height (the envelope the Figure 7 simulation sits under)."""
+    return [
+        Series(
+            label=f"h={h}",
+            x=tuple(float(c) for c in c_values),
+            y=tuple(recovery_time_bound(h, float(c)) for c in c_values),
+            params={"h": h},
+        )
+        for h in h_values
+    ]

@@ -1,0 +1,193 @@
+"""Program CB -- the coarse-grain barrier (Section 3).
+
+Every process ``j`` maintains ``cp.j`` (control position) and ``ph.j``
+(phase, mod n).  Actions read the *global* state instantaneously, which
+is the deliberately strong assumption that the Section 4/5 refinements
+remove.  The four actions are transcribed from the paper:
+
+``CB1 :: cp.j = ready and ((forall k :: cp.k = ready) or
+(exists k :: cp.k = execute)) -> cp.j := execute``
+
+``CB2 :: cp.j = execute and ((forall k :: cp.k != ready) or
+(exists k :: cp.k = success)) -> cp.j := success``
+
+``CB3 :: cp.j = success and (forall k :: cp.k != execute) ->
+if (exists k :: cp.k = ready) then ph.j := (any ready k).ph
+elseif (forall k :: cp.k = success) then ph.j := ph.j + 1;
+cp.j := ready``
+
+``CB4 :: cp.j = error and (forall k :: cp.k != execute) ->
+if (exists k :: cp.k = ready) then ph.j := (any ready k).ph
+elseif (exists k :: cp.k = success) then ph.j := (any success k).ph
+else ph.j := arbitrary;
+cp.j := ready``
+
+Note on CB4: the paper's formal text writes the second branch with a
+universal quantifier, which is unsatisfiable while ``j`` itself is in
+``error``; the prose ("Otherwise, it obtains the phase from some process
+that is [in] control position success ... if there is no process in
+control position ready [or success] ... the phase is chosen arbitrarily")
+and the paper's ``any``-operator fallback make the intended existential
+reading unambiguous, so that is what we implement.
+
+The paper assumes the cyclic sequence has at least two phases; the
+single-phase case is handled by replicating the phase (the remark at the
+end of Section 3), which :func:`make_cb` performs automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.barrier.control import CP, CB_CP_DOMAIN
+from repro.gc.actions import Action, StateView
+from repro.gc.domains import IntRange
+from repro.gc.faults import FaultSpec
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.state import State
+
+
+def _all_cp(view: StateView, value: CP) -> bool:
+    return all(view.of("cp", k) is value for k in view.others())
+
+
+def _some_cp(view: StateView, value: CP) -> bool:
+    return any(view.of("cp", k) is value for k in view.others())
+
+
+def _no_cp(view: StateView, value: CP) -> bool:
+    return not _some_cp(view, value)
+
+
+def _cb1_guard(view: StateView) -> bool:
+    return view.my("cp") is CP.READY and (
+        _all_cp(view, CP.READY) or _some_cp(view, CP.EXECUTE)
+    )
+
+
+def _cb1_stmt(view: StateView):
+    return [("cp", CP.EXECUTE)]
+
+
+def _cb2_guard(view: StateView) -> bool:
+    return view.my("cp") is CP.EXECUTE and (
+        _no_cp(view, CP.READY) or _some_cp(view, CP.SUCCESS)
+    )
+
+
+def _cb2_stmt(view: StateView):
+    return [("cp", CP.SUCCESS)]
+
+
+def _cb3_guard(view: StateView) -> bool:
+    return view.my("cp") is CP.SUCCESS and _no_cp(view, CP.EXECUTE)
+
+
+def _make_cb3_stmt(nphases: int):
+    def stmt(view: StateView):
+        updates: list[tuple[str, Any]] = []
+        ready_k = view.any_with("cp", CP.READY)
+        if ready_k is not None:
+            updates.append(("ph", view.of("ph", ready_k)))
+        elif _all_cp(view, CP.SUCCESS):
+            updates.append(("ph", (view.my("ph") + 1) % nphases))
+        # Otherwise (some process in error): keep the phase so a new
+        # instance of the *current* phase is executed.
+        updates.append(("cp", CP.READY))
+        return updates
+
+    return stmt
+
+
+def _cb4_guard(view: StateView) -> bool:
+    return view.my("cp") is CP.ERROR and _no_cp(view, CP.EXECUTE)
+
+
+def _make_cb4_stmt(nphases: int):
+    def stmt(view: StateView):
+        updates: list[tuple[str, Any]] = []
+        ready_k = view.any_with("cp", CP.READY)
+        if ready_k is not None:
+            updates.append(("ph", view.of("ph", ready_k)))
+        else:
+            success_k = view.any_with("cp", CP.SUCCESS)
+            if success_k is not None:
+                updates.append(("ph", view.of("ph", success_k)))
+            else:
+                # Every process is corrupted: arbitrary phase (the paper's
+                # where-clause); this case is classified as undetectable.
+                updates.append(("ph", view.choose(range(nphases))))
+        updates.append(("cp", CP.READY))
+        return updates
+
+    return stmt
+
+
+def make_cb(nprocs: int, nphases: int = 2) -> Program:
+    """Build program CB for ``nprocs`` processes and ``nphases`` phases.
+
+    A single-phase computation is mapped onto two replicated phases, per
+    the remark closing Section 3; the program metadata records the
+    user-visible phase count in ``metadata["user_nphases"]``.
+    """
+    if nprocs < 2:
+        raise ValueError("barrier synchronization needs at least 2 processes")
+    if nphases < 1:
+        raise ValueError("need at least one phase")
+    user_nphases = nphases
+    if nphases == 1:
+        nphases = 2  # replicate the single phase
+
+    declarations = [
+        VariableDecl("cp", CB_CP_DOMAIN, CP.READY),
+        VariableDecl("ph", IntRange(0, nphases - 1), 0),
+    ]
+    processes = []
+    for j in range(nprocs):
+        actions = (
+            # CB2 carries the "compute" kind: the phase's work happens
+            # between entering execute and completing the transition to
+            # success, so the timed simulator charges the unit phase time
+            # to the execute->success action.
+            Action("CB1", j, _cb1_guard, _cb1_stmt, kind="local"),
+            Action("CB2", j, _cb2_guard, _cb2_stmt, kind="compute"),
+            Action("CB3", j, _cb3_guard, _make_cb3_stmt(nphases), kind="local"),
+            Action("CB4", j, _cb4_guard, _make_cb4_stmt(nphases), kind="local"),
+        )
+        processes.append(Process(j, actions))
+
+    def initial(program: Program) -> State:
+        # The paper's start state: phase.(n-1) has executed successfully,
+        # all processes ready to execute phase 0.
+        return State.uniform(program, cp=CP.READY, ph=0)
+
+    return Program(
+        "CB",
+        declarations,
+        processes,
+        initial_state=initial,
+        metadata={
+            "family": "cb",
+            "nphases": nphases,
+            "user_nphases": user_nphases,
+        },
+    )
+
+
+def cb_detectable_fault() -> FaultSpec:
+    """The Section 3 detectable fault: ``ph.j, cp.j := ?, error``."""
+    return FaultSpec(
+        name="cb-detectable",
+        resets={"cp": CP.ERROR},
+        randomized=("ph",),
+        detectable=True,
+    )
+
+
+def cb_undetectable_fault() -> FaultSpec:
+    """The Section 3 undetectable fault: ``ph.j, cp.j := ?, ?``."""
+    return FaultSpec(
+        name="cb-undetectable",
+        randomized=("ph", "cp"),
+        detectable=False,
+    )

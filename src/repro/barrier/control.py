@@ -1,0 +1,59 @@
+"""Control positions and phase arithmetic.
+
+Each process ``j`` maintains a control position ``cp.j`` (Figure 1 of the
+paper) and a phase number ``ph.j`` in modulo-``n`` arithmetic:
+
+* ``READY``   -- j is ready to execute its phase;
+* ``EXECUTE`` -- j is executing its phase;
+* ``SUCCESS`` -- j has completed its phase;
+* ``ERROR``   -- j's control position was detectably corrupted;
+* ``REPEAT``  -- (ring/tree refinements only) a detected fault is being
+  propagated along the token so process 0 re-executes the current phase.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.gc.domains import EnumDomain
+
+
+class CP(enum.Enum):
+    """Control positions (Figure 1, plus the refinement's ``REPEAT``)."""
+
+    READY = "ready"
+    EXECUTE = "execute"
+    SUCCESS = "success"
+    ERROR = "error"
+    REPEAT = "repeat"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+#: Domain of ``cp`` in the coarse-grain program CB (no ``repeat``).
+CB_CP_DOMAIN = EnumDomain((CP.READY, CP.EXECUTE, CP.SUCCESS, CP.ERROR))
+
+#: Domain of ``cp`` in the refined programs RB/MB (adds ``repeat``).
+RB_CP_DOMAIN = EnumDomain(
+    (CP.READY, CP.EXECUTE, CP.SUCCESS, CP.ERROR, CP.REPEAT)
+)
+
+
+def phase_succ(phase: int, nphases: int) -> int:
+    """The paper's ``ph + 1`` in modulo-``n`` arithmetic."""
+    if nphases < 1:
+        raise ValueError("need at least one phase")
+    return (phase + 1) % nphases
+
+
+def phase_pred(phase: int, nphases: int) -> int:
+    """Modulo-``n`` predecessor of a phase."""
+    if nphases < 1:
+        raise ValueError("need at least one phase")
+    return (phase - 1) % nphases
+
+
+def phase_distance(frm: int, to: int, nphases: int) -> int:
+    """Forward distance from phase ``frm`` to phase ``to`` (mod ``n``)."""
+    return (to - frm) % nphases

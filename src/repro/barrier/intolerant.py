@@ -1,0 +1,152 @@
+"""The fault-intolerant baseline barrier.
+
+Section 6.1: "if fault-tolerance is not an issue, barrier
+synchronization can be achieved in time ``1 + 2hc`` -- one communication
+over the tree suffices to detect that all processes have completed
+execution of their phase and another to inform them to start the next
+phase."
+
+This is the classic two-wave tree barrier: every process executes its
+phase; completion aggregates up the tree (``done`` states); the root
+advances the phase and the new phase number disseminates down the tree.
+It satisfies the barrier specification in the absence of faults and is
+the baseline against which the overhead of fault-tolerance (Figures 4
+and 6) is measured.  It has no tolerance whatsoever: a single corrupted
+phase counter deadlocks or desynchronizes it, which the tests
+demonstrate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.gc.actions import Action, StateView
+from repro.gc.domains import EnumDomain, IntRange
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.state import State
+from repro.topology.graphs import Topology, kary_tree, ring
+
+
+class ICP(enum.Enum):
+    """Control positions of the intolerant barrier."""
+
+    EXECUTE = "execute"
+    SUCCESS = "success"
+    DONE = "done"  # own work and whole subtree's work complete
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+INTOLERANT_CP_DOMAIN = EnumDomain((ICP.EXECUTE, ICP.SUCCESS, ICP.DONE))
+
+
+def make_intolerant_barrier(
+    nprocs: int | None = None,
+    topology: Topology | None = None,
+    nphases: int = 2,
+    arity: int = 2,
+) -> Program:
+    """Build the two-wave fault-intolerant tree barrier.
+
+    Actions at process j (parent p, children C):
+
+    * ``WORK :: cp.j = execute -> cp.j := success`` -- the phase's work;
+    * ``UP   :: cp.j = success and (forall c in C: cp.c = done and
+      ph.c = ph.j) -> cp.j := done`` -- subtree completion aggregates
+      upward (leaves pass immediately);
+    * root:  ``NEXT :: cp.0 = done -> ph.0 := ph.0 + 1;
+      cp.0 := execute`` -- barrier achieved, start the next phase;
+    * other: ``NEXT :: cp.j = done and ph.p = ph.j + 1 ->
+      ph.j := ph.p; cp.j := execute`` -- the new phase disseminates
+      downward.
+    """
+    if topology is None:
+        if nprocs is None:
+            raise ValueError("give nprocs or topology")
+        topology = kary_tree(nprocs, arity) if nprocs > 2 else ring(nprocs)
+    n = topology.nprocs
+    if nphases < 2:
+        raise ValueError("need >= 2 phases (replicate a single phase)")
+
+    declarations = [
+        VariableDecl("cp", INTOLERANT_CP_DOMAIN, ICP.EXECUTE),
+        VariableDecl("ph", IntRange(0, nphases - 1), 0),
+    ]
+
+    def work_guard(view: StateView) -> bool:
+        return view.my("cp") is ICP.EXECUTE
+
+    def work_stmt(view: StateView):
+        return [("cp", ICP.SUCCESS)]
+
+    def make_up(pid: int):
+        kids = topology.children[pid]
+
+        def guard(view: StateView) -> bool:
+            if view.my("cp") is not ICP.SUCCESS:
+                return False
+            my_ph = view.my("ph")
+            return all(
+                view.of("cp", c) is ICP.DONE and view.of("ph", c) == my_ph
+                for c in kids
+            )
+
+        def stmt(view: StateView):
+            return [("cp", ICP.DONE)]
+
+        return guard, stmt
+
+    processes = []
+    for pid in range(n):
+        up_guard, up_stmt = make_up(pid)
+        actions: list[Action] = [
+            Action("WORK", pid, work_guard, work_stmt, kind="compute"),
+            Action("UP", pid, up_guard, up_stmt, kind="comm"),
+        ]
+        if pid == 0:
+
+            def root_guard(view: StateView) -> bool:
+                return view.my("cp") is ICP.DONE
+
+            def root_stmt(view: StateView, _n=nphases):
+                return [("ph", (view.my("ph") + 1) % _n), ("cp", ICP.EXECUTE)]
+
+            actions.append(Action("NEXT", 0, root_guard, root_stmt, kind="comm"))
+        else:
+            parent = topology.parent[pid]
+
+            def follow_guard(view: StateView, _p=parent, _n=nphases) -> bool:
+                return (
+                    view.my("cp") is ICP.DONE
+                    and view.of("ph", _p) == (view.my("ph") + 1) % _n
+                )
+
+            def follow_stmt(view: StateView, _p=parent):
+                return [("ph", view.of("ph", _p)), ("cp", ICP.EXECUTE)]
+
+            actions.append(
+                Action("NEXT", pid, follow_guard, follow_stmt, kind="comm")
+            )
+        processes.append(Process(pid, tuple(actions)))
+
+    def initial(program: Program) -> State:
+        return State.uniform(program, cp=ICP.EXECUTE, ph=0)
+
+    return Program(
+        f"Intolerant({topology.name})",
+        declarations,
+        processes,
+        initial_state=initial,
+        metadata={
+            "family": "intolerant",
+            "topology": topology,
+            "nphases": nphases,
+        },
+    )
+
+
+def intolerant_phases_completed(state: State) -> int:
+    """Lower bound on completed barriers read off the root's phase
+    counter (meaningful for runs shorter than one phase wrap)."""
+    return int(state.get("ph", 0))

@@ -1,0 +1,130 @@
+"""Legitimate-state predicates.
+
+A stabilizing program recovers to its *legitimate* states, from where
+every computation satisfies the specification.  For CB the legitimate set
+is characterized exactly (it is small enough); for RB/MB the convergence
+tests target the paper's *start states* ("all processes are in the
+control position ready and in the same phase", with a quiescent token),
+which every recovery passes through.
+"""
+
+from __future__ import annotations
+
+from repro.barrier.control import CP
+from repro.barrier.tokenring import ring_legitimate_sn
+from repro.gc.state import State
+from repro.topology.graphs import Topology
+
+
+# ----------------------------------------------------------------------
+# CB (Section 3)
+# ----------------------------------------------------------------------
+def cb_start_state(state: State) -> bool:
+    """All processes ready, all in the same phase."""
+    n = state.nprocs
+    return all(state.get("cp", p) is CP.READY for p in range(n)) and (
+        len(set(state.get("ph", p) for p in range(n))) == 1
+    )
+
+
+def cb_legitimate(state: State, nphases: int) -> bool:
+    """The fault-free reachable states of CB.
+
+    With common phase ``i`` these are exactly:
+
+    (a) every process in {ready, execute} with phase ``i`` (the entry
+        wave: processes move to execute one at a time);
+    (b) every process in {execute, success} with phase ``i`` (the exit
+        wave);
+    (c) processes in {success, ready} where the success processes have
+        phase ``i`` and the ready processes phase ``i+1`` (the phase
+        hand-over wave).
+    """
+    n = state.nprocs
+    cp = [state.get("cp", p) for p in range(n)]
+    ph = [state.get("ph", p) for p in range(n)]
+
+    # (a) ready/execute, one phase
+    if all(c is CP.READY or c is CP.EXECUTE for c in cp):
+        return len(set(ph)) == 1
+    # (b) execute/success, one phase
+    if all(c is CP.EXECUTE or c is CP.SUCCESS for c in cp):
+        return len(set(ph)) == 1
+    # (c) success(i) / ready(i+1)
+    if all(c is CP.SUCCESS or c is CP.READY for c in cp):
+        succ_ph = {ph[p] for p in range(n) if cp[p] is CP.SUCCESS}
+        ready_ph = {ph[p] for p in range(n) if cp[p] is CP.READY}
+        if len(succ_ph) != 1 or len(ready_ph) != 1:
+            return False
+        i = next(iter(succ_ph))
+        return next(iter(ready_ph)) == (i + 1) % nphases
+    return False
+
+
+# ----------------------------------------------------------------------
+# RB (Section 4)
+# ----------------------------------------------------------------------
+def rb_start_state(state: State, topology: Topology, k: int) -> bool:
+    """All ready, one phase, sequence numbers uniform and ordinary.
+
+    This is the quiescent start state: the token has just completed the
+    hand-over circulation and sits at the final process(es), so process 0
+    may begin the next instance.
+    """
+    n = topology.nprocs
+    if not all(state.get("cp", p) is CP.READY for p in range(n)):
+        return False
+    if len(set(state.get("ph", p) for p in range(n))) != 1:
+        return False
+    sns = {state.get("sn", p) for p in range(n)}
+    if len(sns) != 1:
+        return False
+    sn = next(iter(sns))
+    return isinstance(sn, int) and 0 <= sn < k
+
+
+def rb_legitimate(state: State, topology: Topology, k: int, nphases: int) -> bool:
+    """A weaker legitimate predicate for RB used by closure-style tests:
+    legitimate sequence numbers, no error/repeat control positions, and
+    phases spanning at most two consecutive values."""
+    n = topology.nprocs
+    if not ring_legitimate_sn(state, topology, k):
+        return False
+    cps = [state.get("cp", p) for p in range(n)]
+    if any(c is CP.ERROR or c is CP.REPEAT for c in cps):
+        return False
+    phs = {state.get("ph", p) for p in range(n)}
+    if len(phs) == 1:
+        return True
+    if len(phs) == 2:
+        a, b = sorted(phs)
+        return (b - a) % nphases == 1 or (a - b) % nphases == 1
+    return False
+
+
+# ----------------------------------------------------------------------
+# MB (Section 5)
+# ----------------------------------------------------------------------
+def mb_start_state(state: State, l_domain: int) -> bool:
+    """MB's quiescent start state: all ready in one phase, sequence
+    numbers and predecessor copies uniform and ordinary, predecessor
+    control-position copies ready."""
+    n = state.nprocs
+    if not all(state.get("cp", p) is CP.READY for p in range(n)):
+        return False
+    if len(set(state.get("ph", p) for p in range(n))) != 1:
+        return False
+    values = {state.get("sn", p) for p in range(n)} | {
+        state.get("lsn_prev", p) for p in range(n)
+    }
+    if len(values) != 1:
+        return False
+    sn = next(iter(values))
+    if not (isinstance(sn, int) and 0 <= sn < l_domain):
+        return False
+    if not all(state.get("lcp_prev", p) is CP.READY for p in range(n)):
+        return False
+    return len(
+        set(state.get("lph_prev", p) for p in range(n))
+        | set(state.get("ph", p) for p in range(n))
+    ) == 1

@@ -1,0 +1,280 @@
+"""Mechanical refinement checks between CB, RB and MB.
+
+The paper's design method is stepwise refinement: "In each step, we will
+verify that the program is a refinement of the program in the previous
+step, enabling a simple proof of correctness for the final program."
+This module makes those verifications executable:
+
+* :func:`check_rb_refines_cb` -- every RB transition, projected through
+  the abstraction that forgets the sequence numbers and reads ``repeat``
+  as ``error``, is a CB transition, a stutter, or (when enabled) the
+  image of a detectable fault.  Fault-free runs must map to CB steps and
+  stutters only.  Under faults, two corners of process 0's superposed
+  decision are deliberately *not* CB transitions (both safe, argued by
+  Lemma 4.1.2): the root recovers from ``error`` as soon as it holds the
+  token, ahead of CB4's everyone-stopped guard; and the root completes a
+  phase even when a *post-success* fault left a ``repeat`` behind --
+  every process did execute the phase fully, so completing is correct
+  where CB would conservatively re-execute.
+  :meth:`RefinementReport.unexplained` filters those corners out.
+* :func:`check_mb_refines_rb` -- the Section 5 claim: MB's computations
+  are "equivalent to that of RB where the ring consists of 2(N+1)
+  processes".  The embedding places each local-copy cell as a *virtual
+  process* between its owner and the owner's predecessor; every MB
+  transition from an ordinary-sequence-number state must then map to a
+  transition (or stutter) of RB on the doubled ring.  The domain
+  requirement ``L > 2N + 1`` is exactly what makes the embedded
+  sequence numbers legal for the doubled ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.barrier.cb import make_cb
+from repro.barrier.control import CP
+from repro.barrier.rb import make_rb
+from repro.gc.domains import BOT, TOP
+from repro.gc.program import Program
+from repro.gc.state import State
+
+
+@dataclass
+class RefinementReport:
+    """Classification of every checked transition."""
+
+    checked: int = 0
+    stutters: int = 0
+    mapped: int = 0
+    fault_images: int = 0
+    recovery_images: int = 0
+    violations: list[tuple] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def unexplained(self) -> list[tuple]:
+        """Violations that are not root-decision corners.
+
+        Two RB root behaviours are deliberately *not* CB transitions
+        (see the module docstring): recovering from error while others
+        execute, and completing a phase whose repeat signal arrived only
+        after every process had already succeeded.  Both originate in
+        process 0's superposed T1 decision; anything else is a genuine
+        refinement failure.
+        """
+        return [v for v in self.violations if not (v[1] == "T1" and v[2] == 0)]
+
+
+# ----------------------------------------------------------------------
+# RB -> CB
+# ----------------------------------------------------------------------
+def rb_to_cb_abstraction(state: State, nprocs: int) -> State:
+    """Forget the sequence numbers; ``repeat`` abstracts to ``error``
+    (both mean "this instance is abandoned; rejoin at ready")."""
+    cp = [
+        CP.ERROR if state.get("cp", p) is CP.REPEAT else state.get("cp", p)
+        for p in range(nprocs)
+    ]
+    ph = [state.get("ph", p) for p in range(nprocs)]
+    return State({"cp": cp, "ph": ph}, nprocs)
+
+
+def _cb_successors(cb: Program, state: State) -> set:
+    out = set()
+    for action in cb.actions():
+        if action.enabled(state):
+            succ = state.snapshot()
+            action.execute(succ)
+            out.add(succ.key())
+    return out
+
+
+def _cb_fault_images(state: State, nphases: int) -> set:
+    """Images of the CB detectable fault (cp := error, ph arbitrary)."""
+    out = set()
+    for pid in range(state.nprocs):
+        for ph in range(nphases):
+            succ = state.snapshot()
+            succ.set("cp", pid, CP.ERROR)
+            succ.set("ph", pid, ph)
+            out.add(succ.key())
+    return out
+
+
+def _cb_recovery_images(state: State, nphases: int) -> set:
+    """Eager error recovery: an ``error`` process re-enters ``ready``.
+
+    RB's process 0 recovers from a detectable fault as soon as it holds
+    the token (the Lemma 4.1.2/4.1.3 root case), even while other
+    processes are still executing -- *earlier* than CB4's guard permits.
+    The refinement therefore holds modulo this image class; safety is
+    re-established by the superposed repeat mechanism, exactly as the
+    paper's Lemma 4.1.2 argues.
+    """
+    out = set()
+    for pid in range(state.nprocs):
+        if state.get("cp", pid) is not CP.ERROR:
+            continue
+        for ph in range(nphases):
+            succ = state.snapshot()
+            succ.set("cp", pid, CP.READY)
+            succ.set("ph", pid, ph)
+            out.add(succ.key())
+    return out
+
+
+def check_rb_refines_cb(
+    rb: Program,
+    states: Iterable[State],
+    allow_fault_images: bool = True,
+) -> RefinementReport:
+    """Check every RB transition out of ``states`` against CB."""
+    nprocs = rb.nprocs
+    nphases = rb.metadata["nphases"]
+    cb = make_cb(nprocs, nphases)
+    report = RefinementReport()
+    for state in states:
+        abstract = rb_to_cb_abstraction(state, nprocs)
+        cb_next = _cb_successors(cb, abstract)
+        faults = _cb_fault_images(abstract, nphases) if allow_fault_images else set()
+        recoveries = (
+            _cb_recovery_images(abstract, nphases) if allow_fault_images else set()
+        )
+        for action in rb.actions():
+            if not action.enabled(state):
+                continue
+            succ = state.snapshot()
+            action.execute(succ)
+            image = rb_to_cb_abstraction(succ, nprocs).key()
+            report.checked += 1
+            if image == abstract.key():
+                report.stutters += 1
+            elif image in cb_next:
+                report.mapped += 1
+            elif image in faults:
+                report.fault_images += 1
+            elif image in recoveries:
+                report.recovery_images += 1
+            else:
+                report.violations.append(
+                    (state.key(), action.name, action.pid, image)
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# MB -> RB on the doubled ring
+# ----------------------------------------------------------------------
+def mb_to_doubled_rb_abstraction(state: State, nprocs: int) -> State:
+    """Embed an MB state into RB on a ring of ``2 * nprocs`` processes.
+
+    Ring order: ``real 0, copy@1, real 1, copy@2, ..., real N, copy@0``
+    -- the copy cell that feeds real process j holds (a possibly stale
+    view of) process j-1's state and sits immediately before j.  Real
+    process 0 occupies position 0, so the doubled ring's distinguished
+    process is MB's process 0, and RB's T1 there reads position 2N+1 =
+    the copy cell at 0 (``lsn_prev.0``) -- exactly MB's T1.
+    """
+    sn, cp, ph = [], [], []
+    for j in range(nprocs):
+        sn.append(state.get("sn", j))
+        cp.append(state.get("cp", j))
+        ph.append(state.get("ph", j))
+        succ = (j + 1) % nprocs
+        sn.append(state.get("lsn_prev", succ))
+        cp.append(state.get("lcp_prev", succ))
+        ph.append(state.get("lph_prev", succ))
+    return State({"sn": sn, "cp": cp, "ph": ph}, 2 * nprocs)
+
+
+def _doubled_rb_successors(rb2: Program, state: State) -> set:
+    out = set()
+    for action in rb2.actions():
+        if action.enabled(state):
+            succ = state.snapshot()
+            action.execute(succ)
+            out.add(succ.key())
+    return out
+
+
+def _ordinary_sns(state: State, variables: Iterable[str]) -> bool:
+    for var in variables:
+        for p in range(state.nprocs):
+            v = state.get(var, p)
+            if v is BOT or v is TOP:
+                return False
+    return True
+
+
+def check_mb_refines_rb(
+    mb: Program,
+    states: Iterable[State],
+) -> RefinementReport:
+    """Check MB transitions against RB on the 2(N+1) ring.
+
+    Restricted to states whose sequence numbers (including the copies)
+    are ordinary, matching the appendix: after T3/T4/T5 and the CNEXT
+    copy action are disabled, "the computations of MB are equivalent to
+    the computations of [RB] where the ring consists of 2(N+1)
+    processes".
+    """
+    nprocs = mb.nprocs
+    nphases = mb.metadata["nphases"]
+    L = mb.metadata["sn_domain"].k
+    # The doubled ring needs K > (number of ring processes) - 1, i.e.
+    # K >= 2 * nprocs: exactly L (the paper's L > 2N + 1).
+    rb2 = make_rb(2 * nprocs, nphases=nphases, k=L)
+    report = RefinementReport()
+    for state in states:
+        if not _ordinary_sns(state, ("sn", "lsn_prev")):
+            continue
+        abstract = mb_to_doubled_rb_abstraction(state, nprocs)
+        rb_next = _doubled_rb_successors(rb2, abstract)
+        for action in mb.actions():
+            if action.name in ("T3", "T4", "T5", "CNEXT"):
+                continue  # disabled in the ordinary-sn region anyway
+            if not action.enabled(state):
+                continue
+            succ = state.snapshot()
+            action.execute(succ)
+            image = mb_to_doubled_rb_abstraction(succ, nprocs).key()
+            report.checked += 1
+            if image == abstract.key():
+                report.stutters += 1
+            elif image in rb_next:
+                report.mapped += 1
+            else:
+                report.violations.append(
+                    (state.key(), action.name, action.pid, image)
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Run collectors
+# ----------------------------------------------------------------------
+def states_from_run(
+    program: Program,
+    steps: int,
+    daemon=None,
+    state: State | None = None,
+) -> list[State]:
+    """Distinct states visited by a run (the refinement check inputs)."""
+    from repro.gc.scheduler import RoundRobinDaemon
+    from repro.gc.simulator import Simulator
+
+    seen: dict = {}
+    current = state.snapshot() if state is not None else program.initial_state()
+    seen[current.key()] = current.snapshot()
+
+    def observer(s: State, _step: int) -> None:
+        key = s.key()
+        if key not in seen:
+            seen[key] = s.snapshot()
+
+    sim = Simulator(program, daemon or RoundRobinDaemon(), record_trace=False)
+    sim.run(current, max_steps=steps, observer=observer)
+    return list(seen.values())

@@ -1,0 +1,246 @@
+"""The paper's programs in the guarded-command notation, as text.
+
+These are transcriptions of the displayed programs of Sections 3 and
+4.1 into the ASCII notation of :mod:`repro.gc.notation`; the test-suite
+proves the compiled programs transition-for-transition equivalent to
+the hand-built ones in :mod:`repro.barrier.cb` and
+:mod:`repro.barrier.tokenring`.
+
+Two deliberate deviations (see EXPERIMENTS.md, "Reproduction notes"):
+CB4's second branch uses the existential reading the paper's prose
+dictates, and its no-witness fallback (the paper's "arbitrary number")
+is pinned to 0 so the compiled and hand-built programs agree
+deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.barrier.control import CP
+from repro.gc.notation import compile_program
+from repro.gc.program import Program
+
+CB_SOURCE = """
+program CB
+param n
+var cp : enum(ready, execute, success, error) = ready
+var ph : int[0, n - 1] = 0
+
+# CB1: begin executing once everyone is ready (or someone already runs).
+action CB1 :: cp.j = ready and
+    ((forall k : cp.k = ready) or (exists k : cp.k = execute)) ->
+    cp.j := execute
+
+# CB2: complete only after every process has started (no one ready).
+action CB2 :: cp.j = execute and
+    ((forall k : cp.k != ready) or (exists k : cp.k = success)) ->
+    cp.j := success
+
+# CB3: hand over to the next phase, or re-execute after a fault.
+action CB3 :: cp.j = success and (forall k : cp.k != execute) ->
+    if (exists k : cp.k = ready) then
+        ph.j := any k : cp.k = ready : ph.k
+    elif (forall k : cp.k = success) then
+        ph.j := (ph.j + 1) % n
+    fi;
+    cp.j := ready
+
+# CB4: recover a detectably corrupted process.
+action CB4 :: cp.j = error and (forall k : cp.k != execute) ->
+    if (exists k : cp.k = ready) then
+        ph.j := any k : cp.k = ready : ph.k
+    else
+        ph.j := any k : cp.k = success : ph.k default 0
+    fi;
+    cp.j := ready
+
+# The Section 3 fault actions.
+fault detectable :: ph.j := ?; cp.j := error
+fault undetectable :: ph.j := ?; cp.j := ?
+"""
+
+TOKEN_RING_SOURCE = """
+program TokenRing
+param K
+var sn : seq(K) = 0
+
+# T1: process 0 creates the next token.
+action T1 [j = 0] :: sn.N != BOT and sn.N != TOP and
+    (sn.j = sn.N or sn.j = BOT or sn.j = TOP) ->
+    sn.j := (sn.N + 1) % K
+
+# T2: pass the token along the ring.
+action T2 [j != 0] :: sn.(j - 1) != BOT and sn.(j - 1) != TOP and
+    sn.j != sn.(j - 1) ->
+    sn.j := sn.(j - 1)
+
+# T3/T4/T5: flush a fully corrupted ring through TOP.
+action T3 [j = N] :: sn.j = BOT -> sn.j := TOP
+action T4 [j != N] :: sn.j = BOT and sn.(j + 1) = TOP -> sn.j := TOP
+action T5 [j = 0] :: sn.j = TOP -> sn.j := 0
+"""
+
+RB_SOURCE = """
+program RB
+param n
+param K
+var sn : seq(K) = 0
+var cp : enum(ready, execute, success, error, repeat) = ready
+var ph : int[0, n - 1] = 0
+
+# Token receipt at process 0, with the superposed cp/ph update.
+action T1 [j = 0] :: sn.N != BOT and sn.N != TOP and
+    (sn.j = sn.N or sn.j = BOT or sn.j = TOP) ->
+    sn.j := (sn.N + 1) % K;
+    if cp.j = ready and cp.N = ready and ph.j = ph.N then
+        cp.j := execute
+    elif cp.j = execute then
+        cp.j := success
+    elif cp.j = success then
+        if cp.N = success and ph.j = ph.N then
+            ph.j := (ph.j + 1) % n; cp.j := ready
+        else
+            ph.j := ph.N; cp.j := ready
+        fi
+    elif cp.j = error or cp.j = repeat then
+        ph.j := ph.N; cp.j := ready
+    fi
+
+# Token receipt at a follower, with the superposed cp/ph update.
+action T2 [j != 0] :: sn.(j - 1) != BOT and sn.(j - 1) != TOP and
+    sn.j != sn.(j - 1) ->
+    sn.j := sn.(j - 1);
+    ph.j := ph.(j - 1);
+    if cp.j = ready and cp.(j - 1) = execute then cp.j := execute
+    elif cp.j = execute and cp.(j - 1) = success then cp.j := success
+    elif cp.j != execute and cp.(j - 1) = ready then cp.j := ready
+    elif cp.j = error or cp.(j - 1) != cp.j then cp.j := repeat
+    fi
+
+action T3 [j = N] :: sn.j = BOT -> sn.j := TOP
+action T4 [j != N] :: sn.j = BOT and sn.(j + 1) = TOP -> sn.j := TOP
+action T5 [j = 0] :: sn.j = TOP -> sn.j := 0
+
+# The Section 4.1 fault actions.
+fault detectable :: ph.j := ?; cp.j := error; sn.j := BOT
+fault undetectable :: ph.j := ?; cp.j := ?; sn.j := ?
+"""
+
+MB_SOURCE = """
+program MB
+param n
+param L
+var sn : seq(L) = 0
+var cp : enum(ready, execute, success, error, repeat) = ready
+var ph : int[0, n - 1] = 0
+var lsn_prev : seq(L) = 0
+var lcp_prev : enum(ready, execute, success, error, repeat) = ready
+var lph_prev : int[0, n - 1] = 0
+var lsn_next : seq(L) = 0
+
+# Token receipt at 0, against the local copies of process N's state.
+action T1 [j = 0] :: lsn_prev.j != BOT and lsn_prev.j != TOP and
+    (sn.j = lsn_prev.j or sn.j = BOT or sn.j = TOP) ->
+    sn.j := (lsn_prev.j + 1) % L;
+    if cp.j = ready and lcp_prev.j = ready and lph_prev.j = ph.j then
+        cp.j := execute
+    elif cp.j = execute then
+        cp.j := success
+    elif cp.j = success then
+        if lcp_prev.j = success and lph_prev.j = ph.j then
+            ph.j := (ph.j + 1) % n; cp.j := ready
+        else
+            ph.j := lph_prev.j; cp.j := ready
+        fi
+    elif cp.j = error or cp.j = repeat then
+        ph.j := lph_prev.j; cp.j := ready
+    fi
+
+# Token receipt at a follower, against its local copies.
+action T2 [j != 0] :: lsn_prev.j != BOT and lsn_prev.j != TOP and
+    sn.j != lsn_prev.j ->
+    sn.j := lsn_prev.j;
+    ph.j := lph_prev.j;
+    if cp.j = ready and lcp_prev.j = execute then cp.j := execute
+    elif cp.j = execute and lcp_prev.j = success then cp.j := success
+    elif cp.j != execute and lcp_prev.j = ready then cp.j := ready
+    elif cp.j = error or lcp_prev.j != cp.j then cp.j := repeat
+    fi
+
+# The local-copy cell: "identical to the superposed action T2 at a
+# non-0 process" -- the virtual process of the 2(N+1) ring.
+action CPREV :: sn.(j - 1) != BOT and sn.(j - 1) != TOP and
+    lsn_prev.j != sn.(j - 1) ->
+    lsn_prev.j := sn.(j - 1);
+    lph_prev.j := ph.(j - 1);
+    if lcp_prev.j = ready and cp.(j - 1) = execute then lcp_prev.j := execute
+    elif lcp_prev.j = execute and cp.(j - 1) = success then lcp_prev.j := success
+    elif lcp_prev.j != execute and cp.(j - 1) = ready then lcp_prev.j := ready
+    elif lcp_prev.j = error or cp.(j - 1) != lcp_prev.j then lcp_prev.j := repeat
+    fi
+
+action T3 [j = N] :: sn.j = BOT -> sn.j := TOP
+action T4 [j != N] :: sn.j = BOT and lsn_next.j = TOP -> sn.j := TOP
+action CNEXT [j != N] :: sn.(j + 1) = TOP and lsn_next.j != TOP ->
+    lsn_next.j := TOP
+action T5 [j = 0] :: sn.j = TOP -> sn.j := 0
+
+# The Section 5 fault actions (a detectable fault also resets the
+# struck process's local copies).
+fault detectable :: ph.j := ?; cp.j := error; sn.j := BOT;
+    lsn_prev.j := BOT; lsn_next.j := BOT; lcp_prev.j := error;
+    lph_prev.j := ?
+fault undetectable :: ph.j := ?; cp.j := ?; sn.j := ?;
+    lsn_prev.j := ?; lsn_next.j := ?; lcp_prev.j := ?; lph_prev.j := ?
+"""
+
+#: Literal bindings so the compiled CB shares value identities with the
+#: hand-built one.
+CP_LITERALS = {
+    "ready": CP.READY,
+    "execute": CP.EXECUTE,
+    "success": CP.SUCCESS,
+    "error": CP.ERROR,
+    "repeat": CP.REPEAT,
+}
+
+
+def compile_cb(nprocs: int, nphases: int = 2) -> Program:
+    """Compile the textual CB for ``nprocs`` processes."""
+    return compile_program(
+        CB_SOURCE,
+        nprocs=nprocs,
+        params={"n": nphases},
+        literal_values=CP_LITERALS,
+    )
+
+
+def compile_token_ring(nprocs: int, k: int | None = None) -> Program:
+    """Compile the textual token ring for ``nprocs`` processes."""
+    return compile_program(
+        TOKEN_RING_SOURCE,
+        nprocs=nprocs,
+        params={"K": k if k is not None else nprocs + 1},
+    )
+
+
+def compile_rb(nprocs: int, nphases: int = 2, k: int | None = None) -> Program:
+    """Compile the textual RB (ring topology) for ``nprocs`` processes."""
+    return compile_program(
+        RB_SOURCE,
+        nprocs=nprocs,
+        params={"n": nphases, "K": k if k is not None else nprocs + 1},
+        literal_values=CP_LITERALS,
+    )
+
+
+def compile_mb(nprocs: int, nphases: int = 2, l_domain: int | None = None) -> Program:
+    """Compile the textual MB for ``nprocs`` processes."""
+    return compile_program(
+        MB_SOURCE,
+        nprocs=nprocs,
+        params={
+            "n": nphases,
+            "L": l_domain if l_domain is not None else 2 * nprocs,
+        },
+        literal_values=CP_LITERALS,
+    )

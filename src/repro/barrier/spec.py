@@ -1,0 +1,306 @@
+"""The barrier-synchronization specification oracle (Section 2).
+
+The specification:
+
+* **Safety** -- execution of ``phase.(i+1)`` begins only after ``phase.i``
+  is executed successfully;
+* **Progress** -- eventually ``phase.i`` is executed successfully;
+
+where *an instance of phase.i is executed* iff some process starts
+executing phase.i and each process executes it at most once in that
+instance; an instance is *executed successfully* iff all processes
+execute the phase fully in it; and *phase.i is executed successfully* iff
+one or more instances execute in sequence, the last successfully.
+
+The oracle replays a trace (action events and fault events) on top of the
+initial state, watches each process's ``cp`` transitions, reconstructs
+phase instances, and reports:
+
+* safety violations: ``overlap`` (two instances of a phase overlap, i.e.
+  a new instance starts while a process is still executing the previous
+  one) and ``wrong-phase`` (an instance of a phase other than the
+  expected one begins);
+* the instance log: which phases executed, how many instances each took,
+  and which completed successfully (Progress is then a statement about
+  the count of successful instances);
+* the set of phase values executed incorrectly -- the quantity bounded by
+  ``m`` in Lemma 3.4.
+
+Instances are never *caused* to fail by the oracle; a phase instance that
+closes without all processes completing is merely unsuccessful, which the
+specification permits as long as a successful instance eventually follows
+(that is exactly the masking behaviour under detectable faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.barrier.control import CP
+from repro.gc.state import State
+from repro.gc.trace import Trace, TraceEvent
+
+
+@dataclass
+class Violation:
+    """One detected specification violation."""
+
+    kind: str  # "overlap" | "wrong-phase"
+    step: int
+    pid: int
+    phase: int
+    detail: str = ""
+
+
+@dataclass
+class InstanceRecord:
+    """One reconstructed phase instance."""
+
+    phase: int
+    open_step: int
+    started: set[int] = field(default_factory=set)
+    completed: set[int] = field(default_factory=set)
+    close_step: int | None = None
+    successful: bool = False
+    flagged: bool = False  # a violation was recorded at/for this instance
+
+
+@dataclass
+class SpecReport:
+    """Result of checking one trace against the specification."""
+
+    nprocs: int
+    nphases: int
+    instances: list[InstanceRecord]
+    violations: list[Violation]
+
+    def violations_after(self, step: int) -> list[Violation]:
+        return [v for v in self.violations if v.step > step]
+
+    @property
+    def safety_ok(self) -> bool:
+        return not self.violations
+
+    def safety_ok_after(self, step: int) -> bool:
+        return not self.violations_after(step)
+
+    @property
+    def successful_instances(self) -> list[InstanceRecord]:
+        return [inst for inst in self.instances if inst.successful]
+
+    @property
+    def phases_completed(self) -> int:
+        """Number of successful instances (successful phase executions)."""
+        return len(self.successful_instances)
+
+    @property
+    def incorrect_phase_values(self) -> set[int]:
+        """Distinct phase numbers executed incorrectly (Lemma 3.4's bound)."""
+        return {inst.phase for inst in self.instances if inst.flagged}
+
+    def instances_per_phase(self) -> dict[int, list[int]]:
+        """For each successful phase occurrence, how many instances ran.
+
+        Returns ``{occurrence_index: instance_count}``-style data keyed by
+        position in the successful sequence; used by the Figure 3/5 style
+        measurements on the guarded-command programs.
+        """
+        counts: dict[int, list[int]] = {}
+        run = 0
+        occurrence = 0
+        for inst in self.instances:
+            run += 1
+            if inst.successful:
+                counts.setdefault(occurrence, []).append(run)
+                occurrence += 1
+                run = 0
+        return counts
+
+
+class BarrierSpecChecker:
+    """Replay-based specification oracle.
+
+    Parameters
+    ----------
+    nprocs, nphases:
+        Shape of the program under check.
+    cp_var, ph_var:
+        Variable names carrying the control position and phase.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        nphases: int,
+        cp_var: str = "cp",
+        ph_var: str = "ph",
+    ) -> None:
+        self.nprocs = nprocs
+        self.nphases = nphases
+        self.cp_var = cp_var
+        self.ph_var = ph_var
+
+    # ------------------------------------------------------------------
+    def check(
+        self, trace: Trace | Iterable[TraceEvent], initial_state: State | None = None
+    ) -> SpecReport:
+        """Replay ``trace`` and return a :class:`SpecReport`.
+
+        ``initial_state`` anchors the replay; when omitted, a canonical
+        start state (all ready, phase 0) is assumed, which matches the
+        programs' default initial states.
+        """
+        cp: list[Any]
+        ph: list[int]
+        if initial_state is not None:
+            cp = [initial_state.get(self.cp_var, p) for p in range(self.nprocs)]
+            ph = [initial_state.get(self.ph_var, p) for p in range(self.nprocs)]
+        else:
+            cp = [CP.READY] * self.nprocs
+            ph = [0] * self.nprocs
+
+        events = list(trace)
+        instances: list[InstanceRecord] = []
+        violations: list[Violation] = []
+        executing: set[int] = set()
+        open_inst: InstanceRecord | None = None
+
+        # Phase-order tracking.  ``current`` is the phase whose instance
+        # may legally run next (re-execution is always legal; advancing
+        # to ``current + 1`` is legal only after a successful instance of
+        # ``current`` -- "the last instance of which is executed
+        # successfully").  Anchored when the start state is clean,
+        # floating otherwise (perturbed starts).
+        current: int | None = None
+        last_successful = False
+        if all(c is CP.READY for c in cp) and len(set(ph)) == 1:
+            # "Initially, phase.(n-1) has executed successfully and each
+            # process is thus ready to execute phase.0": the common phase
+            # is the one whose instance may legally open first.
+            current = ph[0]
+
+        def close_open(step: int) -> None:
+            nonlocal open_inst, current, last_successful
+            if open_inst is None:
+                return
+            open_inst.close_step = step
+            open_inst.successful = (
+                len(open_inst.completed) == self.nprocs
+            )
+            current = open_inst.phase
+            last_successful = open_inst.successful
+            instances.append(open_inst)
+            open_inst = None
+
+        def legal_open(phase: int) -> bool:
+            if current is None:
+                return True
+            if phase == current:
+                return True  # re-execution of the current phase
+            return phase == (current + 1) % self.nphases and last_successful
+
+        def start_execution(pid: int, phase: int, step: int) -> None:
+            nonlocal open_inst, current, last_successful
+            if (
+                open_inst is not None
+                and open_inst.phase == phase
+                and pid not in open_inst.started
+                and executing
+            ):
+                # A late joiner of the still-running instance.  (If no
+                # process is executing any more, the instance is over: in
+                # CB a process can only reach execute again through an
+                # all-ready start state, and in RB/MB through a fresh
+                # execute wave from process 0 -- so this is a new
+                # instance, handled below.)
+                open_inst.started.add(pid)
+                executing.add(pid)
+                return
+            # A new instance begins (same phase re-executed by a process
+            # that already participated, or a different phase).
+            overlap_with = executing - {pid}
+            if open_inst is not None and overlap_with:
+                v = Violation(
+                    kind="overlap",
+                    step=step,
+                    pid=pid,
+                    phase=phase,
+                    detail=(
+                        f"instance of phase {phase} begins while "
+                        f"{sorted(overlap_with)} still execute phase "
+                        f"{open_inst.phase}"
+                    ),
+                )
+                violations.append(v)
+                open_inst.flagged = True
+            close_open(step)
+            executing.intersection_update({pid})
+            ok = legal_open(phase)
+            open_inst = InstanceRecord(phase=phase, open_step=step)
+            open_inst.started.add(pid)
+            executing.add(pid)
+            if not ok:
+                violations.append(
+                    Violation(
+                        kind="wrong-phase",
+                        step=step,
+                        pid=pid,
+                        phase=phase,
+                        detail=(
+                            f"phase {phase} began after phase {current} "
+                            f"({'successful' if last_successful else 'unsuccessful'})"
+                        ),
+                    )
+                )
+                open_inst.flagged = True
+                # Resynchronize so one perturbation is not double counted.
+                current = phase
+                last_successful = False
+
+        def complete_execution(pid: int) -> None:
+            if open_inst is not None and pid in executing:
+                open_inst.completed.add(pid)
+            executing.discard(pid)
+
+        def abort_execution(pid: int) -> None:
+            executing.discard(pid)
+
+        # Processes already executing in the initial state participate in
+        # (possibly conflicting) instances from step 0.
+        for pid in range(self.nprocs):
+            if cp[pid] is CP.EXECUTE:
+                start_execution(pid, ph[pid], 0)
+
+        for ev in events:
+            pid = ev.pid
+            old_cp = cp[pid]
+            for var, value in ev.updates:
+                if var == self.cp_var:
+                    cp[pid] = value
+                elif var == self.ph_var:
+                    ph[pid] = value
+            new_cp = cp[pid]
+            if new_cp is CP.EXECUTE:
+                if old_cp is not CP.EXECUTE:
+                    start_execution(pid, ph[pid], ev.step)
+                elif ev.is_fault:
+                    # A fault "restarting" execution with corrupted state:
+                    # the old participation is lost, a fresh one begins.
+                    abort_execution(pid)
+                    start_execution(pid, ph[pid], ev.step)
+            elif old_cp is CP.EXECUTE:
+                if new_cp is CP.SUCCESS and not ev.is_fault:
+                    complete_execution(pid)
+                else:
+                    # error / repeat / ready, or any fault-driven exit:
+                    # partial execution.
+                    abort_execution(pid)
+
+        close_open(step=events[-1].step if events else 0)
+        return SpecReport(
+            nprocs=self.nprocs,
+            nphases=self.nphases,
+            instances=instances,
+            violations=violations,
+        )

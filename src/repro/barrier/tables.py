@@ -1,0 +1,104 @@
+"""Lookup-table compilation of the RB update rules (Section 8).
+
+"our program is concise and can be implemented as a simple table
+lookup.  Therefore, it can be implemented in the hardware."
+
+This module makes that claim executable: the follower (non-0) control
+position update is compiled into a table indexed by
+``(cp.j, cp.parent)``, and the root update into a table indexed by
+``(cp.0, finals-ready?, finals-success?, finals-in-phase?)``.  The test
+suite verifies the tables agree with the guarded-command statements on
+every input, and counts the bits of state per process (the paper's
+O(log N) claim).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.barrier.control import CP
+
+_ALL_CP = (CP.READY, CP.EXECUTE, CP.SUCCESS, CP.ERROR, CP.REPEAT)
+
+
+def follower_table() -> Mapping[tuple[CP, CP], CP]:
+    """``(cp.j, cp.parent) -> cp.j'`` for the superposed T2 statement.
+
+    Entries where the statement leaves cp unchanged map to the current
+    value, so the table is total (25 entries).
+    """
+    table: dict[tuple[CP, CP], CP] = {}
+    for current in _ALL_CP:
+        for upstream in _ALL_CP:
+            if current is CP.READY and upstream is CP.EXECUTE:
+                new = CP.EXECUTE
+            elif current is CP.EXECUTE and upstream is CP.SUCCESS:
+                new = CP.SUCCESS
+            elif current is not CP.EXECUTE and upstream is CP.READY:
+                new = CP.READY
+            elif current is CP.ERROR or upstream is not current:
+                new = CP.REPEAT
+            else:
+                new = current
+            table[(current, upstream)] = new
+    return table
+
+
+#: Root decision outcomes: what process 0 does upon receiving the token.
+ROOT_BEGIN = "begin-instance"  # cp.0 := execute
+ROOT_COMPLETE = "complete-phase"  # ph.0 += 1; cp.0 := ready
+ROOT_REEXECUTE = "re-execute"  # ph.0 := ph.final; cp.0 := ready
+ROOT_RECOVER = "recover"  # (error/repeat) ph.0 := ph.final; cp.0 := ready
+ROOT_IDLE = "idle"  # forward the token, change nothing
+
+
+def root_table() -> Mapping[tuple[CP, bool, bool, bool], str]:
+    """``(cp.0, finals_ready, finals_success, finals_in_phase) ->
+    decision`` for the superposed T1 statement."""
+    table: dict[tuple[CP, bool, bool, bool], str] = {}
+    for cp0 in _ALL_CP:
+        for ready in (False, True):
+            for success in (False, True):
+                for in_phase in (False, True):
+                    if cp0 is CP.READY:
+                        decision = (
+                            ROOT_BEGIN if ready and in_phase else ROOT_IDLE
+                        )
+                    elif cp0 is CP.EXECUTE:
+                        decision = ROOT_COMPLETE  # cp.0 := success; the
+                        # "complete" here is the execute->success step
+                    elif cp0 is CP.SUCCESS:
+                        decision = (
+                            ROOT_COMPLETE
+                            if success and in_phase
+                            else ROOT_REEXECUTE
+                        )
+                    else:  # error / repeat
+                        decision = ROOT_RECOVER
+                    table[(cp0, ready, success, in_phase)] = decision
+    return table
+
+
+# Naming nit: for cp0=EXECUTE the decision constant is reused to mean
+# "advance the root's own control position"; disambiguate for clients:
+def root_decision(cp0: CP, ready: bool, success: bool, in_phase: bool) -> str:
+    """Decision lookup with the EXECUTE case named explicitly."""
+    if cp0 is CP.EXECUTE:
+        return "to-success"
+    return root_table()[(cp0, ready, success, in_phase)]
+
+
+def state_bits(nprocs: int, nphases: int, k: int | None = None) -> int:
+    """Bits of protocol state per process (the paper's O(log N) claim).
+
+    A sequence number over {0..K-1, BOT, TOP}, a control position (5
+    values), and a phase (n values).
+    """
+    if k is None:
+        k = nprocs + 1
+    return (
+        math.ceil(math.log2(k + 2))
+        + math.ceil(math.log2(5))
+        + math.ceil(math.log2(max(nphases, 2)))
+    )

@@ -1,0 +1,220 @@
+"""Timed execution of the literal RB program (SIEFAST-style).
+
+The performance study (Section 6) attaches real-time values to the
+actions of RB and simulates it.  :mod:`repro.protosim` reproduces that
+with a dedicated event model; this module closes the loop from the
+other side: it takes the *guarded-command RB itself*, superposes the
+phase work explicitly, and runs it in the generic
+:class:`~repro.gc.timed.TimedSimulator` -- so the timing predictions can
+be cross-validated against both the analytical model and the protocol
+simulator from the paper's actual program text.
+
+The work superposition: each process gets a ``work`` variable
+(``idle -> pending -> done``).  Entering ``execute`` sets it to
+``pending``; a WORK action (duration: the unit phase time) completes
+it; and the token action that would move the process out of
+``execute`` is gated on ``work = done`` -- the token waits for the
+phase's computation, which is precisely how the ``1 + 3hc`` timing
+arises on a ring of height ``h = N - 1`` hops... with the ring's three
+circulations costing ``(N-1)c`` each from process 0's perspective plus
+the unit of work.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.barrier.control import CP
+from repro.barrier.rb import make_rb
+from repro.gc.actions import Action, StateView
+from repro.gc.domains import EnumDomain
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.state import State
+from repro.gc.timed import TimedResult, TimedSimulator
+
+WORK_DOMAIN = EnumDomain(("idle", "pending", "done"))
+
+
+def make_timed_rb(
+    nprocs: int | None = None,
+    nphases: int = 2,
+    k: int | None = None,
+    topology=None,
+) -> Program:
+    """RB with explicit phase work, ready for timed execution.
+
+    Defaults to a ring; pass a :class:`~repro.topology.graphs.Topology`
+    for the tree refinements.  Action kinds: T1/T2 are ``comm`` (cost:
+    the latency ``c``); the superposed WORK action is ``compute`` (cost:
+    the unit phase time); T3/T4/T5 are ``local`` (free).
+    """
+    base = make_rb(nprocs, topology=topology, nphases=nphases, k=k)
+    nprocs = base.nprocs
+
+    def make_gated(action: Action) -> Action:
+        """Gate a token action: while this process is in execute with
+        unfinished work, it holds the token."""
+
+        def guard(view: StateView, _g=action.guard) -> bool:
+            if view.my("cp") is CP.EXECUTE and view.my("work") != "done":
+                return False
+            return _g(view)
+
+        def stmt(view: StateView, _s=action.statement):
+            updates = list(_s(view))
+            new_cp = dict(updates).get("cp")
+            if new_cp is CP.EXECUTE:
+                updates.append(("work", "pending"))
+            elif new_cp is not None:
+                updates.append(("work", "idle"))
+            return updates
+
+        return Action(action.name, action.pid, guard, stmt, kind="comm")
+
+    def work_guard(view: StateView) -> bool:
+        if view.my("work") == "pending":
+            return True
+        # Stabilizing rule: an undetectable fault can strand a process
+        # in execute with work = idle, which would deadlock the token
+        # gate; treat that as work still owed.
+        return view.my("cp") is CP.EXECUTE and view.my("work") == "idle"
+
+    def work_stmt(view: StateView):
+        return [("work", "done")]
+
+    processes = []
+    for proc in base.processes:
+        actions = []
+        for action in proc.actions:
+            if action.name in ("T1", "T2"):
+                actions.append(make_gated(action))
+            else:
+                actions.append(action)
+        actions.append(
+            Action("WORK", proc.pid, work_guard, work_stmt, kind="compute")
+        )
+        processes.append(Process(proc.pid, tuple(actions)))
+
+    declarations = list(base.declarations) + [
+        VariableDecl("work", WORK_DOMAIN, "idle")
+    ]
+
+    base_initial = base.initial_state
+
+    def initial(program: Program) -> State:
+        b = base_initial()
+        vectors = {v: list(b.vector(v)) for v in b.variables}
+        vectors["work"] = ["idle"] * program.nprocs
+        return State(vectors, program.nprocs)
+
+    return Program(
+        f"TimedRB({base.metadata['topology'].name}-{nprocs})",
+        declarations,
+        processes,
+        initial_state=initial,
+        metadata=dict(base.metadata),
+    )
+
+
+def run_timed_rb(
+    nprocs: int,
+    latency: float,
+    phases: int,
+    nphases: int = 4,
+    work_time: float = 1.0,
+    seed: int | None = 0,
+    injector: Any = None,
+    max_time: float = 100_000.0,
+) -> tuple[TimedResult, Program]:
+    """Run the timed RB until process 0 completes ``phases`` barriers.
+
+    Returns the timed result and the program (for trace analysis).
+    Phase completions are counted as process 0's phase increments, read
+    from the recorded trace by :func:`completed_phases`.
+    """
+    program = make_timed_rb(nprocs, nphases=nphases)
+    sim = TimedSimulator(
+        program,
+        durations={"comm": latency, "compute": work_time, "local": 0.0},
+        seed=seed,
+        injector=injector,
+        record_trace=True,
+    )
+    target = phases
+
+    counter = {"count": 0, "last_ph": 0}
+
+    def stop(state: State, _now: float) -> bool:
+        ph0 = state.get("ph", 0)
+        if ph0 != counter["last_ph"]:
+            # Process 0's phase changed; count forward steps only.
+            if ph0 == (counter["last_ph"] + 1) % nphases:
+                counter["count"] += 1
+            counter["last_ph"] = ph0
+        return counter["count"] >= target
+
+    result = sim.run(max_time=max_time, stop=stop)
+    return result, program
+
+
+def timed_recovery(
+    nprocs: int,
+    latency: float,
+    trials: int = 20,
+    nphases: int = 4,
+    work_time: float = 1.0,
+    topology=None,
+    seed: int = 0,
+    max_time: float = 200.0,
+) -> list[float]:
+    """Figure 7 cross-check from the literal program: perturb the timed
+    RB to an arbitrary state and measure virtual time to a start state.
+
+    Returns the per-trial recovery times.  Unlike the protocol
+    simulator's recovery experiment there is no separate stage-1 charge:
+    the sequence-number stabilization happens *inside* the run, priced
+    by the same ``comm`` action costs.
+    """
+    import numpy as np
+
+    from repro.barrier.legitimacy import rb_start_state
+
+    program = make_timed_rb(nprocs, nphases=nphases, topology=topology)
+    topo = program.metadata["topology"]
+    k = program.metadata["sn_domain"].k
+    times: list[float] = []
+    base = np.random.SeedSequence(seed)
+    for child in base.spawn(trials):
+        trial_seed = int(child.generate_state(1)[0])
+        rng = np.random.default_rng(trial_seed)
+        state = program.arbitrary_state(rng)
+        sim = TimedSimulator(
+            program,
+            durations={"comm": latency, "compute": work_time, "local": 0.0},
+            seed=trial_seed,
+        )
+        result = sim.run(
+            state,
+            max_time=max_time,
+            stop=lambda s, _t: rb_start_state(s, topo, k),
+        )
+        if not result.reached:  # pragma: no cover - stabilization guard
+            raise AssertionError(
+                f"timed RB did not recover (nprocs={nprocs}, "
+                f"c={latency}, seed={trial_seed})"
+            )
+        times.append(result.time)
+    return times
+
+
+def completed_phases(result: TimedResult, nphases: int) -> int:
+    """Process 0's forward phase increments in a timed trace."""
+    count = 0
+    last = 0
+    for ev in result.trace.filter(pid=0):
+        for var, value in ev.updates:
+            if var == "ph":
+                if value == (last + 1) % nphases:
+                    count += 1
+                last = value
+    return count

@@ -1,0 +1,306 @@
+"""The underlying multitolerant token-ring program (Section 4.1).
+
+Each process ``j`` maintains a sequence number ``sn.j`` over
+``{0..K-1} + {BOT, TOP}`` with ``K > N``.  The five actions:
+
+``T1 :: j=0 and sn.N not in {BOT,TOP} and (sn.0 = sn.N or sn.0 in
+{BOT,TOP}) -> sn.0 := sn.N + 1``
+
+``T2 :: j!=0 and sn.(j-1) not in {BOT,TOP} and sn.j != sn.(j-1) ->
+sn.j := sn.(j-1)``
+
+``T3 :: sn.N = BOT -> sn.N := TOP``
+
+``T4 :: j != N and sn.j = BOT and sn.(j+1) = TOP -> sn.j := TOP``
+
+``T5 :: sn.0 = TOP -> sn.0 := 0``
+
+Token predicates (ring form): process ``j != N`` has the token iff
+``sn.j != sn.(j+1)`` with both ordinary; process ``N`` has the token iff
+``sn.N = sn.0`` with both ordinary.
+
+The program is written generically over a
+:class:`~repro.topology.graphs.Topology`: ``j-1`` generalizes to j's
+parent, ``j+1`` to j's children, ``N`` to the topology's *finals* (the
+paper's Section 4.2 items 1-4: the root checks all finals before T1, T3
+runs at every final, T4 at every non-final checking all its successors).
+The plain ring is the single-path topology.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.gc.actions import Action, StateView
+from repro.gc.domains import BOT, TOP, SequenceNumberDomain
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.state import State
+from repro.topology.graphs import Topology, ring
+
+
+def _ordinary(value: Any) -> bool:
+    return value is not BOT and value is not TOP
+
+
+def make_t1_guard(topology: Topology):
+    """Root receives the token: all finals ordinary and equal, and the
+    root's own number matches -- or the root's own number is corrupted
+    (BOT/TOP), in which case it re-seeds the circulation as soon as all
+    finals are ordinary, even if the branches disagree.  On the ring
+    (one final) this is exactly the paper's T1; on branching topologies
+    the relaxation is needed for convergence: with a corrupted root the
+    branches have no way to re-synchronize except through a fresh value
+    from the root."""
+    finals = topology.finals
+
+    def guard(view: StateView) -> bool:
+        final_sns = [view.of("sn", f) for f in finals]
+        if not all(_ordinary(snf) for snf in final_sns):
+            return False
+        mine = view.my("sn")
+        if not _ordinary(mine):
+            return True
+        first = final_sns[0]
+        return all(snf == first for snf in final_sns) and mine == first
+
+    return guard
+
+
+def make_t1_sn_stmt(topology: Topology, domain: SequenceNumberDomain):
+    final0 = topology.finals[0]
+
+    def stmt(view: StateView):
+        return [("sn", domain.succ(view.of("sn", final0)))]
+
+    return stmt
+
+
+def make_t2_guard(topology: Topology, pid: int):
+    parent = topology.parent[pid]
+
+    def guard(view: StateView) -> bool:
+        psn = view.of("sn", parent)
+        return _ordinary(psn) and view.my("sn") != psn
+
+    return guard
+
+
+def make_t2_sn_stmt(topology: Topology, pid: int):
+    parent = topology.parent[pid]
+
+    def stmt(view: StateView):
+        return [("sn", view.of("sn", parent))]
+
+    return stmt
+
+
+def _t3_guard(view: StateView) -> bool:
+    return view.my("sn") is BOT
+
+
+def _t3_stmt(view: StateView):
+    return [("sn", TOP)]
+
+
+def make_t4_guard(topology: Topology, pid: int, mode: str = "any"):
+    """T4: a corrupted (BOT) non-final adopts TOP from its successors.
+
+    On the ring each process has one successor, so "any" and "all" are
+    the same and both match the paper's T4.  On branching topologies the
+    paper's prose says "all its successors"; we default to "any" because
+    the "all" reading can freeze: a BOT node with one TOP child and one
+    ordinary child can neither flush (T4 blocked) nor heal (its own
+    parent may be corrupted too), a corner the single-successor ring
+    never exhibits.  With "any", a single surviving TOP still implies a
+    flush is in progress somewhere below, and detectable-fault safety is
+    unaffected because T4 still fires only at processes that are
+    themselves corrupted.
+    """
+    if mode not in ("any", "all"):
+        raise ValueError(f"t4 mode must be 'any' or 'all', got {mode!r}")
+    kids = topology.children[pid]
+    combine = any if mode == "any" else all
+
+    def guard(view: StateView) -> bool:
+        if view.my("sn") is not BOT:
+            return False
+        return bool(kids) and combine(
+            view.of("sn", c) is TOP for c in kids
+        )
+
+    return guard
+
+
+def _t4_stmt(view: StateView):
+    return [("sn", TOP)]
+
+
+def _t5_guard(view: StateView) -> bool:
+    return view.my("sn") is TOP
+
+
+def _t5_stmt(view: StateView):
+    return [("sn", 0)]
+
+
+def build_token_actions(
+    topology: Topology,
+    domain: SequenceNumberDomain,
+    pid: int,
+    t1_extra=None,
+    t2_extra=None,
+) -> list[Action]:
+    """The token actions of process ``pid``, optionally with superposed
+    statements executed in parallel with T1/T2 (how RB is built)."""
+    actions: list[Action] = []
+    is_final = pid in topology.finals
+    if pid == 0:
+        sn_stmt = make_t1_sn_stmt(topology, domain)
+        if t1_extra is not None:
+            extra = t1_extra
+
+            def t1_stmt(view: StateView, _sn=sn_stmt, _x=extra):
+                return list(_sn(view)) + list(_x(view) or [])
+
+        else:
+
+            def t1_stmt(view: StateView, _sn=sn_stmt):
+                return _sn(view)
+
+        actions.append(
+            Action("T1", 0, make_t1_guard(topology), t1_stmt, kind="comm")
+        )
+        actions.append(Action("T5", 0, _t5_guard, _t5_stmt, kind="local"))
+    else:
+        sn_stmt = make_t2_sn_stmt(topology, pid)
+        if t2_extra is not None:
+            extra = t2_extra
+
+            def t2_stmt(view: StateView, _sn=sn_stmt, _x=extra):
+                return list(_sn(view)) + list(_x(view) or [])
+
+        else:
+
+            def t2_stmt(view: StateView, _sn=sn_stmt):
+                return _sn(view)
+
+        actions.append(
+            Action("T2", pid, make_t2_guard(topology, pid), t2_stmt, kind="comm")
+        )
+    if is_final:
+        actions.append(Action("T3", pid, _t3_guard, _t3_stmt, kind="local"))
+    else:
+        actions.append(
+            Action("T4", pid, make_t4_guard(topology, pid), _t4_stmt, kind="comm")
+        )
+    return actions
+
+
+def make_token_ring(
+    nprocs: int | None = None,
+    topology: Topology | None = None,
+    k: int | None = None,
+) -> Program:
+    """Build the standalone token-ring program.
+
+    Either ``nprocs`` (plain ring) or an explicit ``topology`` must be
+    given.  ``k`` defaults to ``nprocs + 1`` (the paper requires
+    ``K > N``; note the paper's N is our ``nprocs - 1``).
+    """
+    if topology is None:
+        if nprocs is None:
+            raise ValueError("give nprocs or topology")
+        topology = ring(nprocs)
+    n = topology.nprocs
+    domain = SequenceNumberDomain(k if k is not None else n + 1)
+    declarations = [VariableDecl("sn", domain, 0)]
+    processes = [
+        Process(pid, tuple(build_token_actions(topology, domain, pid)))
+        for pid in range(n)
+    ]
+
+    def initial(program: Program) -> State:
+        return State.uniform(program, sn=0)
+
+    return Program(
+        f"TokenRing({topology.name})",
+        declarations,
+        processes,
+        initial_state=initial,
+        metadata={
+            "family": "tokenring",
+            "topology": topology,
+            "sn_domain": domain,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Token predicates (the paper's definitions, generalized)
+# ----------------------------------------------------------------------
+def holds_token(state: State, topology: Topology, pid: int) -> bool:
+    """Does ``pid`` hold the token?
+
+    Ring form: j != N holds it iff ``sn.j != sn.(j+1)`` (both ordinary);
+    N holds it iff ``sn.N = sn.0``.  Generalized: a non-final holds the
+    token iff its value is ordinary and differs from some child's
+    ordinary value... conservatively, iff some child still has to copy
+    (``sn.child != sn.j``); a final holds it iff its ordinary value
+    equals the root's ordinary value.
+    """
+    sn = state.get("sn", pid)
+    if not _ordinary(sn):
+        return False
+    kids = topology.children[pid]
+    if kids:
+        for c in kids:
+            snc = state.get("sn", c)
+            if not _ordinary(snc):
+                return False
+        return any(state.get("sn", c) != sn for c in kids)
+    sn0 = state.get("sn", 0)
+    return _ordinary(sn0) and sn == sn0
+
+
+def token_count(state: State, topology: Topology) -> int:
+    """Number of processes currently holding a token.
+
+    On a branching topology a single logical circulation shows one token
+    per active branch; on the plain ring this is the paper's token count
+    (exactly 1 in legitimate states).
+    """
+    return sum(
+        holds_token(state, topology, pid) for pid in range(topology.nprocs)
+    )
+
+
+def sn_all_ordinary(state: State, nprocs: int) -> bool:
+    """No sequence number is BOT or TOP."""
+    return all(_ordinary(state.get("sn", p)) for p in range(nprocs))
+
+
+def ring_legitimate_sn(state: State, topology: Topology, k: int) -> bool:
+    """Legitimate sequence-number configurations.
+
+    For each process the value must equal either the root's value or its
+    parent's value, and along every root-to-final path the values form a
+    prefix of the root's value ``v`` followed by a suffix of ``v - 1``
+    (mod K).  On the plain ring this is exactly 'at most two consecutive
+    values, new prefix then old suffix', which implies exactly one token.
+    """
+    if not sn_all_ordinary(state, topology.nprocs):
+        return False
+    v = state.get("sn", 0)
+    prev = (v - 1) % k
+    depth = topology.depth
+    for pid in range(1, topology.nprocs):
+        sn = state.get("sn", pid)
+        if sn not in (v, prev):
+            return False
+        parent_sn = state.get("sn", topology.parent[pid])
+        # The new value propagates downward: a process can hold the new
+        # value only if its parent already does.
+        if sn == v and parent_sn != v:
+            return False
+        _ = depth  # depth retained for future diagnostics
+    return True

@@ -1,0 +1,122 @@
+"""Event queue and virtual clock.
+
+Deterministic given the seed: ties in event time break by insertion
+order, and randomness flows through named, independently-seeded RNG
+streams (so adding a consumer of randomness never perturbs another
+stream's draws -- a standard reproducibility idiom for simulation
+studies).
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulation:
+    """A discrete-event simulation: schedule callbacks, run the clock."""
+
+    def __init__(self, seed: Any = None) -> None:
+        self._heap: list[Event] = []
+        self._seq = count()
+        self._now = 0.0
+        self._seed_seq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        self._streams: dict[str, np.random.Generator] = {}
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def rng(self, stream: str = "default") -> np.random.Generator:
+        """Named RNG stream, seeded independently of all other streams."""
+        gen = self._streams.get(stream)
+        if gen is None:
+            # Stable across interpreter launches (Python's str hash is
+            # salted; that would silently break run-to-run determinism).
+            key = zlib.crc32(stream.encode("utf-8"))
+            child = np.random.SeedSequence(
+                entropy=self._seed_seq.entropy,
+                spawn_key=(key,),
+            )
+            gen = np.random.default_rng(child)
+            self._streams[stream] = gen
+        return gen
+
+    # ------------------------------------------------------------------
+    def at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self._now})"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, callback)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event; return False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        stop: Callable[[], bool] | None = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``stop``
+        returns True; returns the final virtual time."""
+        for _ in range(max_events):
+            if stop is not None and stop():
+                return self._now
+            if not self._heap:
+                return self._now
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return self._now
+            self.step()
+        raise SimulationError(f"exceeded max_events={max_events}")
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,166 @@
+"""Simulated point-to-point links.
+
+A :class:`Network` owns the links between node ids.  Each link delivers
+messages after its latency, in FIFO order by default, and can inject the
+paper's communication fault classes: loss, duplication, reorder, and
+corruption (all *detectable* faults in the paper's taxonomy -- the
+receiver can discard/flag them, which is exactly how the simulated MPI
+layer treats them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.des.core import Simulation
+from repro.errors import SimulationError
+
+
+@dataclass
+class Message:
+    """A message in flight."""
+
+    src: int
+    dst: int
+    payload: Any
+    tag: int = 0
+    corrupted: bool = False
+    duplicate: bool = False
+    send_time: float = 0.0
+
+
+@dataclass
+class LinkFaults:
+    """Per-link message-fault rates (independent per message)."""
+
+    loss: float = 0.0
+    duplication: float = 0.0
+    corruption: float = 0.0
+    reorder: float = 0.0  # probability of extra, random delivery delay
+    reorder_delay: float = 4.0  # in multiples of the link latency
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplication", "corruption", "reorder"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} rate out of [0,1]: {v}")
+
+
+class Link:
+    """A unidirectional link with fixed latency and optional faults."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        src: int,
+        dst: int,
+        latency: float,
+        faults: LinkFaults | None = None,
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative latency {latency}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.faults = faults or LinkFaults()
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def send(
+        self, payload: Any, deliver: Callable[[Message], None], tag: int = 0
+    ) -> None:
+        """Send ``payload``; ``deliver`` fires at the receiver after the
+        latency (possibly never / twice / corrupted, per the fault rates).
+        """
+        rng = self.sim.rng("network")
+        self.sent += 1
+        msg = Message(
+            src=self.src,
+            dst=self.dst,
+            payload=payload,
+            tag=tag,
+            send_time=self.sim.now,
+        )
+        f = self.faults
+        if f.loss and rng.random() < f.loss:
+            self.lost += 1
+            return
+        delay = self.latency
+        if f.reorder and rng.random() < f.reorder:
+            delay += rng.random() * f.reorder_delay * max(self.latency, 1e-9)
+        if f.corruption and rng.random() < f.corruption:
+            msg.corrupted = True
+
+        def _deliver(m: Message = msg) -> None:
+            self.delivered += 1
+            deliver(m)
+
+        self.sim.after(delay, _deliver)
+        if f.duplication and rng.random() < f.duplication:
+            dup = Message(
+                src=msg.src,
+                dst=msg.dst,
+                payload=msg.payload,
+                tag=msg.tag,
+                corrupted=msg.corrupted,
+                duplicate=True,
+                send_time=msg.send_time,
+            )
+
+            def _deliver_dup(m: Message = dup) -> None:
+                self.delivered += 1
+                deliver(m)
+
+            self.sim.after(delay + self.latency, _deliver_dup)
+
+
+class Network:
+    """A mesh of links keyed by ``(src, dst)``; missing links are created
+    on demand with the default latency."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        default_latency: float = 0.0,
+        default_faults: LinkFaults | None = None,
+    ) -> None:
+        self.sim = sim
+        self.default_latency = default_latency
+        self.default_faults = default_faults
+        self._links: dict[tuple[int, int], Link] = {}
+
+    def link(self, src: int, dst: int) -> Link:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(
+                self.sim, src, dst, self.default_latency, self.default_faults
+            )
+            self._links[key] = link
+        return link
+
+    def set_link(self, src: int, dst: int, latency: float, faults=None) -> Link:
+        link = Link(self.sim, src, dst, latency, faults)
+        self._links[(src, dst)] = link
+        return link
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        deliver: Callable[[Message], None],
+        tag: int = 0,
+    ) -> None:
+        self.link(src, dst).send(payload, deliver, tag)
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(l.sent for l in self._links.values())
+
+    @property
+    def messages_lost(self) -> int:
+        return sum(l.lost for l in self._links.values())

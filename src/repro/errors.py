@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all repro-specific errors."""
+
+
+class SpecificationViolation(ReproError):
+    """A barrier-synchronization Safety or Progress violation was
+    detected by the specification oracle."""
+
+
+class FatalFaultError(ReproError):
+    """An uncorrectable fault was detected (Section 7, bottom row of
+    Table 1): the program reports a fatal error and stops -- the
+    fail-safe guarantee is that it never *wrongly* reports completion."""
+
+
+class SimulationError(ReproError):
+    """A simulator invariant broke (event ordering, domain violation...)."""
+
+
+class TopologyError(ReproError):
+    """An invalid topology was supplied (disconnected graph, bad tree)."""

@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+::
+
+    repro-experiments all
+    repro-experiments fig5 --phases 500 --seed 7
+    python -m repro.experiments fig7 --trials 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'Low-cost Fault-tolerance in "
+            "Barrier Synchronizations' (Kulkarni & Arora, ICPP 1998)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--phases",
+        type=int,
+        default=None,
+        help="successful phases per simulated point (fig5/fig6)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="perturbation trials per point (fig7)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render an ASCII chart of each figure's series",
+    )
+    return parser
+
+
+def _kwargs_for(exp_id: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if exp_id in ("fig5", "fig6", "fig7", "table1", "sensitivity"):
+        kwargs["seed"] = args.seed
+    if exp_id in ("fig5", "fig6") and args.phases is not None:
+        kwargs["phases"] = args.phases
+    if exp_id == "fig7" and args.trials is not None:
+        kwargs["trials"] = args.trials
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in targets:
+        start = time.perf_counter()
+        result = run_experiment(exp_id, **_kwargs_for(exp_id, args))
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        if args.chart and exp_id not in ("table1", "sensitivity"):
+            print()
+            print(chart_of(result))
+        print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+def chart_of(result) -> str:
+    """ASCII chart of an experiment's numeric series (first column is
+    the x axis; the remaining numeric columns are the series)."""
+    from repro.viz.chart import ascii_chart
+
+    x = [float(v) for v in result.column(result.columns[0])]
+    series = {
+        name: [float(v) for v in result.column(name)]
+        for name in result.columns[1:]
+        if all(isinstance(v, (int, float)) for v in result.column(name))
+    }
+    return ascii_chart(x, series, title=result.title)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

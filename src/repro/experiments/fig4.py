@@ -1,0 +1,36 @@
+"""Figure 4: analytical overhead of fault-tolerance.
+
+Fractional overhead of the fault-tolerant barrier over the intolerant
+baseline vs latency ``c``, one series per fault frequency ``f``, for 32
+processes (h = 5).  The paper's quoted points at c = 0.01: 4.5% (f=0),
+5.7% (f=0.01), <=10.8% (f=0.05).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.model import overhead
+from repro.experiments.report import ExperimentResult
+
+DEFAULT_C = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
+DEFAULT_F = (0.0, 0.01, 0.05)
+
+
+def run(
+    h: int = 5,
+    c_values: Sequence[float] = DEFAULT_C,
+    f_values: Sequence[float] = DEFAULT_F,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig4",
+        title="Analytical: overhead of fault-tolerance (h=%d)" % h,
+        columns=("c",) + tuple(f"f={f:g}" for f in f_values),
+        paper_claims=[
+            "overhead at c=0.01: 4.5% (f=0), 5.7% (f=0.01), <=10.8% (f=0.05)",
+            "overhead grows with f (proportionally) and with c",
+        ],
+    )
+    for c in c_values:
+        result.add(c, *(overhead(h, c, f) for f in f_values))
+    return result

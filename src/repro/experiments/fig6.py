@@ -1,0 +1,61 @@
+"""Figure 6: simulated overhead of fault-tolerance.
+
+The same sweep as Figure 4, measured on the timed simulations (the
+fault-tolerant barrier under faults vs the intolerant baseline without,
+as the paper compares).  The paper: "the overhead in the simulated
+program is less than that predicted by analytical results ... if the
+fault occurs early on in the phase ... processes may complete an
+unsuccessful instance of the phase quickly."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.model import overhead as analytic_overhead
+from repro.experiments.report import ExperimentResult
+from repro.protosim.intolerant import IntolerantTreeBarrierSim
+from repro.protosim.metrics import overhead_vs_baseline
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+
+DEFAULT_C = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
+DEFAULT_F = (0.0, 0.01, 0.05)
+
+
+def simulate_overhead(h: int, c: float, f: float, phases: int, seed: int) -> float:
+    ft = FTTreeBarrierSim(
+        nprocs=2**h,
+        config=SimConfig(latency=c, fault_frequency=f, seed=seed),
+    )
+    ft_metrics = ft.run(phases=phases, max_time=phases * 40.0)
+    base = IntolerantTreeBarrierSim(nprocs=2**h, latency=c, seed=seed)
+    base_metrics = base.run(phases=phases, max_time=phases * 40.0)
+    return overhead_vs_baseline(
+        ft_metrics.time_per_phase, base_metrics.time_per_phase
+    )
+
+
+def run(
+    h: int = 5,
+    c_values: Sequence[float] = DEFAULT_C,
+    f_values: Sequence[float] = DEFAULT_F,
+    phases: int = 300,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig6",
+        title="Simulated: overhead of fault-tolerance (h=%d)" % h,
+        columns=("c",)
+        + tuple(f"f={f:g} sim" for f in f_values)
+        + tuple(f"f={f:g} analytic" for f in f_values),
+        paper_claims=[
+            "simulated overhead <= analytical overhead (early abort of "
+            "failed instances)",
+        ],
+        notes=[f"{phases} successful phases per point, seed={seed}"],
+    )
+    for c in c_values:
+        sims = [simulate_overhead(h, c, f, phases, seed) for f in f_values]
+        analytics = [analytic_overhead(h, c, f) for f in f_values]
+        result.add(c, *sims, *analytics)
+    return result

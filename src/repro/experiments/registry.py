@@ -1,0 +1,29 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, sensitivity, table1
+from repro.experiments.report import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table1": table1.run,
+    "sensitivity": sensitivity.run,
+}
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,73 @@
+"""Result containers and plain-text rendering for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure, as rows of data."""
+
+    exp_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    paper_claims: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    header = [str(c) for c in result.columns]
+    body = [[_fmt(v) for v in row] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    if result.paper_claims:
+        lines.append("paper claims:")
+        lines.extend(f"  * {c}" for c in result.paper_claims)
+    if result.notes:
+        lines.append("notes:")
+        lines.extend(f"  * {n}" for n in result.notes)
+    return "\n".join(lines)
+
+
+def shape_check(
+    xs: Sequence[float], ys: Sequence[float], nondecreasing: bool = True, tol: float = 1e-9
+) -> bool:
+    """Is the series monotone (the 'shape' assertions in the tests)?"""
+    if len(xs) != len(ys):
+        raise ValueError("length mismatch")
+    pairs = sorted(zip(xs, ys))
+    values = [y for _x, y in pairs]
+    if nondecreasing:
+        return all(b >= a - tol for a, b in zip(values, values[1:]))
+    return all(b <= a + tol for a, b in zip(values, values[1:]))

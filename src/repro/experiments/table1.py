@@ -1,0 +1,138 @@
+"""Table 1: fault classification and appropriate tolerances -- executed.
+
+Beyond rendering the classification, each row is *demonstrated* on a
+live program:
+
+* trivially masking -- ECC-corrected message corruption: the simulated
+  MPI job computes the right answer with zero application-visible
+  effect;
+* masking -- CB under detectable faults: zero specification violations;
+* stabilizing -- CB from an arbitrary state: convergence to the
+  legitimate set;
+* fail-safe -- CB with an uncorrectable crash: no barrier after the
+  crash ever completes (and none completes incorrectly);
+* intolerant -- an uncorrectable undetectable (Byzantine) process:
+  the specification is (expectedly) violated or progress lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.barrier.cb import cb_detectable_fault, cb_undetectable_fault, make_cb
+from repro.barrier.legitimacy import cb_legitimate
+from repro.barrier.spec import BarrierSpecChecker
+from repro.experiments.report import ExperimentResult
+from repro.extensions.classification import table1_rows
+from repro.extensions.crash import byzantine_fault, crash_fault, with_byzantine, with_crash
+from repro.extensions.failsafe import FailSafeMonitor, make_failsafe_cb
+from repro.gc.faults import BernoulliSchedule, FaultInjector, OneShotSchedule
+from repro.gc.properties import converges
+from repro.gc.scheduler import RandomFairDaemon
+from repro.gc.simulator import Simulator
+
+
+def _demo_trivially_masking(seed: int) -> str:
+    from repro.des.network import LinkFaults
+    from repro.simmpi import Runtime
+
+    def worker(comm):
+        total = 0
+        for _ in range(5):
+            yield comm.compute(0.5)
+            total += (yield comm.allreduce(1, op="sum"))
+        return total
+
+    # Corruption is corrected immediately (ECC): modelled as a corrupted
+    # delivery that the transport layer repairs via retransmission, with
+    # no application-visible effect.
+    rt = Runtime(
+        nprocs=8,
+        seed=seed,
+        link_faults=LinkFaults(corruption=0.05),
+    )
+    results = rt.run(worker)
+    ok = all(r == 5 * 8 for r in results)
+    return "every rank correct" if ok else "FAILED"
+
+
+def _demo_masking(seed: int) -> str:
+    program = make_cb(4, 3)
+    injector = FaultInjector(
+        program, cb_detectable_fault(), BernoulliSchedule(0.02), seed=seed
+    )
+    sim = Simulator(program, RandomFairDaemon(seed=seed), injector=injector)
+    run = sim.run(max_steps=8000)
+    report = BarrierSpecChecker(4, 3).check(run.trace, program.initial_state())
+    return (
+        f"{injector.count} faults, {len(report.violations)} violations, "
+        f"{report.phases_completed} barriers"
+    )
+
+
+def _demo_stabilizing(seed: int) -> str:
+    program = make_cb(4, 3)
+    rng = np.random.default_rng(seed)
+    ok = sum(
+        converges(
+            program,
+            program.arbitrary_state(rng),
+            lambda s: cb_legitimate(s, 3),
+            max_steps=5000,
+        )
+        for _ in range(20)
+    )
+    return f"{ok}/20 arbitrary states converged"
+
+
+def _demo_fail_safe(seed: int) -> str:
+    program = make_failsafe_cb(4, 2)
+    injector = FaultInjector(
+        program, crash_fault(), OneShotSchedule(at_step=60), seed=seed
+    )
+    sim = Simulator(program, RandomFairDaemon(seed=seed), injector=injector)
+    run = sim.run(max_steps=4000)
+    verdict = FailSafeMonitor(4, 2).verdict(
+        run.trace, program.initial_state(), run.state
+    )
+    return (
+        f"crashed={verdict.crashed}, safety_ok={verdict.safety_ok}, "
+        f"completions after crash={verdict.completions_after_crash}"
+    )
+
+
+def _demo_intolerant(seed: int) -> str:
+    program = with_byzantine(make_cb(3, 2))
+    injector = FaultInjector(
+        program, byzantine_fault(), OneShotSchedule(at_step=40), seed=seed
+    )
+    sim = Simulator(program, RandomFairDaemon(seed=seed), injector=injector)
+    run = sim.run(max_steps=4000)
+    report = BarrierSpecChecker(3, 2).check(run.trace, program.initial_state())
+    return (
+        f"violations={len(report.violations)} (no tolerance is possible; "
+        "spec violations expected)"
+    )
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Fault classification, appropriate tolerance, demonstration",
+        columns=("correctability", "detectable", "undetectable"),
+        paper_claims=[
+            "each fault class receives the appropriate tolerance",
+        ],
+    )
+    for row in table1_rows():
+        result.add(*row)
+    result.notes.extend(
+        [
+            f"trivially-masking demo: {_demo_trivially_masking(seed)}",
+            f"masking demo: {_demo_masking(seed)}",
+            f"stabilizing demo: {_demo_stabilizing(seed)}",
+            f"fail-safe demo: {_demo_fail_safe(seed)}",
+            f"intolerant demo: {_demo_intolerant(seed)}",
+        ]
+    )
+    return result

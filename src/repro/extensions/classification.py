@@ -1,0 +1,143 @@
+"""Table 1: classification of faults and the appropriate tolerances.
+
+==============  ==================  =============
+Correctability  Detectable          Undetectable
+==============  ==================  =============
+Immediately     trivially masking   (same row: pretend the fault away)
+Eventually      masking             stabilizing
+Uncorrectable   fail-safe           intolerant
+==============  ==================  =============
+
+The paper's main program covers the middle row; immediately-correctable
+faults are handled trivially (e.g. ECC-corrected message corruption);
+for uncorrectable detectable faults the program is extended to report a
+fatal error and stop -- fail-safe -- and for uncorrectable undetectable
+faults no tolerance is possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Detectability(enum.Enum):
+    DETECTABLE = "detectable"
+    UNDETECTABLE = "undetectable"
+
+
+class Correctability(enum.Enum):
+    IMMEDIATE = "immediately-correctable"
+    EVENTUAL = "eventually-correctable"
+    UNCORRECTABLE = "uncorrectable"
+
+
+class Tolerance(enum.Enum):
+    TRIVIALLY_MASKING = "trivially-masking"
+    MASKING = "masking"
+    STABILIZING = "stabilizing"
+    FAIL_SAFE = "fail-safe"
+    INTOLERANT = "intolerant"
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    """One cell of Table 1."""
+
+    detectability: Detectability
+    correctability: Correctability
+
+    @property
+    def tolerance(self) -> Tolerance:
+        return appropriate_tolerance(self.detectability, self.correctability)
+
+
+def appropriate_tolerance(
+    detectability: Detectability, correctability: Correctability
+) -> Tolerance:
+    """Table 1's mapping from fault class to appropriate tolerance."""
+    if correctability is Correctability.IMMEDIATE:
+        # Correction can be modelled as simultaneous with occurrence, so
+        # the program may pretend the fault does not exist.
+        return Tolerance.TRIVIALLY_MASKING
+    if correctability is Correctability.EVENTUAL:
+        if detectability is Detectability.DETECTABLE:
+            return Tolerance.MASKING
+        return Tolerance.STABILIZING
+    # Uncorrectable.
+    if detectability is Detectability.DETECTABLE:
+        return Tolerance.FAIL_SAFE
+    return Tolerance.INTOLERANT
+
+
+#: The paper's Section 1/2 examples of standard fault types, classified.
+STANDARD_FAULTS: dict[str, FaultClass] = {
+    # Communication faults
+    "message-loss": FaultClass(Detectability.DETECTABLE, Correctability.EVENTUAL),
+    "message-corruption-detected": FaultClass(
+        Detectability.DETECTABLE, Correctability.EVENTUAL
+    ),
+    "message-corruption-ecc": FaultClass(
+        Detectability.DETECTABLE, Correctability.IMMEDIATE
+    ),
+    "message-corruption-undetected": FaultClass(
+        Detectability.UNDETECTABLE, Correctability.EVENTUAL
+    ),
+    "message-duplication": FaultClass(
+        Detectability.DETECTABLE, Correctability.EVENTUAL
+    ),
+    "message-reorder": FaultClass(Detectability.DETECTABLE, Correctability.EVENTUAL),
+    "unexpected-reception": FaultClass(
+        Detectability.DETECTABLE, Correctability.EVENTUAL
+    ),
+    # Processor faults
+    "fail-stop": FaultClass(Detectability.DETECTABLE, Correctability.EVENTUAL),
+    "reboot": FaultClass(Detectability.DETECTABLE, Correctability.EVENTUAL),
+    "permanent-crash": FaultClass(
+        Detectability.DETECTABLE, Correctability.UNCORRECTABLE
+    ),
+    # Process faults
+    "design-error": FaultClass(Detectability.UNDETECTABLE, Correctability.EVENTUAL),
+    "hanging-process": FaultClass(
+        Detectability.UNDETECTABLE, Correctability.EVENTUAL
+    ),
+    "byzantine": FaultClass(
+        Detectability.UNDETECTABLE, Correctability.UNCORRECTABLE
+    ),
+    # System faults
+    "memory-leak": FaultClass(Detectability.UNDETECTABLE, Correctability.EVENTUAL),
+    "memory-corruption": FaultClass(
+        Detectability.UNDETECTABLE, Correctability.EVENTUAL
+    ),
+    "io-error": FaultClass(Detectability.DETECTABLE, Correctability.EVENTUAL),
+    "reconfiguration": FaultClass(
+        Detectability.DETECTABLE, Correctability.EVENTUAL
+    ),
+    # Performance faults
+    "floating-point-exception": FaultClass(
+        Detectability.DETECTABLE, Correctability.EVENTUAL
+    ),
+    "transient-state-corruption": FaultClass(
+        Detectability.UNDETECTABLE, Correctability.EVENTUAL
+    ),
+}
+
+
+def classify(fault_name: str) -> FaultClass:
+    """Look up a standard fault type; raises KeyError for unknown names."""
+    try:
+        return STANDARD_FAULTS[fault_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault {fault_name!r}; known: {sorted(STANDARD_FAULTS)}"
+        ) from None
+
+
+def table1_rows() -> list[tuple[str, str, str]]:
+    """The rendered Table 1 (correctability, detectable, undetectable)."""
+    rows = []
+    for corr in Correctability:
+        det_tol = appropriate_tolerance(Detectability.DETECTABLE, corr)
+        undet_tol = appropriate_tolerance(Detectability.UNDETECTABLE, corr)
+        rows.append((corr.value, det_tol.value, undet_tol.value))
+    return rows

@@ -1,0 +1,83 @@
+"""Atomic commitment instantiated from the barrier program (Section 7).
+
+"To obtain an atomic commitment program, we allow each subtransaction
+to change its control position from execute to success if that
+subtransaction has completed successfully.  Otherwise, it changes its
+control position to error."
+
+A transaction is one phase; each rank executes its subtransaction and
+votes; a NO vote plays the role of the detectable ``error`` -- the
+transaction's instance fails and (in TOLERATE spirit) is retried, so
+transaction ``j+1`` executes only after transaction ``j`` commits.
+
+:func:`run_transactions` drives this on the simulated MPI runtime: the
+vote aggregation is an ``allreduce(min)`` (commit iff everyone voted
+yes) and the barrier semantics guarantee no rank starts transaction
+``j+1`` before ``j`` commits everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.simmpi.runtime import Comm, Runtime
+
+#: vote_fn(rank, transaction_index, attempt) -> bool (yes/no)
+VoteFn = Callable[[int, int, int], bool]
+
+
+@dataclass
+class TransactionOutcome:
+    """History of one transaction across its attempts."""
+
+    index: int
+    attempts: int = 0
+    committed: bool = False
+    votes: list[tuple[bool, ...]] = field(default_factory=list)
+
+
+def commit_protocol(comm: Comm, ntransactions: int, vote_fn: VoteFn, max_attempts: int = 50):
+    """The per-rank generator: run ``ntransactions`` transactions, each
+    retried until every subtransaction succeeds (votes yes)."""
+    log: list[TransactionOutcome] = []
+    for t in range(ntransactions):
+        outcome = TransactionOutcome(index=t)
+        for attempt in range(max_attempts):
+            outcome.attempts += 1
+            yield comm.compute(0.1)  # execute the subtransaction
+            vote = bool(vote_fn(comm.rank, t, attempt))
+            all_yes = yield comm.allreduce(1 if vote else 0, op="min")
+            if all_yes == 1:
+                outcome.committed = True
+                break
+            # A NO vote is the detectable error: re-execute the
+            # transaction (new instance of the same phase).
+        if not outcome.committed:
+            raise RuntimeError(
+                f"transaction {t} did not commit in {max_attempts} attempts"
+            )
+        log.append(outcome)
+        yield comm.barrier()  # transaction boundary
+    return log
+
+
+def run_transactions(
+    nprocs: int,
+    ntransactions: int,
+    vote_fn: VoteFn,
+    latency: float = 0.01,
+    seed: int = 0,
+    max_attempts: int = 50,
+    **runtime_kwargs,
+) -> list[list[TransactionOutcome]]:
+    """Run the commit protocol; returns each rank's transaction log.
+
+    The logs agree across ranks on commit order and attempt counts
+    (asserted by the test-suite), which is the atomic-commitment
+    guarantee inherited from the barrier's Safety.
+    """
+    runtime = Runtime(nprocs, latency=latency, seed=seed, **runtime_kwargs)
+    return runtime.run(
+        lambda comm: commit_protocol(comm, ntransactions, vote_fn, max_attempts)
+    )

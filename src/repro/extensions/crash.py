@@ -1,0 +1,149 @@
+"""Crash and Byzantine faults via auxiliary variables (Section 7).
+
+"A fault such as a permanent crash of a processor or a fault that
+causes a process to become Byzantine seems to corrupt actions -- as
+opposed to variables ... It is, however, possible to represent the
+corruption of actions by faults that corrupt variables, by introducing
+so-called auxiliary variables."
+
+* :func:`with_crash` adds a boolean ``up`` per process; every program
+  action is guarded by ``up``.  The crash fault sets ``up := false``;
+  the (optional) repair fault restarts the process with reset state
+  (``up := true`` plus the program's detectable reset), modelling
+  "restart all fail-stopped processes of that processor on some other
+  processor -- albeit with different states".
+* :func:`with_byzantine` adds a boolean ``good``; while ``good`` holds
+  the process runs its normal actions; when a fault sets ``good :=
+  false`` an extra always-enabled action assigns nondeterministic values
+  to the process's variables (Byzantine behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.gc.actions import Action, StateView
+from repro.gc.domains import EnumDomain
+from repro.gc.faults import FaultSpec
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.state import State
+
+BOOL_DOMAIN = EnumDomain((False, True))
+
+
+def _guarded(action: Action, aux: str) -> Action:
+    """Wrap an action so it is enabled only while ``aux`` holds."""
+
+    def guard(view: StateView, _g=action.guard) -> bool:
+        return bool(view.my(aux)) and _g(view)
+
+    return Action(
+        action.name,
+        action.pid,
+        guard,
+        action.statement,
+        kind=action.kind,
+        duration=action.duration,
+    )
+
+
+def _extend(
+    program: Program,
+    name: str,
+    aux: str,
+    extra_actions: Mapping[int, list[Action]] | None = None,
+) -> Program:
+    declarations = list(program.declarations) + [
+        VariableDecl(aux, BOOL_DOMAIN, True)
+    ]
+    processes = []
+    for proc in program.processes:
+        actions = [_guarded(a, aux) for a in proc.actions]
+        if extra_actions:
+            actions.extend(extra_actions.get(proc.pid, []))
+        processes.append(Process(proc.pid, tuple(actions)))
+
+    base_initial = program.initial_state
+
+    def initial(p: Program) -> State:
+        base = base_initial()
+        vectors = {v: list(base.vector(v)) for v in base.variables}
+        vectors[aux] = [True] * p.nprocs
+        return State(vectors, p.nprocs)
+
+    return Program(
+        name, declarations, processes, initial_state=initial, metadata=dict(program.metadata)
+    )
+
+
+# ----------------------------------------------------------------------
+# Crash
+# ----------------------------------------------------------------------
+def with_crash(program: Program) -> Program:
+    """The ``up``-guarded version of ``program``."""
+    return _extend(program, f"{program.name}+crash", "up")
+
+
+def crash_fault() -> FaultSpec:
+    """Permanent (until repaired) crash: ``up := false``."""
+    return FaultSpec(name="crash", resets={"up": False}, detectable=True)
+
+
+def repair_fault(reset: FaultSpec) -> FaultSpec:
+    """Repair a crashed process: ``up := true`` plus the program's own
+    detectable reset (the restarted process has a fresh, reset state)."""
+    resets = dict(reset.resets)
+    resets["up"] = True
+    return FaultSpec(
+        name=f"repair+{reset.name}",
+        resets=resets,
+        randomized=tuple(reset.randomized),
+        detectable=True,
+    )
+
+
+def crashed_processes(state: State) -> list[int]:
+    return [p for p in range(state.nprocs) if not state.get("up", p)]
+
+
+# ----------------------------------------------------------------------
+# Byzantine
+# ----------------------------------------------------------------------
+def with_byzantine(program: Program) -> Program:
+    """The ``good``-guarded version of ``program`` with a Byzantine
+    action per process (enabled while ``good`` is false) that assigns
+    nondeterministic values to the process's program variables."""
+    base_vars = [(d.name, d.domain) for d in program.declarations]
+
+    def byz_guard(view: StateView) -> bool:
+        return not view.my("good")
+
+    def byz_stmt(view: StateView):
+        updates: list[tuple[str, Any]] = []
+        for name, domain in base_vars:
+            values = list(domain.values())
+            updates.append((name, view.choose(values)))
+        return updates
+
+    extra = {
+        pid: [Action("BYZ", pid, byz_guard, byz_stmt, kind="local")]
+        for pid in range(program.nprocs)
+    }
+    return _extend(program, f"{program.name}+byzantine", "good", extra)
+
+
+def byzantine_fault() -> FaultSpec:
+    """Turn a process Byzantine: ``good := false``."""
+    return FaultSpec(name="byzantine", resets={"good": False}, detectable=False)
+
+
+def byzantine_repair(reset: FaultSpec) -> FaultSpec:
+    """Restore a Byzantine process with a reset state."""
+    resets = dict(reset.resets)
+    resets["good"] = True
+    return FaultSpec(
+        name=f"byz-repair+{reset.name}",
+        resets=resets,
+        randomized=tuple(reset.randomized),
+        detectable=True,
+    )

@@ -1,0 +1,87 @@
+"""Fail-safe tolerance for uncorrectable detectable faults (Section 7).
+
+"If a fault is uncorrectable, it may be impossible to guarantee that
+Progress is satisfied.  Still, if the fault is at least immediately
+detectable, it is possible to ensure that Safety is always satisfied
+... the program guarantees that it never reports a completion of a
+barrier incorrectly.  But the program may not always report a
+completion in the presence of faults."
+
+We realise this as the crash-extended CB *without* repair: the crash is
+uncorrectable, the crashed process never acts again, and the remaining
+processes block rather than complete a barrier without it.  The
+:class:`FailSafeMonitor` watches a run and reports the fatal error to
+the application (the paper's "report a fatal error and stop") while
+certifying that no barrier was ever reported complete incorrectly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.barrier.cb import make_cb
+from repro.barrier.spec import BarrierSpecChecker, SpecReport
+from repro.extensions.crash import crashed_processes, with_crash
+from repro.gc.program import Program
+from repro.gc.state import State
+from repro.gc.trace import Trace
+
+
+def make_failsafe_cb(nprocs: int, nphases: int = 2) -> Program:
+    """CB extended with uncorrectable crashes (``up`` guard, no repair)."""
+    return with_crash(make_cb(nprocs, nphases))
+
+
+@dataclass
+class FailSafeVerdict:
+    """Outcome of a fail-safe run."""
+
+    fatal_reported: bool
+    crashed: list[int]
+    report: SpecReport
+
+    @property
+    def safety_ok(self) -> bool:
+        """Safety must hold unconditionally (the fail-safe guarantee)."""
+        return self.report.safety_ok
+
+    @property
+    def completions_after_crash(self) -> int:
+        """Barriers reported complete after the crash.  At most the
+        in-flight phase may complete; nothing after it."""
+        return self._post_crash_completions
+
+    _post_crash_completions: int = 0
+
+
+class FailSafeMonitor:
+    """Checks the fail-safe guarantee on a finished run."""
+
+    def __init__(self, nprocs: int, nphases: int) -> None:
+        self.nprocs = nprocs
+        self.nphases = nphases
+
+    def verdict(
+        self, trace: Trace, initial_state: State, final_state: State
+    ) -> FailSafeVerdict:
+        crashed = crashed_processes(final_state)
+        checker = BarrierSpecChecker(self.nprocs, self.nphases)
+        report = checker.check(trace, initial_state)
+        verdict = FailSafeVerdict(
+            fatal_reported=bool(crashed),
+            crashed=crashed,
+            report=report,
+        )
+        if crashed:
+            crash_steps = [
+                ev.step for ev in trace.faults() if ev.action == "fault:crash"
+            ]
+            first_crash = min(crash_steps) if crash_steps else 0
+            verdict._post_crash_completions = sum(
+                1
+                for inst in report.instances
+                if inst.successful
+                and inst.close_step is not None
+                and inst.close_step > first_crash
+            )
+        return verdict

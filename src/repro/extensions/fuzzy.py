@@ -1,0 +1,56 @@
+"""Fuzzy barriers (Section 8's closing remark).
+
+"The transition from execute to success is the same as entering the
+barrier, and the transition from ready to execute is the same as
+leaving the barrier.  It is therefore possible to allow a process [to]
+perform some useful work between these two state transitions."
+
+On the simulated MPI runtime the split is ``barrier_enter`` /
+``barrier_wait``: a rank enters the barrier as soon as its *ordered*
+phase work finishes, overlaps the synchronization latency with any work
+that does not depend on other ranks, and only then waits.  The helper
+below packages that pattern; the benchmarks use it to measure the
+latency-hiding win over the plain barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.simmpi.runtime import Comm
+
+
+def fuzzy_phase(
+    comm: Comm,
+    ordered_work: float,
+    fuzzy_work: float,
+) -> Generator[Any, Any, int]:
+    """One phase with a fuzzy barrier.
+
+    ``ordered_work`` must complete before the barrier is entered (other
+    ranks depend on it); ``fuzzy_work`` is local work overlapped with
+    the barrier's synchronization latency.  Yields the barrier result
+    (SUCCESS / ERR_FAULT).
+
+    Use as ``result = yield from fuzzy_phase(comm, 1.0, 0.2)``.
+    """
+    if ordered_work < 0 or fuzzy_work < 0:
+        raise ValueError("work durations must be >= 0")
+    yield comm.compute(ordered_work)
+    handle = yield comm.barrier_enter()
+    if fuzzy_work:
+        yield comm.compute(fuzzy_work)
+    result = yield comm.barrier_wait(handle)
+    return result
+
+
+def plain_phase(
+    comm: Comm,
+    ordered_work: float,
+    fuzzy_work: float,
+) -> Generator[Any, Any, int]:
+    """The same phase without the fuzzy split (baseline): all work is
+    serialized before a plain barrier."""
+    yield comm.compute(ordered_work + fuzzy_work)
+    result = yield comm.barrier()
+    return result

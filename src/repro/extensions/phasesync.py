@@ -1,0 +1,64 @@
+"""Phase synchronization instantiated from the barrier program (§7).
+
+"In the phase synchronization problem, each process executes a
+(potentially infinite) sequence of phases.  A process executes a phase
+only when all processes have completed the previous phase."  The
+traditional fault model corrupts phases *initially only*, and requires
+every phase to execute correctly without assumptions on process speeds.
+
+The mapping: each phase of phase synchronization is an instance of a
+phase of barrier synchronization.  The barrier programs tolerate
+detectable initial corruption without executing any phase incorrectly;
+this module provides the invariant characterizing phase synchronization
+over barrier-program states and a helper asserting the no-skip property
+over a trace (no process ever advances its phase by more than one, and
+never past a process that has not completed the previous phase).
+"""
+
+from __future__ import annotations
+
+from repro.barrier.control import CP
+from repro.barrier.spec import SpecReport
+from repro.gc.state import State
+
+
+def phase_sync_invariant(state: State, nphases: int) -> bool:
+    """A process may be at most one phase ahead, and only if every
+    process behind it has *completed* the previous phase.
+
+    Over CB states: processes in phase ``i+1`` coexist with processes in
+    phase ``i`` only while the latter are in control position success
+    (they completed phase i) -- the hand-over wave.
+    """
+    n = state.nprocs
+    phases = [state.get("ph", p) for p in range(n)]
+    distinct = sorted(set(phases))
+    if len(distinct) == 1:
+        return True
+    if len(distinct) != 2:
+        return False
+    lo, hi = distinct
+    if (hi - lo) % nphases != 1 and (lo - hi) % nphases != 1:
+        return False
+    # Normalize: behind = the predecessor phase.
+    behind = lo if (hi - lo) % nphases == 1 else hi
+    return all(
+        state.get("cp", p) is CP.SUCCESS
+        for p in range(n)
+        if phases[p] == behind
+    )
+
+
+def no_phase_skipped(report: SpecReport) -> bool:
+    """Across a run, successful phases advance one at a time (the
+    phase-synchronization progress discipline)."""
+    last: int | None = None
+    for inst in report.instances:
+        if not inst.successful:
+            continue
+        if last is not None:
+            step = (inst.phase - last) % report.nphases
+            if step not in (0, 1):
+                return False
+        last = inst.phase
+    return True

@@ -1,0 +1,53 @@
+"""Clock unison instantiated from the barrier program (Section 7).
+
+"In the clock unison problem, every process maintains a bounded-value
+counter (clock) such that, at all times, the counter at two processes
+differs by at most one and, infinitely often, the counter is
+incremented.  ... phase i of the computation may be mapped onto the
+i-th value of the counter."
+
+The phase variable of CB/RB *is* the clock: in the absence of
+undetectable faults the phases of any two processes differ by at most
+one (cyclically), and every successful barrier increments them.  The
+paper's solution is stabilizing, so the clocks re-unify from arbitrary
+corruption -- which is exactly the traditional clock-unison tolerance
+requirement.
+"""
+
+from __future__ import annotations
+
+from repro.gc.state import State
+
+
+def clocks_of(state: State, ph_var: str = "ph") -> list[int]:
+    """Read the clock (phase) vector out of a barrier program state."""
+    return [state.get(ph_var, p) for p in range(state.nprocs)]
+
+
+def cyclic_distance(a: int, b: int, n: int) -> int:
+    """min(|a-b| mod n, |b-a| mod n) -- the unison metric on Z_n."""
+    d = (a - b) % n
+    return min(d, n - d)
+
+
+def clock_unison_invariant(state: State, nphases: int, ph_var: str = "ph") -> bool:
+    """At all times the clocks of any two processes differ by <= 1."""
+    clocks = clocks_of(state, ph_var)
+    return all(
+        cyclic_distance(a, b, nphases) <= 1
+        for i, a in enumerate(clocks)
+        for b in clocks[i + 1 :]
+    )
+
+
+def max_clock_skew(state: State, nphases: int, ph_var: str = "ph") -> int:
+    """The largest pairwise cyclic clock distance (0 or 1 when unison
+    holds; larger only transiently after undetectable faults)."""
+    clocks = clocks_of(state, ph_var)
+    if len(clocks) < 2:
+        return 0
+    return max(
+        cyclic_distance(a, b, nphases)
+        for i, a in enumerate(clocks)
+        for b in clocks[i + 1 :]
+    )

@@ -1,0 +1,228 @@
+"""Explicit-state model checking for small program instances.
+
+The paper proves its lemmas by hand; we additionally verify them
+exhaustively on small instances (2-4 processes, 2-3 phases) by building
+the full transition graph under the nondeterministic interleaving daemon
+and checking:
+
+* **invariants** over all reachable states;
+* **closure** -- no transition leaves the legitimate set;
+* **convergence** in three strengths:
+
+  - ``all_paths_converge``: no cycle and no deadlock within the
+    illegitimate states (every execution, fair or not, converges);
+  - ``some_path_converges``: from every state some path reaches a
+    legitimate state (CTL ``EF legit`` -- a necessary condition);
+  - fairness-dependent convergence is sampled via
+    :func:`repro.gc.properties.stabilization_profile` since weak fairness
+    cannot be decided from the plain transition graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Iterable
+
+from repro.gc.program import Program
+from repro.gc.state import State
+
+StatePredicate = Callable[[State], bool]
+
+Key = tuple
+
+
+@dataclass
+class ExplorationResult:
+    """The transition graph over reachable states."""
+
+    program: Program
+    states: set[Key]
+    transitions: dict[Key, set[Key]]
+    truncated: bool = False
+    initial: set[Key] = field(default_factory=set)
+
+    def state_of(self, key: Key) -> State:
+        return State.from_key(key, self.program.nprocs)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+class Explorer:
+    """BFS exploration of a program's state space."""
+
+    def __init__(self, program: Program, max_states: int = 200_000) -> None:
+        self.program = program
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    def successors(self, state: State) -> list[State]:
+        """All one-step successors under nondeterministic interleaving.
+
+        The paper's ``any k`` / arbitrary-value choices are expanded by
+        re-evaluating each enabled action deterministically; for full
+        nondeterminism of witnesses the programs expose deterministic
+        witness selection (first match), which is sound for invariant
+        checking because witness choice never affects the *set* of
+        control-position transitions, only which equal phase value is
+        copied.  Actions whose statements are genuinely nondeterministic
+        should express the choice through distinct actions.
+        """
+        out = []
+        for action in self.program.actions():
+            if action.enabled(state):
+                succ = state.snapshot()
+                action.execute(succ)
+                out.append(succ)
+        return out
+
+    # ------------------------------------------------------------------
+    def reachable(self, roots: Iterable[State]) -> ExplorationResult:
+        """BFS from ``roots``; truncates at ``max_states``."""
+        frontier: list[State] = [s.snapshot() for s in roots]
+        initial = {s.key() for s in frontier}
+        seen: set[Key] = set(initial)
+        transitions: dict[Key, set[Key]] = {}
+        truncated = False
+        while frontier:
+            state = frontier.pop()
+            key = state.key()
+            succs = self.successors(state)
+            transitions[key] = {s.key() for s in succs}
+            for succ in succs:
+                skey = succ.key()
+                if skey not in seen:
+                    if len(seen) >= self.max_states:
+                        truncated = True
+                        continue
+                    seen.add(skey)
+                    frontier.append(succ)
+        # States that were enqueued but never expanded due to truncation
+        # still need a transitions entry for graph algorithms.
+        for key in seen:
+            transitions.setdefault(key, set())
+        return ExplorationResult(self.program, seen, transitions, truncated, initial)
+
+    def full_state_space(self) -> list[State]:
+        """Every syntactically possible state (product of domains).
+
+        Only usable for very small instances; raises if the space exceeds
+        ``max_states``.
+        """
+        domains = [
+            (decl.name, tuple(decl.domain.values()))
+            for decl in self.program.declarations
+        ]
+        n = self.program.nprocs
+        total = 1
+        for _, vals in domains:
+            total *= len(vals) ** n
+        if total > self.max_states:
+            raise ValueError(
+                f"state space of size {total} exceeds max_states="
+                f"{self.max_states}"
+            )
+        states = []
+        per_var_assignments = [
+            list(product(vals, repeat=n)) for _, vals in domains
+        ]
+        names = [name for name, _ in domains]
+        for combo in product(*per_var_assignments):
+            vectors = {name: list(vec) for name, vec in zip(names, combo)}
+            states.append(State(vectors, n))
+        return states
+
+    # ------------------------------------------------------------------
+    def check_invariant(
+        self, result: ExplorationResult, invariant: StatePredicate
+    ) -> list[Key]:
+        """Return all reachable states violating ``invariant``."""
+        return [
+            key
+            for key in result.states
+            if not invariant(result.state_of(key))
+        ]
+
+    def check_closure(
+        self, result: ExplorationResult, legitimate: StatePredicate
+    ) -> list[tuple[Key, Key]]:
+        """Return transitions that exit the legitimate set."""
+        bad = []
+        for key, succs in result.transitions.items():
+            if not legitimate(result.state_of(key)):
+                continue
+            for skey in succs:
+                if not legitimate(result.state_of(skey)):
+                    bad.append((key, skey))
+        return bad
+
+    def all_paths_converge(
+        self, result: ExplorationResult, legitimate: StatePredicate
+    ) -> bool:
+        """No illegitimate cycle, no illegitimate deadlock.
+
+        Sound and complete for convergence of *all* (not just fair)
+        executions within the explored graph.
+        """
+        if result.truncated:
+            raise ValueError("cannot decide convergence on a truncated graph")
+        legit = {
+            key for key in result.states if legitimate(result.state_of(key))
+        }
+        # Deadlocks (silent states) outside the legitimate set fail.
+        for key in result.states - legit:
+            if not result.transitions[key]:
+                return False
+        # Cycle detection restricted to illegitimate states.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[Key, int] = {k: WHITE for k in result.states - legit}
+        for start in list(color):
+            if color[start] != WHITE:
+                continue
+            stack: list[tuple[Key, Iterable[Key]]] = [
+                (start, iter(result.transitions[start]))
+            ]
+            color[start] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ in legit:
+                        continue
+                    c = color.get(succ, WHITE)
+                    if c == GRAY:
+                        return False  # illegitimate cycle
+                    if c == WHITE:
+                        color[succ] = GRAY
+                        stack.append((succ, iter(result.transitions[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return True
+
+    def some_path_converges(
+        self, result: ExplorationResult, legitimate: StatePredicate
+    ) -> bool:
+        """CTL ``EF legitimate`` from every explored state (backwards
+        reachability from the legitimate set)."""
+        if result.truncated:
+            raise ValueError("cannot decide convergence on a truncated graph")
+        predecessors: dict[Key, set[Key]] = {k: set() for k in result.states}
+        for key, succs in result.transitions.items():
+            for skey in succs:
+                predecessors.setdefault(skey, set()).add(key)
+        legit = [
+            key for key in result.states if legitimate(result.state_of(key))
+        ]
+        can_reach = set(legit)
+        frontier = list(legit)
+        while frontier:
+            node = frontier.pop()
+            for pred in predecessors.get(node, ()):
+                if pred not in can_reach:
+                    can_reach.add(pred)
+                    frontier.append(pred)
+        return can_reach >= result.states

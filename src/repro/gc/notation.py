@@ -1,0 +1,940 @@
+"""A parser/compiler for the paper's guarded-command notation.
+
+SIEFAST "allows the modeling of a program ... in the guarded command
+notation discussed in Section 2 ... it uses the exact program discussed
+in this paper, and requires no further translation into another
+language".  This module gives the reproduction the same property: the
+paper's programs can be written as text and compiled into executable
+:class:`~repro.gc.program.Program` objects.  The test-suite verifies the
+compiled CB and token-ring programs are transition-for-transition
+equivalent to the hand-built ones.
+
+Grammar (ASCII rendering of the paper's notation)::
+
+    program   := "program" NAME header* (action | fault)*
+    header    := "param" NAME
+               | "var" NAME ":" domain "=" expr
+    fault     := "fault" NAME "::" assignments   -- RHS may be "?"
+                 (the paper's nondeterministic value; such variables
+                 become the FaultSpec's randomized set)
+    domain    := "enum" "(" NAME ("," NAME)* ")"
+               | "int" "[" expr "," expr "]"
+               | "seq" "(" expr ")"          -- {0..K-1} + {BOT, TOP}
+    action    := "action" NAME site? "::" expr "->" stmts
+    site      := "[" ("j" ("="|"!=") ("0"|"N")) "]"
+    stmts     := stmt (";" stmt)*
+    stmt      := varref ":=" expr
+               | "if" expr "then" stmts
+                 ("elif" expr "then" stmts)* ("else" stmts)? "fi"
+               | "skip"
+    expr      := disjunctions/conjunctions/not over comparisons
+                 (= != < <= > >=) over + - % arithmetic; atoms are
+                 numbers, BOT, TOP, true, false, params, enum literals,
+                 variable references, "(" expr ")",
+                 "(" ("forall"|"exists") NAME ":" expr ")",
+                 "any" NAME ":" expr ":" expr ("default" expr)?
+    varref    := NAME "." ("j" | "N" | NUMBER | quantified-NAME
+               | "(" "j" ("+"|"-") NUMBER ")")
+
+Process indices are modulo the process count; ``N`` denotes the last
+process (the paper's ring is 0..N, i.e. ``nprocs = N + 1``).  The
+``any`` operator returns the value at some process satisfying the
+condition; if none exists it evaluates its ``default`` expression
+(the paper's where-clause: "an arbitrary number ... otherwise").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.gc.actions import Action, StateView
+from repro.gc.domains import BOT, TOP, EnumDomain, IntRange, SequenceNumberDomain
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.state import State
+
+
+class NotationError(ValueError):
+    """Lexing/parsing/compilation error with position information."""
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<assign>:=)
+  | (?P<dcolon>::)
+  | (?P<op><=|>=|!=|[=<>+\-%;:,.()\[\]?])
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "program",
+    "param",
+    "var",
+    "action",
+    "fault",
+    "enum",
+    "int",
+    "seq",
+    "if",
+    "then",
+    "elif",
+    "else",
+    "fi",
+    "skip",
+    "and",
+    "or",
+    "not",
+    "forall",
+    "exists",
+    "any",
+    "default",
+    "true",
+    "false",
+    "BOT",
+    "TOP",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "op" | "num" | "name" | "kw" | "eof"
+    text: str
+    pos: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise NotationError(f"unexpected character {source[pos]!r} at {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        text = m.group()
+        if m.lastgroup == "name" and text in _KEYWORDS:
+            tokens.append(Token("kw", text, m.start()))
+        elif m.lastgroup in ("arrow", "assign", "dcolon", "op"):
+            tokens.append(Token("op", text, m.start()))
+        else:
+            tokens.append(Token(m.lastgroup, text, m.start()))
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Special:
+    which: str  # "BOT" | "TOP"
+
+
+@dataclass(frozen=True)
+class Bool:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str  # param, enum literal, or quantified variable
+
+
+@dataclass(frozen=True)
+class VarRef:
+    var: str
+    index: Any  # "j" | "N" | Num | Name | ("j", offset)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: Any
+
+
+@dataclass(frozen=True)
+class Quantifier:
+    kind: str  # "forall" | "exists"
+    binder: str
+    body: Any
+
+
+@dataclass(frozen=True)
+class AnyOf:
+    binder: str
+    condition: Any
+    value: Any
+    default: Any | None
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: VarRef
+    value: Any
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    branches: tuple  # ((cond|None for else, stmts), ...)
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """The paper's ``?``: a nondeterministically chosen in-domain value
+    (legal only as a fault-assignment right-hand side)."""
+
+
+@dataclass(frozen=True)
+class ActionDef:
+    name: str
+    site: tuple[str, str] | None  # ("=", "0"/"N") or ("!=", ...)
+    guard: Any
+    statements: tuple
+
+
+@dataclass(frozen=True)
+class FaultDef:
+    name: str
+    assignments: tuple  # of Assign; RHS may be Wildcard
+
+
+@dataclass(frozen=True)
+class DomainDef:
+    kind: str  # "enum" | "int" | "seq"
+    args: tuple
+
+
+@dataclass(frozen=True)
+class VarDef:
+    name: str
+    domain: DomainDef
+    initial: Any
+
+
+@dataclass(frozen=True)
+class ProgramDef:
+    name: str
+    params: tuple[str, ...]
+    variables: tuple[VarDef, ...]
+    actions: tuple[ActionDef, ...]
+    faults: tuple = ()
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = f"{kind} {text!r}" if text else kind
+            raise NotationError(
+                f"expected {want}, got {tok.kind} {tok.text!r} at {tok.pos}"
+            )
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    # -- program --------------------------------------------------------
+    def parse_program(self) -> ProgramDef:
+        self.expect("kw", "program")
+        name = self.expect("name").text
+        params: list[str] = []
+        variables: list[VarDef] = []
+        actions: list[ActionDef] = []
+        faults: list[FaultDef] = []
+        while self.peek().kind != "eof":
+            if self.accept("kw", "param"):
+                params.append(self.expect("name").text)
+            elif self.accept("kw", "var"):
+                variables.append(self.parse_var())
+            elif self.accept("kw", "action"):
+                actions.append(self.parse_action())
+            elif self.accept("kw", "fault"):
+                faults.append(self.parse_fault())
+            else:
+                tok = self.peek()
+                raise NotationError(
+                    f"expected param/var/action/fault, got {tok.text!r} at {tok.pos}"
+                )
+        if not variables or not actions:
+            raise NotationError("a program needs at least one var and action")
+        return ProgramDef(
+            name, tuple(params), tuple(variables), tuple(actions), tuple(faults)
+        )
+
+    def parse_fault(self) -> FaultDef:
+        name = self.expect("name").text
+        self.expect("op", "::")
+        assigns: list[Assign] = []
+        while True:
+            target = self.parse_varref_or_name()
+            if not isinstance(target, VarRef) or target.index != "j":
+                raise NotationError(
+                    "fault assignments must target the struck process's "
+                    "own variables (x.j := ...)"
+                )
+            self.expect("op", ":=")
+            if self.accept("op", "?"):
+                value: Any = Wildcard()
+            else:
+                value = self.parse_expr()
+            assigns.append(Assign(target, value))
+            if not self.accept("op", ";"):
+                break
+        return FaultDef(name, tuple(assigns))
+
+    def parse_var(self) -> VarDef:
+        name = self.expect("name").text
+        self.expect("op", ":")
+        domain = self.parse_domain()
+        self.expect("op", "=")
+        initial = self.parse_expr()
+        return VarDef(name, domain, initial)
+
+    def parse_domain(self) -> DomainDef:
+        tok = self.next()
+        if tok.kind == "kw" and tok.text == "enum":
+            self.expect("op", "(")
+            members = [self.expect("name").text]
+            while self.accept("op", ","):
+                members.append(self.expect("name").text)
+            self.expect("op", ")")
+            return DomainDef("enum", tuple(members))
+        if tok.kind == "kw" and tok.text == "int":
+            self.expect("op", "[")
+            lo = self.parse_expr()
+            self.expect("op", ",")
+            hi = self.parse_expr()
+            self.expect("op", "]")
+            return DomainDef("int", (lo, hi))
+        if tok.kind == "kw" and tok.text == "seq":
+            self.expect("op", "(")
+            k = self.parse_expr()
+            self.expect("op", ")")
+            return DomainDef("seq", (k,))
+        raise NotationError(f"unknown domain {tok.text!r} at {tok.pos}")
+
+    def parse_action(self) -> ActionDef:
+        name = self.expect("name").text
+        site = None
+        if self.accept("op", "["):
+            self.expect("name", "j") if self.peek().kind == "name" else self.expect(
+                "kw", "j"
+            )
+            op = self.next()
+            if op.text not in ("=", "!="):
+                raise NotationError(f"bad site operator {op.text!r} at {op.pos}")
+            which = self.next()
+            if which.text not in ("0", "N"):
+                raise NotationError(
+                    f"site must compare j with 0 or N, got {which.text!r}"
+                )
+            site = (op.text, which.text)
+            self.expect("op", "]")
+        self.expect("op", "::")
+        guard = self.parse_expr()
+        self.expect("op", "->")
+        statements = self.parse_stmts()
+        return ActionDef(name, site, guard, tuple(statements))
+
+    # -- statements -----------------------------------------------------
+    def parse_stmts(self) -> list:
+        stmts = [self.parse_stmt()]
+        while self.accept("op", ";"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self):
+        if self.accept("kw", "skip"):
+            return IfStmt(branches=())
+        if self.accept("kw", "if"):
+            branches = []
+            cond = self.parse_expr()
+            self.expect("kw", "then")
+            branches.append((cond, tuple(self.parse_stmts())))
+            while self.accept("kw", "elif"):
+                cond = self.parse_expr()
+                self.expect("kw", "then")
+                branches.append((cond, tuple(self.parse_stmts())))
+            if self.accept("kw", "else"):
+                branches.append((None, tuple(self.parse_stmts())))
+            self.expect("kw", "fi")
+            return IfStmt(branches=tuple(branches))
+        target = self.parse_varref_or_name()
+        if not isinstance(target, VarRef):
+            raise NotationError("assignment target must be a variable reference")
+        self.expect("op", ":=")
+        value = self.parse_expr()
+        return Assign(target, value)
+
+    # -- expressions ----------------------------------------------------
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        node = self.parse_and()
+        while self.accept("kw", "or"):
+            node = BinOp("or", node, self.parse_and())
+        return node
+
+    def parse_and(self):
+        node = self.parse_not()
+        while self.accept("kw", "and"):
+            node = BinOp("and", node, self.parse_not())
+        return node
+
+    def parse_not(self):
+        if self.accept("kw", "not"):
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        node = self.parse_arith()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("=", "!=", "<", "<=", ">", ">="):
+            self.next()
+            node = BinOp(tok.text, node, self.parse_arith())
+        return node
+
+    def parse_arith(self):
+        node = self.parse_term()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ("+", "-"):
+                self.next()
+                node = BinOp(tok.text, node, self.parse_term())
+            else:
+                return node
+
+    def parse_term(self):
+        node = self.parse_factor()
+        while self.accept("op", "%"):
+            node = BinOp("%", node, self.parse_factor())
+        return node
+
+    def parse_factor(self):
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text == "not":
+            # ``not`` binds tightest when it appears inside arithmetic
+            # (the printer always parenthesizes its operand).
+            self.next()
+            return Not(self.parse_factor())
+        if tok.kind == "num":
+            self.next()
+            return Num(int(tok.text))
+        if tok.kind == "kw" and tok.text in ("BOT", "TOP"):
+            self.next()
+            return Special(tok.text)
+        if tok.kind == "kw" and tok.text in ("true", "false"):
+            self.next()
+            return Bool(tok.text == "true")
+        if tok.kind == "kw" and tok.text == "any":
+            self.next()
+            binder = self.expect("name").text
+            self.expect("op", ":")
+            condition = self.parse_expr()
+            self.expect("op", ":")
+            value = self.parse_expr()
+            default = None
+            if self.accept("kw", "default"):
+                default = self.parse_expr()
+            return AnyOf(binder, condition, value, default)
+        if tok.kind == "op" and tok.text == "(":
+            self.next()
+            inner = self.peek()
+            if inner.kind == "kw" and inner.text in ("forall", "exists"):
+                self.next()
+                binder = self.expect("name").text
+                self.expect("op", ":")
+                body = self.parse_expr()
+                self.expect("op", ")")
+                return Quantifier(inner.text, binder, body)
+            node = self.parse_expr()
+            self.expect("op", ")")
+            return node
+        if tok.kind == "name":
+            return self.parse_varref_or_name()
+        raise NotationError(f"unexpected token {tok.text!r} at {tok.pos}")
+
+    def parse_varref_or_name(self):
+        name = self.expect("name").text
+        if not self.accept("op", "."):
+            return Name(name)
+        tok = self.next()
+        if tok.kind == "name" and tok.text == "j":
+            return VarRef(name, "j")
+        if tok.kind == "name" and tok.text == "N":
+            return VarRef(name, "N")
+        if tok.kind == "name":
+            return VarRef(name, Name(tok.text))
+        if tok.kind == "num":
+            return VarRef(name, Num(int(tok.text)))
+        if tok.kind == "op" and tok.text == "(":
+            self.expect("name", "j")
+            sign = self.next()
+            if sign.text not in ("+", "-"):
+                raise NotationError(f"expected +/- in index at {sign.pos}")
+            off = int(self.expect("num").text)
+            self.expect("op", ")")
+            return VarRef(name, ("j", off if sign.text == "+" else -off))
+        raise NotationError(f"bad variable index at {tok.pos}")
+
+
+def parse(source: str) -> ProgramDef:
+    """Parse a guarded-command program text into its AST."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+# ----------------------------------------------------------------------
+# Pretty-printer (the inverse of parse, up to formatting)
+# ----------------------------------------------------------------------
+def _unparse_index(index: Any) -> str:
+    if index == "j":
+        return "j"
+    if index == "N":
+        return "N"
+    if isinstance(index, Num):
+        return str(index.value)
+    if isinstance(index, Name):
+        return index.ident
+    if isinstance(index, tuple) and index[0] == "j":
+        off = index[1]
+        return f"(j + {off})" if off >= 0 else f"(j - {-off})"
+    raise NotationError(f"cannot unparse index {index!r}")
+
+
+def unparse_expr(node: Any) -> str:
+    """Render an expression AST back to notation text.
+
+    Conservatively fully parenthesized, so ``parse(unparse(e))`` is
+    structurally identical to ``e``.
+    """
+    if isinstance(node, Num):
+        return str(node.value)
+    if isinstance(node, Special):
+        return node.which
+    if isinstance(node, Bool):
+        return "true" if node.value else "false"
+    if isinstance(node, Name):
+        return node.ident
+    if isinstance(node, VarRef):
+        return f"{node.var}.{_unparse_index(node.index)}"
+    if isinstance(node, Not):
+        # Fully parenthesized: the boolean-level ``not`` binds looser
+        # than arithmetic, so a bare ``not x + y`` would re-associate.
+        return f"(not {unparse_expr(node.operand)})"
+    if isinstance(node, BinOp):
+        return f"({unparse_expr(node.left)} {node.op} {unparse_expr(node.right)})"
+    if isinstance(node, Quantifier):
+        return f"({node.kind} {node.binder} : {unparse_expr(node.body)})"
+    if isinstance(node, AnyOf):
+        # Parenthesized: a bare ``any`` as a binop operand would swallow
+        # the rest of the enclosing expression into its value/default.
+        text = (
+            f"(any {node.binder} : {unparse_expr(node.condition)} : "
+            f"{unparse_expr(node.value)}"
+        )
+        if node.default is not None:
+            text += f" default {unparse_expr(node.default)}"
+        return text + ")"
+    raise NotationError(f"cannot unparse {node!r}")
+
+
+def _unparse_stmts(stmts: tuple, indent: str) -> str:
+    rendered = []
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            rendered.append(
+                f"{indent}{stmt.target.var}.{_unparse_index(stmt.target.index)}"
+                f" := {unparse_expr(stmt.value)}"
+            )
+        elif isinstance(stmt, IfStmt):
+            if not stmt.branches:
+                rendered.append(f"{indent}skip")
+                continue
+            parts = []
+            for i, (cond, body) in enumerate(stmt.branches):
+                if cond is None:
+                    head = f"{indent}else"
+                elif i == 0:
+                    head = f"{indent}if {unparse_expr(cond)} then"
+                else:
+                    head = f"{indent}elif {unparse_expr(cond)} then"
+                parts.append(head + "\n" + _unparse_stmts(body, indent + "    "))
+            parts.append(f"{indent}fi")
+            rendered.append("\n".join(parts))
+        else:
+            raise NotationError(f"cannot unparse statement {stmt!r}")
+    return ";\n".join(rendered)
+
+
+def unparse(pdef: ProgramDef) -> str:
+    """Render a program AST back to notation text (parse-stable)."""
+    lines = [f"program {pdef.name}"]
+    for param in pdef.params:
+        lines.append(f"param {param}")
+    for vdef in pdef.variables:
+        if vdef.domain.kind == "enum":
+            dom = "enum(" + ", ".join(vdef.domain.args) + ")"
+        elif vdef.domain.kind == "int":
+            dom = (
+                f"int[{unparse_expr(vdef.domain.args[0])}, "
+                f"{unparse_expr(vdef.domain.args[1])}]"
+            )
+        else:
+            dom = f"seq({unparse_expr(vdef.domain.args[0])})"
+        lines.append(f"var {vdef.name} : {dom} = {unparse_expr(vdef.initial)}")
+    for adef in pdef.actions:
+        site = ""
+        if adef.site is not None:
+            site = f" [j {adef.site[0]} {adef.site[1]}]"
+        lines.append("")
+        lines.append(f"action {adef.name}{site} :: {unparse_expr(adef.guard)} ->")
+        lines.append(_unparse_stmts(adef.statements, "    "))
+    for fdef in pdef.faults:
+        rendered = "; ".join(
+            f"{a.target.var}.j := "
+            + ("?" if isinstance(a.value, Wildcard) else unparse_expr(a.value))
+            for a in fdef.assignments
+        )
+        lines.append("")
+        lines.append(f"fault {fdef.name} :: {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Fault compilation
+# ----------------------------------------------------------------------
+def compile_fault_specs(
+    source: str | ProgramDef,
+    nprocs: int = 2,
+    params: dict[str, int] | None = None,
+    literal_values: dict[str, Any] | None = None,
+) -> dict:
+    """Compile a program text's ``fault`` declarations into
+    :class:`~repro.gc.faults.FaultSpec` objects keyed by name.
+
+    ``?`` right-hand sides become the spec's randomized variables (the
+    paper's nondeterministic fault value); constant right-hand sides
+    become resets.  A spec is detectable iff it resets at least one
+    variable (the reset marker is how the fault is detected).
+    """
+    from repro.gc.faults import FaultSpec
+
+    pdef = parse(source) if isinstance(source, str) else source
+    params = dict(params or {})
+    params.setdefault("N", nprocs - 1)
+    literals: dict[str, Any] = {}
+    provided = dict(literal_values or {})
+    for vdef in pdef.variables:
+        if vdef.domain.kind == "enum":
+            for member in vdef.domain.args:
+                literals.setdefault(member, provided.get(member, member))
+    env = _Env(params=params, literals=literals, nprocs=nprocs)
+
+    declared = {v.name for v in pdef.variables}
+    specs: dict[str, Any] = {}
+    for fdef in pdef.faults:
+        resets: dict[str, Any] = {}
+        randomized: list[str] = []
+        for assign in fdef.assignments:
+            var = assign.target.var
+            if var not in declared:
+                raise NotationError(
+                    f"fault {fdef.name!r} assigns unknown variable {var!r}"
+                )
+            if isinstance(assign.value, Wildcard):
+                randomized.append(var)
+            else:
+                resets[var] = _const_eval(assign.value, env)
+        specs[fdef.name] = FaultSpec(
+            name=fdef.name,
+            resets=resets,
+            randomized=tuple(randomized),
+            detectable=bool(resets),
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Compiler
+# ----------------------------------------------------------------------
+@dataclass
+class _Env:
+    """Compilation environment: parameter values, enum literals."""
+
+    params: dict[str, int]
+    literals: dict[str, Any]
+    nprocs: int
+
+
+def _const_eval(node: Any, env: _Env) -> Any:
+    """Evaluate a parameter-level constant expression (domain bounds)."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Special):
+        return BOT if node.which == "BOT" else TOP
+    if isinstance(node, Bool):
+        return node.value
+    if isinstance(node, Name):
+        if node.ident in env.params:
+            return env.params[node.ident]
+        if node.ident in env.literals:
+            return env.literals[node.ident]
+        raise NotationError(f"unknown name {node.ident!r} in constant expression")
+    if isinstance(node, BinOp):
+        left = _const_eval(node.left, env)
+        right = _const_eval(node.right, env)
+        return _apply_binop(node.op, left, right)
+    raise NotationError(f"non-constant expression in constant context: {node}")
+
+
+def _apply_binop(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "%":
+        return left % right
+    if op == "=":
+        return left is right if _is_special(left) or _is_special(right) else left == right
+    if op == "!=":
+        return not _apply_binop("=", left, right)
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "and":
+        return bool(left) and bool(right)
+    if op == "or":
+        return bool(left) or bool(right)
+    raise NotationError(f"unknown operator {op!r}")
+
+
+def _is_special(value: Any) -> bool:
+    return value is BOT or value is TOP
+
+
+def _resolve_pid(index: Any, pid: int, bindings: dict[str, int], env: _Env) -> int:
+    if index == "j":
+        return pid
+    if index == "N":
+        return env.nprocs - 1
+    if isinstance(index, Num):
+        return index.value % env.nprocs
+    if isinstance(index, Name):
+        if index.ident in bindings:
+            return bindings[index.ident]
+        raise NotationError(f"unbound process variable {index.ident!r}")
+    if isinstance(index, tuple) and index[0] == "j":
+        return (pid + index[1]) % env.nprocs
+    raise NotationError(f"bad process index {index!r}")
+
+
+def _eval(node: Any, view: StateView, bindings: dict[str, int], env: _Env) -> Any:
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Special):
+        return BOT if node.which == "BOT" else TOP
+    if isinstance(node, Bool):
+        return node.value
+    if isinstance(node, Name):
+        if node.ident in bindings:
+            return bindings[node.ident]
+        if node.ident in env.params:
+            return env.params[node.ident]
+        if node.ident in env.literals:
+            return env.literals[node.ident]
+        raise NotationError(f"unknown name {node.ident!r}")
+    if isinstance(node, VarRef):
+        target = _resolve_pid(node.index, view.pid, bindings, env)
+        return view.of(node.var, target)
+    if isinstance(node, Not):
+        return not _eval(node.operand, view, bindings, env)
+    if isinstance(node, BinOp):
+        # Short-circuit the boolean connectives.
+        if node.op == "and":
+            return bool(_eval(node.left, view, bindings, env)) and bool(
+                _eval(node.right, view, bindings, env)
+            )
+        if node.op == "or":
+            return bool(_eval(node.left, view, bindings, env)) or bool(
+                _eval(node.right, view, bindings, env)
+            )
+        return _apply_binop(
+            node.op,
+            _eval(node.left, view, bindings, env),
+            _eval(node.right, view, bindings, env),
+        )
+    if isinstance(node, Quantifier):
+        results = (
+            _eval(node.body, view, {**bindings, node.binder: k}, env)
+            for k in range(env.nprocs)
+        )
+        return all(results) if node.kind == "forall" else any(results)
+    if isinstance(node, AnyOf):
+        matches = [
+            k
+            for k in range(env.nprocs)
+            if _eval(node.condition, view, {**bindings, node.binder: k}, env)
+        ]
+        if matches:
+            if view.rng is not None and len(matches) > 1:
+                k = matches[int(view.rng.integers(0, len(matches)))]
+            else:
+                k = matches[0]
+            return _eval(node.value, view, {**bindings, node.binder: k}, env)
+        if node.default is not None:
+            return _eval(node.default, view, bindings, env)
+        raise NotationError("'any' found no witness and has no default")
+    raise NotationError(f"cannot evaluate node {node!r}")
+
+
+def _exec_stmts(
+    stmts: tuple,
+    view: StateView,
+    env: _Env,
+    updates: list[tuple[str, Any]],
+) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            if stmt.target.index != "j":
+                raise NotationError(
+                    f"process may only assign its own variables, not "
+                    f"{stmt.target.var}.{stmt.target.index}"
+                )
+            updates.append((stmt.target.var, _eval(stmt.value, view, {}, env)))
+        elif isinstance(stmt, IfStmt):
+            for cond, body in stmt.branches:
+                if cond is None or _eval(cond, view, {}, env):
+                    _exec_stmts(body, view, env, updates)
+                    break
+        else:  # pragma: no cover - parser emits only Assign/IfStmt
+            raise NotationError(f"unknown statement {stmt!r}")
+
+
+def _build_domain(vdef: VarDef, env: _Env):
+    if vdef.domain.kind == "enum":
+        members = tuple(env.literals[m] for m in vdef.domain.args)
+        return EnumDomain(members)
+    if vdef.domain.kind == "int":
+        lo = _const_eval(vdef.domain.args[0], env)
+        hi = _const_eval(vdef.domain.args[1], env)
+        return IntRange(lo, hi)
+    if vdef.domain.kind == "seq":
+        return SequenceNumberDomain(_const_eval(vdef.domain.args[0], env))
+    raise NotationError(f"unknown domain kind {vdef.domain.kind!r}")
+
+
+def compile_program(
+    source: str | ProgramDef,
+    nprocs: int,
+    params: dict[str, int] | None = None,
+    literal_values: dict[str, Any] | None = None,
+) -> Program:
+    """Compile notation text (or a parsed AST) into a runnable Program.
+
+    ``params`` supplies values for every ``param`` declaration (the
+    pseudo-parameter ``N`` is always bound to ``nprocs - 1``).
+    ``literal_values`` optionally maps enum literal names to Python
+    values (e.g. the :class:`~repro.barrier.control.CP` members) so the
+    compiled program shares value identities with hand-built ones;
+    unmapped literals become interned strings.
+    """
+    pdef = parse(source) if isinstance(source, str) else source
+    params = dict(params or {})
+    params.setdefault("N", nprocs - 1)
+    missing = [p for p in pdef.params if p not in params]
+    if missing:
+        raise NotationError(f"missing parameter values: {missing}")
+
+    # Collect enum literals across variables.
+    literals: dict[str, Any] = {}
+    provided = dict(literal_values or {})
+    for vdef in pdef.variables:
+        if vdef.domain.kind == "enum":
+            for member in vdef.domain.args:
+                literals.setdefault(member, provided.get(member, member))
+    env = _Env(params=params, literals=literals, nprocs=nprocs)
+
+    declarations = []
+    for vdef in pdef.variables:
+        domain = _build_domain(vdef, env)
+        declarations.append(
+            VariableDecl(vdef.name, domain, _const_eval(vdef.initial, env))
+        )
+
+    def site_matches(site, pid: int) -> bool:
+        if site is None:
+            return True
+        op, which = site
+        target = 0 if which == "0" else nprocs - 1
+        return (pid == target) if op == "=" else (pid != target)
+
+    processes = []
+    for pid in range(nprocs):
+        actions = []
+        for adef in pdef.actions:
+            if not site_matches(adef.site, pid):
+                continue
+
+            def guard(view: StateView, _g=adef.guard) -> bool:
+                return bool(_eval(_g, view, {}, env))
+
+            def statement(view: StateView, _s=adef.statements):
+                updates: list[tuple[str, Any]] = []
+                _exec_stmts(_s, view, env, updates)
+                return updates
+
+            actions.append(Action(adef.name, pid, guard, statement))
+        processes.append(Process(pid, tuple(actions)))
+
+    return Program(
+        pdef.name,
+        declarations,
+        processes,
+        metadata={"family": "notation", "source_params": dict(params)},
+    )

@@ -1,0 +1,126 @@
+"""Property checkers over program runs.
+
+Stabilizing tolerance is *closure* (legitimate states stay legitimate
+under program actions) plus *convergence* (every computation from an
+arbitrary state reaches a legitimate state).  These helpers test both on
+concrete runs; :mod:`repro.gc.explore` proves them exhaustively on small
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.gc.program import Program
+from repro.gc.scheduler import Daemon, RoundRobinDaemon
+from repro.gc.simulator import Simulator
+from repro.gc.state import State
+
+StatePredicate = Callable[[State], bool]
+
+
+def convergence_steps(
+    program: Program,
+    state: State,
+    legitimate: StatePredicate,
+    daemon: Daemon | None = None,
+    max_steps: int = 10_000,
+) -> int | None:
+    """Number of daemon steps to reach a legitimate state, or ``None``.
+
+    Returns 0 when the start state is already legitimate.
+    """
+    sim = Simulator(program, daemon or RoundRobinDaemon(), record_trace=False)
+    result = sim.run(state, max_steps=max_steps, stop=lambda s, _: legitimate(s))
+    return result.steps if result.reached else None
+
+
+def converges(
+    program: Program,
+    state: State,
+    legitimate: StatePredicate,
+    daemon: Daemon | None = None,
+    max_steps: int = 10_000,
+) -> bool:
+    """True iff the run from ``state`` reaches a legitimate state."""
+    return (
+        convergence_steps(program, state, legitimate, daemon, max_steps) is not None
+    )
+
+
+def check_closure(
+    program: Program,
+    state: State,
+    legitimate: StatePredicate,
+    daemon: Daemon | None = None,
+    steps: int = 1_000,
+) -> bool:
+    """Run ``steps`` steps from a legitimate ``state``; fail if the run
+    ever leaves the legitimate set."""
+    if not legitimate(state):
+        raise ValueError("closure check must start in a legitimate state")
+    ok = True
+
+    def observer(s: State, _step: int) -> None:
+        nonlocal ok
+        if not legitimate(s):
+            ok = False
+
+    sim = Simulator(program, daemon or RoundRobinDaemon(), record_trace=False)
+    sim.run(state, max_steps=steps, stop=lambda _s, _step: not ok, observer=observer)
+    return ok
+
+
+def holds_throughout(
+    program: Program,
+    state: State,
+    invariant: StatePredicate,
+    daemon: Daemon | None = None,
+    steps: int = 1_000,
+) -> bool:
+    """True iff ``invariant`` holds in the start state and after every
+    step of a ``steps``-step run."""
+    if not invariant(state):
+        return False
+    violated = False
+
+    def observer(s: State, _step: int) -> None:
+        nonlocal violated
+        if not invariant(s):
+            violated = True
+
+    sim = Simulator(program, daemon or RoundRobinDaemon(), record_trace=False)
+    sim.run(
+        state,
+        max_steps=steps,
+        stop=lambda _s, _step: violated,
+        observer=observer,
+    )
+    return not violated
+
+
+def stabilization_profile(
+    program: Program,
+    legitimate: StatePredicate,
+    rng: Any,
+    trials: int = 50,
+    daemon_factory: Callable[[], Daemon] | None = None,
+    max_steps: int = 10_000,
+) -> list[int]:
+    """Sample convergence times from ``trials`` random arbitrary states.
+
+    Raises ``AssertionError`` if any trial fails to converge (stabilizing
+    programs must converge from *every* state).
+    """
+    times: list[int] = []
+    for trial in range(trials):
+        state = program.arbitrary_state(rng)
+        daemon = daemon_factory() if daemon_factory else RoundRobinDaemon()
+        steps = convergence_steps(program, state, legitimate, daemon, max_steps)
+        if steps is None:
+            raise AssertionError(
+                f"trial {trial}: no convergence within {max_steps} steps "
+                f"from {state!r}"
+            )
+        times.append(steps)
+    return times

@@ -1,0 +1,140 @@
+"""Daemons (schedulers) for guarded-command programs.
+
+The paper's computations are *fair interleavings*: in every step some
+enabled action executes, and every continuously-enabled action eventually
+executes.  Its performance study instead uses *maximal parallel
+semantics*: "in each step every process executes one of its enabled
+actions unless all its actions are disabled".
+
+Three daemons are provided:
+
+* :class:`RoundRobinDaemon` -- deterministic, trivially fair; good for
+  reproducible tests.
+* :class:`RandomFairDaemon` -- picks uniformly among all enabled actions;
+  fair with probability 1, exercises adversarial-ish interleavings.
+* :class:`MaximalParallelDaemon` -- synchronous semantics for the
+  performance experiments; all guards/statements evaluate against the
+  pre-step snapshot, then all updates apply at once (race free because
+  statements only write the owner's variables).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol
+
+import numpy as np
+
+from repro.gc.actions import Action, apply_updates
+from repro.gc.program import Program
+from repro.gc.state import State
+
+
+class Daemon(Protocol):
+    """One scheduling step: pick and execute actions, report what fired."""
+
+    def step(
+        self, program: Program, state: State
+    ) -> list[tuple[Action, list[tuple[str, Any]]]]:
+        """Execute one step in place; return ``(action, updates)`` pairs.
+
+        An empty list means no action was enabled (the program is silent
+        in this state).
+        """
+        ...
+
+
+def _make_rng(seed: Any) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class RoundRobinDaemon:
+    """Cycle through processes; at each visit execute the first enabled
+    action of that process (actions are tried in declaration order).
+
+    Every continuously-enabled action is executed within ``nprocs`` visits
+    of its process (earlier-declared actions may shadow later ones, so
+    programs relying on intra-process fairness should order actions so the
+    paper's intended priority holds -- all paper programs have mutually
+    exclusive guards per process, making this moot).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def step(self, program, state):
+        n = program.nprocs
+        for offset in range(n):
+            pid = (self._next + offset) % n
+            for action in program.processes[pid].actions:
+                if action.enabled(state):
+                    ups = action.execute(state)
+                    self._next = (pid + 1) % n
+                    return [(action, ups)]
+        return []
+
+
+class RandomFairDaemon:
+    """Pick uniformly at random among all enabled actions."""
+
+    def __init__(self, seed: Any = None) -> None:
+        self.rng = _make_rng(seed)
+
+    def step(self, program, state):
+        enabled: list[Action] = [
+            a for a in program.actions() if a.enabled(state, self.rng)
+        ]
+        if not enabled:
+            return []
+        action = enabled[int(self.rng.integers(0, len(enabled)))]
+        ups = action.execute(state, self.rng)
+        return [(action, ups)]
+
+
+class MaximalParallelDaemon:
+    """Synchronous maximal parallelism (the paper's Section 6 semantics).
+
+    Per step: snapshot the state; for every process with at least one
+    enabled action (w.r.t. the snapshot) select one (first-enabled, or
+    uniformly when ``random_choice``); evaluate every selected statement
+    against the snapshot; apply all updates to the live state.
+    """
+
+    def __init__(self, seed: Any = None, random_choice: bool = False) -> None:
+        self.rng = _make_rng(seed)
+        self.random_choice = random_choice
+
+    def select(self, program: Program, snapshot: State) -> list[Action]:
+        chosen: list[Action] = []
+        for proc in program.processes:
+            enabled = [a for a in proc.actions if a.enabled(snapshot, self.rng)]
+            if not enabled:
+                continue
+            if self.random_choice and len(enabled) > 1:
+                chosen.append(enabled[int(self.rng.integers(0, len(enabled)))])
+            else:
+                chosen.append(enabled[0])
+        return chosen
+
+    def step(self, program, state):
+        snapshot = state.snapshot()
+        chosen = self.select(program, snapshot)
+        fired: list[tuple[Action, list[tuple[str, Any]]]] = []
+        for action in chosen:
+            ups = action.updates(snapshot, self.rng)
+            fired.append((action, ups))
+        for action, ups in fired:
+            apply_updates(state, action.pid, ups)
+        return fired
+
+
+def enabled_actions(program: Program, state: State) -> list[Action]:
+    """All enabled actions of ``program`` in ``state`` (helper for the
+    explorer and for tests)."""
+    return [a for a in program.actions() if a.enabled(state)]
+
+
+def is_silent(program: Program, state: State) -> bool:
+    """True iff no action is enabled (a fixpoint under any daemon)."""
+    return not any(a.enabled(state) for a in program.actions())

@@ -1,0 +1,112 @@
+"""Untimed run loops.
+
+The simulator drives a program under a daemon, optionally interleaving a
+fault injector, recording a trace, and stopping on a predicate or a step
+bound.  It is the workhorse behind the correctness experiments (the
+lemma tests) and the hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.gc.program import Program
+from repro.gc.scheduler import Daemon, RoundRobinDaemon, is_silent
+from repro.gc.state import State
+from repro.gc.trace import Trace, TraceEvent
+
+StopPredicate = Callable[[State, int], bool]
+StepObserver = Callable[[State, int], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run."""
+
+    state: State
+    steps: int
+    stopped_by: str  # "predicate" | "silent" | "max_steps"
+    trace: Trace = field(default_factory=Trace)
+
+    @property
+    def reached(self) -> bool:
+        """True when the stop predicate fired (not a timeout)."""
+        return self.stopped_by == "predicate"
+
+
+class Simulator:
+    """Run a program under a daemon with optional fault injection."""
+
+    def __init__(
+        self,
+        program: Program,
+        daemon: Daemon | None = None,
+        injector: Any = None,
+        record_trace: bool = True,
+        trace_capacity: int | None = None,
+    ) -> None:
+        self.program = program
+        self.daemon = daemon if daemon is not None else RoundRobinDaemon()
+        self.injector = injector
+        self.record_trace = record_trace
+        self.trace_capacity = trace_capacity
+
+    def run(
+        self,
+        state: State | None = None,
+        max_steps: int = 10_000,
+        stop: StopPredicate | None = None,
+        observer: StepObserver | None = None,
+    ) -> RunResult:
+        """Execute up to ``max_steps`` daemon steps.
+
+        ``stop`` is evaluated before the first step and after every step,
+        so a run started in a stop state returns immediately with zero
+        steps.  Fault injection (if configured) happens between steps.
+        """
+        if state is None:
+            state = self.program.initial_state()
+        trace = Trace(self.trace_capacity)
+        if stop is not None and stop(state, 0):
+            return RunResult(state, 0, "predicate", trace)
+
+        for step in range(1, max_steps + 1):
+            if self.injector is not None:
+                for fault_event in self.injector.maybe_inject(state, step):
+                    if self.record_trace:
+                        trace.append(fault_event)
+
+            fired = self.daemon.step(self.program, state)
+            if not fired and is_silent(self.program, state):
+                # A fault environment can re-enable a silent program (a
+                # crash repair, most notably), so silence only ends the
+                # run when no injector is attached.
+                if self.injector is None:
+                    return RunResult(state, step - 1, "silent", trace)
+
+            if self.record_trace:
+                for action, ups in fired:
+                    trace.append(
+                        TraceEvent(
+                            step=step,
+                            pid=action.pid,
+                            action=action.name,
+                            updates=tuple(ups),
+                        )
+                    )
+            if observer is not None:
+                observer(state, step)
+            if stop is not None and stop(state, step):
+                return RunResult(state, step, "predicate", trace)
+
+        return RunResult(state, max_steps, "max_steps", trace)
+
+    def run_until(
+        self,
+        predicate: Callable[[State], bool],
+        state: State | None = None,
+        max_steps: int = 10_000,
+    ) -> RunResult:
+        """Convenience wrapper: stop when ``predicate(state)`` holds."""
+        return self.run(state, max_steps, stop=lambda s, _step: predicate(s))

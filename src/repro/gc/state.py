@@ -1,0 +1,122 @@
+"""Global program states.
+
+A state maps each declared variable name to a vector indexed by process
+id.  States support cheap snapshots (used by the synchronous
+maximal-parallel daemon, which must evaluate all guards against the
+pre-step state), restoration, and hashable keys (used by the explorer and
+by convergence detection).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gc.program import Program
+
+
+class State:
+    """A mutable assignment of values to every ``(variable, pid)`` pair."""
+
+    __slots__ = ("_vectors", "_nprocs")
+
+    def __init__(self, vectors: Mapping[str, list], nprocs: int) -> None:
+        self._vectors: dict[str, list] = {k: list(v) for k, v in vectors.items()}
+        self._nprocs = nprocs
+        for name, vec in self._vectors.items():
+            if len(vec) != nprocs:
+                raise ValueError(
+                    f"variable {name!r} has {len(vec)} entries, expected {nprocs}"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self._nprocs
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self._vectors)
+
+    def get(self, var: str, pid: int) -> Any:
+        return self._vectors[var][pid]
+
+    def set(self, var: str, pid: int, value: Any) -> None:
+        vec = self._vectors.get(var)
+        if vec is None:
+            raise KeyError(f"unknown variable {var!r}")
+        if not 0 <= pid < self._nprocs:
+            raise IndexError(f"pid {pid} out of range 0..{self._nprocs - 1}")
+        vec[pid] = value
+
+    def vector(self, var: str) -> tuple:
+        """Return the whole per-process vector of ``var`` (as a tuple)."""
+        return tuple(self._vectors[var])
+
+    def locals_of(self, pid: int) -> dict[str, Any]:
+        """Return all variables of process ``pid`` as a dict."""
+        return {name: vec[pid] for name, vec in self._vectors.items()}
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._vectors
+
+    def items(self) -> Iterator[tuple[str, tuple]]:
+        for name, vec in self._vectors.items():
+            yield name, tuple(vec)
+
+    # ------------------------------------------------------------------
+    # Snapshots and keys
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "State":
+        """Return an independent copy of this state."""
+        return State(self._vectors, self._nprocs)
+
+    def restore(self, other: "State") -> None:
+        """Overwrite this state in place with the contents of ``other``."""
+        if other.variables != self.variables or other.nprocs != self.nprocs:
+            raise ValueError("state shape mismatch in restore()")
+        for name in self._vectors:
+            self._vectors[name][:] = other._vectors[name]
+
+    def key(self) -> tuple:
+        """A hashable, order-stable encoding of the full state."""
+        return tuple(
+            (name, tuple(vec)) for name, vec in sorted(self._vectors.items())
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(
+            f"{name}={list(vec)}" for name, vec in sorted(self._vectors.items())
+        )
+        return f"State({parts})"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_key(cls, key: tuple, nprocs: int) -> "State":
+        """Inverse of :meth:`key`."""
+        return cls({name: list(vec) for name, vec in key}, nprocs)
+
+    @classmethod
+    def uniform(cls, program: "Program", **values: Any) -> "State":
+        """Build a state assigning each named variable the same value at
+        every process; unlisted variables take their declared defaults."""
+        vectors: dict[str, list] = {}
+        for decl in program.declarations:
+            value = values.get(decl.name, decl.default)
+            vectors[decl.name] = [value] * program.nprocs
+        extra = set(values) - {d.name for d in program.declarations}
+        if extra:
+            raise KeyError(f"unknown variables in uniform(): {sorted(extra)}")
+        return cls(vectors, program.nprocs)

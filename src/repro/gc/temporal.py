@@ -1,0 +1,220 @@
+"""Finite-trace temporal properties over program runs.
+
+The paper's guarantees are temporal: Safety is an *always*, Progress an
+*always-eventually*, stabilization an *eventually-always*.  This module
+gives them a small declarative algebra evaluated over recorded state
+sequences:
+
+>>> prop = always(atom("unison", lambda s: clock_unison_invariant(s, 4)))
+>>> verdict = prop.evaluate(states)
+
+Finite-trace semantics are three-valued: a property is SATISFIED,
+VIOLATED, or PENDING (e.g. an ``eventually`` whose witness has not
+appeared *yet* -- the run simply ended first).  Tests assert SATISFIED
+or, when a run is cut off mid-obligation, at least not-VIOLATED.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.gc.state import State
+
+Predicate = Callable[[State], bool]
+
+
+class Verdict(enum.Enum):
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    PENDING = "pending"  # ran out of trace with open obligations
+
+    def __bool__(self) -> bool:
+        return self is Verdict.SATISFIED
+
+
+@dataclass(frozen=True)
+class Result:
+    """Verdict plus the index where it was decided (-1: end of trace)."""
+
+    verdict: Verdict
+    at: int = -1
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+
+class Property:
+    """Base class; subclasses implement ``evaluate``."""
+
+    def evaluate(self, states: Sequence[State]) -> Result:
+        raise NotImplementedError
+
+    def __and__(self, other: "Property") -> "Property":
+        return _All((self, other))
+
+    def __or__(self, other: "Property") -> "Property":
+        return _Any((self, other))
+
+
+@dataclass(frozen=True)
+class atom(Property):
+    """A named state predicate, evaluated at the first state."""
+
+    name: str
+    predicate: Predicate
+
+    def evaluate(self, states):
+        if not states:
+            return Result(Verdict.PENDING)
+        ok = bool(self.predicate(states[0]))
+        return Result(Verdict.SATISFIED if ok else Verdict.VIOLATED, 0)
+
+    def holds(self, state: State) -> bool:
+        return bool(self.predicate(state))
+
+
+@dataclass(frozen=True)
+class always(Property):
+    """``[] p``: the predicate holds at every state of the trace."""
+
+    inner: atom
+
+    def evaluate(self, states):
+        for i, state in enumerate(states):
+            if not self.inner.holds(state):
+                return Result(Verdict.VIOLATED, i)
+        return Result(Verdict.SATISFIED)
+
+
+@dataclass(frozen=True)
+class eventually(Property):
+    """``<> p``: the predicate holds at some state of the trace."""
+
+    inner: atom
+
+    def evaluate(self, states):
+        for i, state in enumerate(states):
+            if self.inner.holds(state):
+                return Result(Verdict.SATISFIED, i)
+        return Result(Verdict.PENDING)
+
+
+@dataclass(frozen=True)
+class eventually_always(Property):
+    """``<>[] p``: from some point on, the predicate holds forever
+    (the shape of stabilization: convergence then closure)."""
+
+    inner: atom
+
+    def evaluate(self, states):
+        # Find the last violation; satisfied if anything follows it.
+        last_bad = -1
+        for i, state in enumerate(states):
+            if not self.inner.holds(state):
+                last_bad = i
+        if last_bad == len(states) - 1:
+            return Result(Verdict.PENDING, last_bad)
+        return Result(Verdict.SATISFIED, last_bad + 1)
+
+
+@dataclass(frozen=True)
+class until(Property):
+    """``p U q``: p holds at every state strictly before the first q
+    (and q must appear)."""
+
+    first: atom
+    second: atom
+
+    def evaluate(self, states):
+        for i, state in enumerate(states):
+            if self.second.holds(state):
+                return Result(Verdict.SATISFIED, i)
+            if not self.first.holds(state):
+                return Result(Verdict.VIOLATED, i)
+        return Result(Verdict.PENDING)
+
+
+@dataclass(frozen=True)
+class leads_to(Property):
+    """``p ~> q``: every p-state is followed (weakly) by a q-state.
+
+    A trailing p with no q yet is PENDING, not VIOLATED.
+    """
+
+    trigger: atom
+    goal: atom
+
+    def evaluate(self, states):
+        open_since: int | None = None
+        for i, state in enumerate(states):
+            if open_since is None:
+                if self.trigger.holds(state):
+                    open_since = i
+            if open_since is not None and self.goal.holds(state):
+                open_since = None
+        if open_since is not None:
+            return Result(Verdict.PENDING, open_since)
+        return Result(Verdict.SATISFIED)
+
+
+@dataclass(frozen=True)
+class _All(Property):
+    parts: tuple
+
+    def evaluate(self, states):
+        worst = Result(Verdict.SATISFIED)
+        for part in self.parts:
+            result = part.evaluate(states)
+            if result.verdict is Verdict.VIOLATED:
+                return result
+            if result.verdict is Verdict.PENDING:
+                worst = result
+        return worst
+
+
+@dataclass(frozen=True)
+class _Any(Property):
+    parts: tuple
+
+    def evaluate(self, states):
+        best = None
+        for part in self.parts:
+            result = part.evaluate(states)
+            if result.verdict is Verdict.SATISFIED:
+                return result
+            if best is None or result.verdict is Verdict.PENDING:
+                best = result
+        return best if best is not None else Result(Verdict.PENDING)
+
+
+# ----------------------------------------------------------------------
+# Collecting state sequences from runs
+# ----------------------------------------------------------------------
+def record_run(
+    program,
+    daemon=None,
+    state: State | None = None,
+    steps: int = 1000,
+    injector=None,
+) -> list[State]:
+    """Run a program and return the visited state sequence (snapshots),
+    including the initial state."""
+    from repro.gc.scheduler import RoundRobinDaemon
+    from repro.gc.simulator import Simulator
+
+    current = state.snapshot() if state is not None else program.initial_state()
+    states: list[State] = [current.snapshot()]
+    sim = Simulator(
+        program,
+        daemon or RoundRobinDaemon(),
+        injector=injector,
+        record_trace=False,
+    )
+    sim.run(
+        current,
+        max_steps=steps,
+        observer=lambda s, _step: states.append(s.snapshot()),
+    )
+    return states

@@ -1,0 +1,91 @@
+"""Execution traces.
+
+A trace records which action fired at which process at which step (and,
+for timed runs, at which virtual time), together with the writes it made.
+The barrier specification oracle (:mod:`repro.barrier.spec`) consumes
+traces to decide whether Safety and Progress held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One action execution (or fault occurrence)."""
+
+    step: int
+    pid: int
+    action: str
+    updates: tuple[tuple[str, Any], ...]
+    time: float = 0.0
+    is_fault: bool = False
+
+    def wrote(self, var: str) -> bool:
+        return any(name == var for name, _ in self.updates)
+
+    def value_written(self, var: str) -> Any:
+        for name, value in self.updates:
+            if name == var:
+                return value
+        raise KeyError(f"event did not write {var!r}")
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._events: list[TraceEvent] = []
+        self._capacity = capacity
+        self._dropped = 0
+
+    def append(self, event: TraceEvent) -> None:
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            self._dropped += 1
+            return
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return self._events
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the capacity bound was hit."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def filter(
+        self,
+        *,
+        pid: int | None = None,
+        action: str | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Select events by pid, action name, and/or arbitrary predicate."""
+        out = []
+        for ev in self._events:
+            if pid is not None and ev.pid != pid:
+                continue
+            if action is not None and ev.action != action:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def faults(self) -> list[TraceEvent]:
+        return [ev for ev in self._events if ev.is_fault]
+
+    def count(self, action: str) -> int:
+        return sum(1 for ev in self._events if ev.action == action)

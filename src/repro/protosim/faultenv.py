@@ -1,0 +1,60 @@
+"""Fault arrival processes for the timed simulations.
+
+The paper's fault frequency ``f`` is defined against unit time (the
+phase-execution time): the probability that no fault occurs during a
+duration ``d`` is ``(1 - f)**d``.  That makes fault arrivals a Poisson
+process with rate ``lambda = -ln(1 - f)`` per unit time, which is what
+:class:`DetectableFaultEnv` draws.  Each arrival strikes a uniformly
+random process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf, log
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass
+class DetectableFaultEnv:
+    """Exponential fault arrivals over ``nprocs`` processes."""
+
+    frequency: float
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frequency < 1.0:
+            raise ValueError(f"fault frequency must be in [0, 1): {self.frequency}")
+        if self.nprocs < 1:
+            raise ValueError("need at least one process")
+
+    @property
+    def rate(self) -> float:
+        """Arrival rate: ``-ln(1 - f)`` per unit time."""
+        return 0.0 if self.frequency == 0.0 else -log(1.0 - self.frequency)
+
+    def arrivals(
+        self, rng: np.random.Generator, until: float
+    ) -> Iterator[tuple[float, int]]:
+        """Yield ``(time, victim_pid)`` pairs with time < ``until``."""
+        rate = self.rate
+        if rate == 0.0:
+            return
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / rate)
+            if t >= until:
+                return
+            yield t, int(rng.integers(0, self.nprocs))
+
+    def next_arrival(self, rng: np.random.Generator, now: float) -> float:
+        """One draw: the next arrival time after ``now`` (inf if f=0)."""
+        rate = self.rate
+        if rate == 0.0:
+            return inf
+        return now + rng.exponential(1.0 / rate)
+
+    def victim(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.nprocs))

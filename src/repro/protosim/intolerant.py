@@ -1,0 +1,147 @@
+"""Timed simulation of the fault-intolerant two-wave tree barrier.
+
+Phase work starts at each node when the phase-start (down) wave reaches
+it; completion aggregates up the tree; the root releases the next phase.
+Steady-state period: ``1 + 2hc`` (work overlaps the down wave; the up
+wave is gated by the deepest leaf's completion), matching the paper's
+baseline accounting.
+
+The baseline has no tolerance: if ``fault_frequency > 0`` a struck node
+simply never reports completion for its current phase and the barrier
+*hangs* -- ``run`` then returns with fewer completed phases and
+``hung=True``.  (This deliberately demonstrates why the baseline cannot
+be used under faults; overhead comparisons run it fault-free, as the
+paper does.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+
+from repro.des.core import Simulation
+from repro.protosim.faultenv import DetectableFaultEnv
+from repro.protosim.metrics import InstanceStat, PhaseMetrics
+from repro.topology.graphs import Topology, kary_tree
+
+
+@dataclass
+class _INode:
+    pid: int
+    phase: int = 0
+    done: bool = False  # own work complete for current phase
+    subtree_done: int = 0  # children that reported completion
+    crashed: bool = False
+
+
+class IntolerantTreeBarrierSim:
+    """Timed two-wave tree barrier (no fault tolerance)."""
+
+    def __init__(
+        self,
+        topology: Topology | None = None,
+        nprocs: int | None = None,
+        arity: int = 2,
+        latency: float = 0.01,
+        work_time: float = 1.0,
+        fault_frequency: float = 0.0,
+        seed: int | None = 0,
+    ) -> None:
+        if topology is None:
+            if nprocs is None:
+                raise ValueError("give nprocs or topology")
+            topology = kary_tree(nprocs, arity)
+        self.topology = topology
+        self.latency = latency
+        self.work_time = work_time
+        self.sim = Simulation(seed=seed)
+        self.nodes = [_INode(p) for p in range(topology.nprocs)]
+        self.children = topology.children
+        self.parent = topology.parent
+        self.stats = PhaseMetrics()
+        self.hung = False
+        self._phase_start = 0.0
+        self._fault_env = DetectableFaultEnv(fault_frequency, topology.nprocs)
+        self.faults_injected = 0
+
+    # ------------------------------------------------------------------
+    def run(self, phases: int = 100, max_time: float = 10_000.0) -> PhaseMetrics:
+        self._target = phases
+        self._schedule_next_fault()
+        self._begin_phase(0)
+        self.sim.run(
+            until=max_time,
+            stop=lambda: self.stats.successful_phases >= phases,
+        )
+        self.stats.total_time = self.sim.now
+        if self.stats.successful_phases < phases:
+            self.hung = True
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _schedule_next_fault(self) -> None:
+        t = self._fault_env.next_arrival(self.sim.rng("faults"), self.sim.now)
+        if t == inf:
+            return
+        self.sim.at(t, self._inject_fault)
+
+    def _inject_fault(self) -> None:
+        victim = self._fault_env.victim(self.sim.rng("faults"))
+        # The baseline has no recovery: the struck node loses its phase
+        # work and never completes the current phase.
+        self.nodes[victim].crashed = True
+        self.faults_injected += 1
+        self._schedule_next_fault()
+
+    # ------------------------------------------------------------------
+    def _begin_phase(self, phase: int) -> None:
+        self._phase_start = self.sim.now
+        self._arm(0, phase, self.sim.now)
+
+    def _arm(self, pid: int, phase: int, t: float) -> None:
+        """Phase-start wave reaches ``pid`` at ``t``."""
+
+        def start() -> None:
+            node = self.nodes[pid]
+            node.phase = phase
+            node.done = False
+            node.subtree_done = 0
+            for child in self.children[pid]:
+                self._arm(child, phase, self.sim.now + self.latency)
+            if not node.crashed:
+                self.sim.after(self.work_time, lambda: self._work_done(pid))
+
+        if t <= self.sim.now:
+            start()
+        else:
+            self.sim.at(t, start)
+
+    def _work_done(self, pid: int) -> None:
+        node = self.nodes[pid]
+        if node.crashed:
+            return
+        node.done = True
+        self._maybe_report(pid)
+
+    def _maybe_report(self, pid: int) -> None:
+        node = self.nodes[pid]
+        if not node.done or node.subtree_done < len(self.children[pid]):
+            return
+        if pid == 0:
+            self._barrier_complete()
+        else:
+            parent = self.parent[pid]
+            self.sim.after(self.latency, lambda: self._child_reported(parent))
+
+    def _child_reported(self, pid: int) -> None:
+        self.nodes[pid].subtree_done += 1
+        self._maybe_report(pid)
+
+    def _barrier_complete(self) -> None:
+        now = self.sim.now
+        phase = self.nodes[0].phase
+        self.stats.record(
+            InstanceStat(phase=phase, start=self._phase_start, end=now, success=True)
+        )
+        if self.stats.successful_phases < self._target:
+            self._begin_phase(phase + 1)

@@ -1,0 +1,89 @@
+"""Metrics extracted from the timed barrier simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class InstanceStat:
+    """One phase instance: the attempt window and its outcome."""
+
+    phase: int
+    start: float
+    end: float
+    success: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class PhaseMetrics:
+    """Aggregated simulation output."""
+
+    instances: list[InstanceStat] = field(default_factory=list)
+    total_time: float = 0.0
+
+    def record(self, stat: InstanceStat) -> None:
+        self.instances.append(stat)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def successful_phases(self) -> int:
+        return sum(1 for s in self.instances if s.success)
+
+    @property
+    def failed_instances(self) -> int:
+        return self.total_instances - self.successful_phases
+
+    @property
+    def instances_per_phase(self) -> float:
+        """The Figure 3/5 quantity: instances executed per successful
+        phase (1.0 when no faults occur)."""
+        succ = self.successful_phases
+        if succ == 0:
+            return float("nan")
+        return self.total_instances / succ
+
+    @property
+    def time_per_phase(self) -> float:
+        """Mean virtual time per successful phase, including failed
+        instances and all circulations."""
+        succ = self.successful_phases
+        if succ == 0:
+            return float("nan")
+        return self.total_time / succ
+
+    def instance_runs(self) -> list[int]:
+        """Consecutive instance counts per successful phase (each run
+        ends with its successful instance)."""
+        runs: list[int] = []
+        current = 0
+        for stat in self.instances:
+            current += 1
+            if stat.success:
+                runs.append(current)
+                current = 0
+        return runs
+
+    def mean_failed_duration(self) -> float:
+        failed = [s.duration for s in self.instances if not s.success]
+        return sum(failed) / len(failed) if failed else 0.0
+
+    def mean_successful_duration(self) -> float:
+        ok = [s.duration for s in self.instances if s.success]
+        return sum(ok) / len(ok) if ok else float("nan")
+
+
+def overhead_vs_baseline(ft_time_per_phase: float, base_time_per_phase: float) -> float:
+    """Fractional overhead of the fault-tolerant barrier over the
+    intolerant baseline (the Figure 4/6 quantity)."""
+    if base_time_per_phase <= 0:
+        raise ValueError("baseline time per phase must be positive")
+    return ft_time_per_phase / base_time_per_phase - 1.0

@@ -1,0 +1,30 @@
+"""Fault-handling modes for collectives (the paper's three MPI
+alternatives) and the associated error types."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ReproError
+
+
+class FTMode(enum.Enum):
+    """What a collective does when a fault strikes during it."""
+
+    ABORT = "abort"  # MPI alternative (i): abort the job
+    RETURN_CODE = "return-code"  # MPI alternative (ii): error code to the user
+    TOLERATE = "tolerate"  # the paper's alternative (iii): mask the fault
+
+
+class BarrierError(ReproError):
+    """Returned/raised by a barrier in RETURN_CODE mode when a fault was
+    detected during the collective; the application may retry."""
+
+
+class JobAborted(ReproError):
+    """Raised in every rank when the job aborts (ABORT mode)."""
+
+
+#: Result codes delivered to ranks by collectives in RETURN_CODE mode.
+SUCCESS = 0
+ERR_FAULT = 1

@@ -1,0 +1,778 @@
+"""Generator-based simulated MPI runtime.
+
+Rank processes are Python generators that ``yield`` syscalls::
+
+    def worker(comm):
+        yield comm.compute(1.0)          # local phase work
+        code = yield comm.barrier()      # synchronize (FT per mode)
+        total = yield comm.allreduce(comm.rank, op="sum")
+
+The runtime trampolines every rank over the discrete-event kernel;
+messages travel over :class:`repro.des.network.Network` links with
+latency and optional loss/duplication/corruption; process faults strike
+as a Poisson process (the paper's frequency ``f``) and are *detectable*:
+the struck rank's in-flight collective state is reset and the fault is
+flagged, exactly the reset-to-``error`` discipline of Section 2.
+
+Collectives run on a k-ary tree over the ranks: contributions aggregate
+upward with periodic retransmission (masking message loss), the root
+decides, and a release disseminates downward.  What the root does when a
+fault was detected is governed by the runtime's :class:`FTMode` --
+abort, return an error code, or (the paper's contribution) re-execute
+the instance until it completes cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from repro.des.core import Simulation
+from repro.des.network import LinkFaults, Message, Network
+from repro.protosim.faultenv import DetectableFaultEnv
+from repro.simmpi.ftmodes import ERR_FAULT, SUCCESS, BarrierError, FTMode, JobAborted
+from repro.topology.graphs import Topology, kary_tree, ring
+
+# ----------------------------------------------------------------------
+# Syscalls
+# ----------------------------------------------------------------------
+
+
+class Syscall:
+    """Base class of everything a rank generator may yield."""
+
+
+@dataclass(frozen=True)
+class _Compute(Syscall):
+    duration: float
+
+
+@dataclass(frozen=True)
+class _Send(Syscall):
+    dst: int
+    payload: Any
+    tag: int
+
+
+@dataclass(frozen=True)
+class _Recv(Syscall):
+    src: int | None
+    tag: int | None
+    timeout: float | None = None
+
+
+@dataclass(frozen=True)
+class _Collective(Syscall):
+    kind: str  # "barrier" | "reduce" | "bcast" | "allreduce"
+    value: Any = None
+    op: str = "sum"
+    root: int = 0
+
+
+@dataclass(frozen=True)
+class _Now(Syscall):
+    pass
+
+
+@dataclass(frozen=True)
+class _BarrierEnter(Syscall):
+    """Non-blocking barrier entry (fuzzy barrier); yields a handle."""
+
+
+@dataclass(frozen=True)
+class _BarrierWait(Syscall):
+    """Block until the fuzzy barrier identified by ``handle`` releases."""
+
+    handle: int
+
+
+@dataclass(frozen=True)
+class _BarrierTest(Syscall):
+    """Non-blocking poll of a fuzzy barrier: result or None."""
+
+    handle: int
+
+
+_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+    "prod": lambda a, b: a * b,
+}
+
+#: Tags at or above this value are reserved for the collective engine.
+_CTRL_TAG = 1 << 20
+_TAG_ARRIVE = _CTRL_TAG + 1
+_TAG_RELEASE = _CTRL_TAG + 2
+
+
+class Comm:
+    """Per-rank communicator facade (mirrors the mpi4py lower-case API,
+    except calls are *yielded* to the simulation runtime)."""
+
+    def __init__(self, runtime: "Runtime", rank: int) -> None:
+        self._runtime = runtime
+        self.rank = rank
+        self.size = runtime.nprocs
+
+    # -- local -----------------------------------------------------------
+    def compute(self, duration: float) -> Syscall:
+        """Spend ``duration`` units of virtual time computing."""
+        if duration < 0:
+            raise ValueError("negative compute duration")
+        return _Compute(duration)
+
+    def now(self) -> Syscall:
+        """Yielding this returns the current virtual time."""
+        return _Now()
+
+    # -- point to point ---------------------------------------------------
+    def send(self, dst: int, payload: Any, tag: int = 0) -> Syscall:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"bad destination rank {dst}")
+        if tag >= _CTRL_TAG:
+            raise ValueError("tag reserved for the collective engine")
+        return _Send(dst, payload, tag)
+
+    def recv(
+        self,
+        src: int | None = None,
+        tag: int | None = None,
+        timeout: float | None = None,
+    ) -> Syscall:
+        """Blocking receive; yields the payload of the first match.
+
+        With a ``timeout`` the receive yields ``None`` if nothing
+        matching arrives within that much virtual time (the building
+        block for retransmission protocols)."""
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        return _Recv(src, tag, timeout)
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self) -> Syscall:
+        """Synchronize all ranks; yields SUCCESS (or ERR_FAULT in
+        RETURN_CODE mode when a fault hit this instance)."""
+        return _Collective("barrier")
+
+    def barrier_enter(self) -> Syscall:
+        """Fuzzy barrier (Gupta, cited in Section 8): enter the barrier
+        without blocking; yields a handle.  Useful work may be done
+        between entering and :meth:`barrier_wait` -- the paper maps the
+        execute->success transition to barrier entry and ready->execute
+        to barrier exit."""
+        return _BarrierEnter()
+
+    def barrier_wait(self, handle: int) -> Syscall:
+        """Block until the fuzzy barrier ``handle`` releases; yields
+        SUCCESS/ERR_FAULT like :meth:`barrier`."""
+        return _BarrierWait(handle)
+
+    def barrier_test(self, handle: int) -> Syscall:
+        """Poll a fuzzy barrier without blocking: yields the result if
+        it has released, None otherwise."""
+        return _BarrierTest(handle)
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Syscall:
+        """Yields the reduction at ``root``, None elsewhere."""
+        if op not in _OPS:
+            raise ValueError(f"unknown op {op!r}; have {sorted(_OPS)}")
+        if root != 0:
+            raise ValueError("the collective tree is rooted at rank 0")
+        return _Collective("reduce", value=value, op=op, root=root)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Syscall:
+        """Yields the reduction at every rank."""
+        if op not in _OPS:
+            raise ValueError(f"unknown op {op!r}; have {sorted(_OPS)}")
+        return _Collective("allreduce", value=value, op=op)
+
+    def bcast(self, value: Any = None, root: int = 0) -> Syscall:
+        """Yields the root's value at every rank."""
+        if root != 0:
+            raise ValueError("the collective tree is rooted at rank 0")
+        return _Collective("bcast", value=value, root=root)
+
+    def gather(self, value: Any, root: int = 0) -> Syscall:
+        """Yields the list of all ranks' values (rank order) at the
+        root, None elsewhere."""
+        if root != 0:
+            raise ValueError("the collective tree is rooted at rank 0")
+        return _Collective("gather", value=value, root=root)
+
+    def allgather(self, value: Any) -> Syscall:
+        """Yields the list of all ranks' values (rank order) at every
+        rank."""
+        return _Collective("allgather", value=value)
+
+    def scatter(self, values: Any = None, root: int = 0) -> Syscall:
+        """Root supplies one value per rank; each rank yields its own.
+
+        (Implemented as an allgather-style dissemination of the root's
+        list; per-rank payload slicing happens at delivery.)
+        """
+        if root != 0:
+            raise ValueError("the collective tree is rooted at rank 0")
+        return _Collective("scatter", value=values, root=root)
+
+
+# ----------------------------------------------------------------------
+# Per-rank collective state
+# ----------------------------------------------------------------------
+@dataclass
+class _CollState:
+    """One rank's participation in collective number ``cid``."""
+
+    cid: int
+    kind: str
+    op: str
+    value: Any
+    entered_at: float
+    waiting: bool = True
+    child_values: dict[int, Any] = field(default_factory=dict)
+    sent_up: bool = False
+    attempt: int = 0
+    blocking: bool = True  # False for fuzzy (enter/wait) barriers
+
+
+@dataclass(frozen=True)
+class RankEvent:
+    """One recorded runtime event (when event recording is enabled)."""
+
+    time: float
+    rank: int
+    kind: str  # compute|send|recv|collective-enter|collective-complete|fault|retry
+    detail: Any = None
+
+
+@dataclass
+class RuntimeStats:
+    """Counters exposed after a run."""
+
+    collectives_completed: int = 0
+    instances_retried: int = 0
+    error_codes_returned: int = 0
+    faults_injected: int = 0
+    aborted: bool = False
+    messages_sent: int = 0
+
+
+class Runtime:
+    """The simulated job: ranks, network, faults, collective engine."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        latency: float = 0.01,
+        seed: int | None = 0,
+        ft_mode: FTMode = FTMode.TOLERATE,
+        fault_frequency: float = 0.0,
+        link_faults: LinkFaults | None = None,
+        arity: int = 2,
+        retransmit_interval: float | None = None,
+        record_events: bool = False,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one rank")
+        self.nprocs = nprocs
+        self.latency = latency
+        self.ft_mode = ft_mode
+        self.sim = Simulation(seed=seed)
+        self.network = Network(self.sim, latency, link_faults)
+        self.topology: Topology | None = (
+            None
+            if nprocs == 1
+            else (kary_tree(nprocs, arity) if nprocs > 2 else ring(2))
+        )
+        self.retransmit_interval = (
+            retransmit_interval
+            if retransmit_interval is not None
+            else max(6.0 * latency, 0.05)
+        )
+        self.stats = RuntimeStats()
+
+        self._gens: list[Generator | None] = [None] * nprocs
+        self._results: list[Any] = [None] * nprocs
+        self._finished = 0
+        self._mailbox: list[list[Message]] = [[] for _ in range(nprocs)]
+        self._parked_recv: list[tuple[int | None, int | None] | None] = [
+            None
+        ] * nprocs
+        self._recv_epoch = [0] * nprocs
+        self._coll: list[_CollState | None] = [None] * nprocs
+        self._coll_count = [0] * nprocs
+        self._fuzzy_results: list[dict[int, Any]] = [{} for _ in range(nprocs)]
+        self._fuzzy_waiting: list[int | None] = [None] * nprocs
+        self._releases: dict[int, tuple[str, Any, int]] = {}
+        self._fault_flag = [False] * nprocs
+        self._fault_env = DetectableFaultEnv(fault_frequency, nprocs)
+        self._aborting = False
+        self.record_events = record_events
+        self.events: list[RankEvent] = []
+
+    def _event(self, rank: int, kind: str, detail: Any = None) -> None:
+        if self.record_events:
+            self.events.append(RankEvent(self.sim.now, rank, kind, detail))
+
+    def events_for(self, rank: int) -> list[RankEvent]:
+        """All recorded events of one rank, in time order."""
+        return [e for e in self.events if e.rank == rank]
+
+    # ------------------------------------------------------------------
+    # Job control
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Callable[[Comm], Generator] | Sequence[Callable[[Comm], Generator]],
+        until: float = inf,
+        max_events: int = 10_000_000,
+    ) -> list[Any]:
+        """Run the job until all ranks return (or ``until`` virtual
+        time); returns the per-rank return values.
+
+        ``program`` is either one generator function applied at every
+        rank (SPMD) or a sequence of ``nprocs`` generator functions, one
+        per rank (MPMD).  In ABORT mode a detected fault raises
+        :class:`JobAborted` inside every rank; the runtime re-raises it
+        after the run.
+        """
+        if callable(program):
+            programs: Sequence[Callable[[Comm], Generator]] = [
+                program
+            ] * self.nprocs
+        else:
+            programs = list(program)
+            if len(programs) != self.nprocs:
+                raise ValueError(
+                    f"MPMD needs {self.nprocs} programs, got {len(programs)}"
+                )
+        for rank in range(self.nprocs):
+            gen = programs[rank](Comm(self, rank))
+            if not hasattr(gen, "send"):
+                raise TypeError(
+                    "program must be a generator function (use yield)"
+                )
+            self._gens[rank] = gen
+        self._schedule_next_fault()
+        for rank in range(self.nprocs):
+            self._resume(rank, None)
+        self.sim.run(
+            until=until if until != inf else None,
+            stop=lambda: self._finished >= self.nprocs,
+            max_events=max_events,
+        )
+        self.stats.messages_sent = self.network.messages_sent
+        if self.stats.aborted:
+            raise JobAborted(
+                f"job aborted by a fault (ft_mode={self.ft_mode.value})"
+            )
+        if self._finished < self.nprocs:
+            alive = [r for r in range(self.nprocs) if self._gens[r] is not None]
+            raise BarrierError(
+                f"ranks {alive} did not finish by t={self.sim.now:g} "
+                "(deadlock or time limit)"
+            )
+        return list(self._results)
+
+    # ------------------------------------------------------------------
+    # Trampoline
+    # ------------------------------------------------------------------
+    def _resume(self, rank: int, value: Any) -> None:
+        gen = self._gens[rank]
+        if gen is None:
+            return
+        try:
+            syscall = gen.send(value)
+        except StopIteration as stop:
+            self._gens[rank] = None
+            self._results[rank] = stop.value
+            self._finished += 1
+            return
+        self._dispatch(rank, syscall)
+
+    def _throw_all(self, exc: Exception) -> None:
+        self._aborting = True
+        self.stats.aborted = True
+        for rank in range(self.nprocs):
+            gen = self._gens[rank]
+            if gen is None:
+                continue
+            try:
+                gen.throw(exc)
+            except (StopIteration, JobAborted):
+                pass
+            self._gens[rank] = None
+            self._finished += 1
+
+    def _dispatch(self, rank: int, syscall: Syscall) -> None:
+        if isinstance(syscall, _Compute):
+            self._event(rank, "compute", syscall.duration)
+            self.sim.after(syscall.duration, lambda: self._resume(rank, None))
+        elif isinstance(syscall, _Now):
+            self.sim.after(0.0, lambda: self._resume(rank, self.sim.now))
+        elif isinstance(syscall, _Send):
+            self._event(rank, "send", (syscall.dst, syscall.tag))
+            self.network.send(
+                rank,
+                syscall.dst,
+                syscall.payload,
+                lambda m: self._deliver(m),
+                tag=syscall.tag,
+            )
+            self.sim.after(0.0, lambda: self._resume(rank, None))
+        elif isinstance(syscall, _Recv):
+            self._parked_recv[rank] = (syscall.src, syscall.tag)
+            self._recv_epoch[rank] += 1
+            if syscall.timeout is not None:
+                epoch = self._recv_epoch[rank]
+
+                def expire() -> None:
+                    if (
+                        self._parked_recv[rank] is not None
+                        and self._recv_epoch[rank] == epoch
+                        and self._gens[rank] is not None
+                    ):
+                        self._parked_recv[rank] = None
+                        self._resume(rank, None)
+
+                self.sim.after(syscall.timeout, expire)
+            self._match_recv(rank)
+        elif isinstance(syscall, _Collective):
+            self._enter_collective(rank, syscall)
+        elif isinstance(syscall, _BarrierEnter):
+            self._enter_fuzzy(rank)
+        elif isinstance(syscall, _BarrierWait):
+            self._wait_fuzzy(rank, syscall.handle)
+        elif isinstance(syscall, _BarrierTest):
+            result = self._fuzzy_results[rank].pop(syscall.handle, None)
+            self.sim.after(0.0, lambda: self._resume(rank, result))
+        else:
+            raise TypeError(f"rank {rank} yielded a non-syscall: {syscall!r}")
+
+    # ------------------------------------------------------------------
+    # Point-to-point delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: Message) -> None:
+        if self._aborting:
+            return
+        if msg.tag >= _CTRL_TAG:
+            self._coll_message(msg)
+            return
+        if msg.corrupted:
+            return  # detectable corruption: the receiver discards it
+        self._mailbox[msg.dst].append(msg)
+        self._match_recv(msg.dst)
+
+    def _match_recv(self, rank: int) -> None:
+        want = self._parked_recv[rank]
+        if want is None:
+            return
+        src, tag = want
+        box = self._mailbox[rank]
+        for i, msg in enumerate(box):
+            if (src is None or msg.src == src) and (
+                tag is None or msg.tag == tag
+            ):
+                del box[i]
+                self._parked_recv[rank] = None
+                self._event(rank, "recv", (msg.src, msg.tag))
+                self._resume(rank, msg.payload)
+                return
+
+    # ------------------------------------------------------------------
+    # Process faults
+    # ------------------------------------------------------------------
+    def schedule_fault(self, time: float, rank: int) -> None:
+        """Deterministically strike ``rank`` with a detectable fault at
+        virtual ``time`` (adversarial fault-timing in tests; composes
+        with the random fault environment)."""
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"bad rank {rank}")
+        self.sim.at(time, lambda: self._strike(rank))
+
+    def _schedule_next_fault(self) -> None:
+        t = self._fault_env.next_arrival(self.sim.rng("proc-faults"), self.sim.now)
+        if t == inf:
+            return
+        self.sim.at(t, self._inject_fault)
+
+    def _inject_fault(self) -> None:
+        if self._aborting:
+            return
+        victim = self._fault_env.victim(self.sim.rng("proc-faults"))
+        self._strike(victim)
+        self._schedule_next_fault()
+
+    def _strike(self, victim: int) -> None:
+        """Apply a detectable fault to ``victim`` right now."""
+        if self._aborting:
+            return
+        self.stats.faults_injected += 1
+        self._fault_flag[victim] = True
+        self._event(victim, "fault")
+        # The detectable reset: the rank's in-flight collective
+        # aggregation state is lost (its own contribution survives in the
+        # application-level call record, like data reconstructed from the
+        # caller's arguments after a reset).
+        state = self._coll[victim]
+        if state is not None and state.waiting:
+            state.child_values.clear()
+            state.sent_up = False
+
+    # ------------------------------------------------------------------
+    # Collective engine
+    # ------------------------------------------------------------------
+    def _enter_collective(
+        self, rank: int, call: _Collective, blocking: bool = True
+    ) -> int:
+        if self.nprocs == 1:
+            result = self._single_rank_result(call)
+            cid = self._coll_count[rank]
+            self._coll_count[rank] += 1
+            if blocking:
+                self.sim.after(0.0, lambda: self._resume(rank, result))
+            else:
+                self._fuzzy_results[rank][cid] = result
+                self.sim.after(0.0, lambda: self._resume(rank, cid))
+            return cid
+        if self._coll[rank] is not None and self._coll[rank].waiting:
+            raise RuntimeError(
+                f"rank {rank} entered a collective with another still open "
+                "(complete the fuzzy barrier_wait first)"
+            )
+        cid = self._coll_count[rank]
+        self._coll_count[rank] += 1
+        value = call.value
+        if call.kind in ("gather", "allgather"):
+            value = {rank: call.value}  # merged upward by rank
+        state = _CollState(
+            cid=cid,
+            kind=call.kind,
+            op=call.op,
+            value=value,
+            entered_at=self.sim.now,
+            blocking=blocking,
+        )
+        self._coll[rank] = state
+        self._event(rank, "collective-enter", (cid, call.kind))
+        if not blocking:
+            self.sim.after(0.0, lambda: self._resume(rank, cid))
+        release = self._releases.get(cid)
+        if release is not None:
+            # Stragglers: the instance already completed.
+            self._finish_collective(rank, state, release)
+            return cid
+        self._try_send_up(rank, state)
+        self._arm_retransmit(rank, cid)
+        return cid
+
+    def _enter_fuzzy(self, rank: int) -> None:
+        self._enter_collective(rank, _Collective("barrier"), blocking=False)
+
+    def _wait_fuzzy(self, rank: int, handle: int) -> None:
+        results = self._fuzzy_results[rank]
+        if handle in results:
+            result = results.pop(handle)
+            self.sim.after(0.0, lambda: self._resume(rank, result))
+            return
+        state = self._coll[rank]
+        if state is None or state.cid != handle or state.blocking:
+            raise RuntimeError(
+                f"rank {rank} waits on unknown fuzzy barrier {handle}"
+            )
+        self._fuzzy_waiting[rank] = handle
+
+    def _single_rank_result(self, call: _Collective) -> Any:
+        if call.kind == "barrier":
+            return SUCCESS
+        if call.kind in ("gather", "allgather"):
+            return [call.value]
+        if call.kind == "scatter":
+            return call.value[0]
+        return call.value  # reduce/allreduce/bcast of own value
+
+    def _children(self, rank: int) -> Iterable[int]:
+        assert self.topology is not None
+        return self.topology.children[rank]
+
+    def _parent(self, rank: int) -> int:
+        assert self.topology is not None
+        return self.topology.parent[rank]
+
+    def _subtree_ready(self, rank: int, state: _CollState) -> bool:
+        return all(c in state.child_values for c in self._children(rank))
+
+    def _aggregate(self, state: _CollState) -> Any:
+        if state.kind in ("gather", "allgather"):
+            merged: dict[int, Any] = dict(state.value)
+            for v in state.child_values.values():
+                if v is not None:
+                    merged.update(v)
+            return merged
+        acc = state.value
+        op = _OPS[state.op]
+        for v in state.child_values.values():
+            if v is not None:
+                acc = v if acc is None else op(acc, v)
+        return acc
+
+    _DATA_KINDS = ("reduce", "allreduce", "gather", "allgather")
+
+    def _try_send_up(self, rank: int, state: _CollState) -> None:
+        if not self._subtree_ready(rank, state):
+            return
+        if rank == 0:
+            self._root_decide(state)
+            return
+        payload = {
+            "cid": state.cid,
+            "value": self._aggregate(state)
+            if state.kind in self._DATA_KINDS
+            else None,
+            "attempt": state.attempt,
+        }
+        self.network.send(
+            rank,
+            self._parent(rank),
+            payload,
+            lambda m: self._deliver(m),
+            tag=_TAG_ARRIVE,
+        )
+        state.sent_up = True
+
+    def _arm_retransmit(self, rank: int, cid: int) -> None:
+        def tick() -> None:
+            state = self._coll[rank]
+            if (
+                self._aborting
+                or state is None
+                or state.cid != cid
+                or not state.waiting
+            ):
+                return
+            # Still waiting: re-offer the subtree contribution (masks
+            # lost arrive messages and parent resets).
+            if rank != 0 and self._subtree_ready(rank, state):
+                self._try_send_up(rank, state)
+            self.sim.after(self.retransmit_interval, tick)
+
+        self.sim.after(self.retransmit_interval, tick)
+
+    def _coll_message(self, msg: Message) -> None:
+        if msg.corrupted:
+            return  # detectable; retransmission recovers it
+        rank = msg.dst
+        payload = msg.payload
+        cid = payload["cid"]
+        if msg.tag == _TAG_ARRIVE:
+            state = self._coll[rank]
+            if state is None or state.cid != cid or not state.waiting:
+                # The child is behind (lost release): re-release.
+                release = self._releases.get(cid)
+                if release is not None:
+                    self._send_release(rank, msg.src, cid, release)
+                return
+            state.child_values[msg.src] = payload["value"]
+            self._try_send_up(rank, state)
+        elif msg.tag == _TAG_RELEASE:
+            release = (payload["status"], payload["value"], payload["attempt"])
+            state = self._coll[rank]
+            if state is None or state.cid != cid:
+                return
+            if payload["status"] == "retry":
+                if state.attempt < payload["attempt"]:
+                    state.attempt = payload["attempt"]
+                    state.sent_up = False
+                    self._fault_flag[rank] = False
+                    for child in self._children(rank):
+                        self._send_release(rank, child, cid, release)
+                    self._try_send_up(rank, state)
+                return
+            if state.waiting:
+                for child in self._children(rank):
+                    self._send_release(rank, child, cid, release)
+                self._finish_collective(rank, state, release)
+
+    def _send_release(
+        self, src: int, dst: int, cid: int, release: tuple[str, Any, int]
+    ) -> None:
+        status, value, attempt = release
+        self.network.send(
+            src,
+            dst,
+            {"cid": cid, "status": status, "value": value, "attempt": attempt},
+            lambda m: self._deliver(m),
+            tag=_TAG_RELEASE,
+        )
+
+    def _root_decide(self, state: _CollState) -> None:
+        """Rank 0 holds the full aggregation: decide the outcome."""
+        faulted = any(self._fault_flag)
+        if faulted:
+            if self.ft_mode is FTMode.ABORT:
+                self._throw_all(
+                    JobAborted("fault detected during a collective")
+                )
+                return
+            if self.ft_mode is FTMode.TOLERATE:
+                # Re-execute the instance (the paper's masking): clear the
+                # flags and ask every rank to contribute again.
+                self.stats.instances_retried += 1
+                self._event(0, "retry", (state.cid, state.attempt + 1))
+                self._fault_flag = [False] * self.nprocs
+                state.attempt += 1
+                state.child_values.clear()
+                release = ("retry", None, state.attempt)
+                for child in self._children(0):
+                    self._send_release(0, child, state.cid, release)
+                return
+            # RETURN_CODE: report the error to every rank.
+            self._fault_flag = [False] * self.nprocs
+            status = "error"
+        else:
+            status = "ok"
+        if state.kind in ("bcast", "scatter"):
+            value = state.value  # collectives root is rank 0
+        elif state.kind in self._DATA_KINDS:
+            value = self._aggregate(state)
+        else:
+            value = None
+        release = (status, value, state.attempt)
+        self._releases[state.cid] = release
+        for child in self._children(0):
+            self._send_release(0, child, state.cid, release)
+        self._finish_collective(0, state, release)
+
+    def _finish_collective(
+        self, rank: int, state: _CollState, release: tuple[str, Any, int]
+    ) -> None:
+        status, value, _attempt = release
+        state.waiting = False
+        self._coll[rank] = None
+        self.stats.collectives_completed += 1
+        self._event(rank, "collective-complete", (state.cid, status))
+        if status == "error":
+            self.stats.error_codes_returned += 1
+            result: Any = ERR_FAULT
+        elif state.kind == "barrier":
+            result = SUCCESS
+        elif state.kind == "reduce":
+            result = value if rank == 0 else None
+        elif state.kind == "gather":
+            result = (
+                [value[r] for r in range(self.nprocs)] if rank == 0 else None
+            )
+        elif state.kind == "allgather":
+            result = [value[r] for r in range(self.nprocs)]
+        elif state.kind == "scatter":
+            result = value[rank]
+        else:  # allreduce, bcast
+            result = value
+        if state.blocking:
+            self.sim.after(0.0, lambda: self._resume(rank, result))
+        elif self._fuzzy_waiting[rank] == state.cid:
+            self._fuzzy_waiting[rank] = None
+            self.sim.after(0.0, lambda: self._resume(rank, result))
+        else:
+            self._fuzzy_results[rank][state.cid] = result

@@ -1,0 +1,175 @@
+"""Branching-ring topologies (Figure 2).
+
+All of the paper's Section 4 refinements share one structure: a rooted
+out-tree on the processes (every non-root has exactly one *parent* it
+copies the token from) whose *finals* (processes without successors) are
+read back by the root.  The plain ring (Fig 2a) is the degenerate tree
+that is a single path; the two-ring (Fig 2b) is a path that forks; the
+tree with leaves connected to the root (Fig 2c) is an arbitrary rooted
+tree; the double tree (Fig 2d) is obtained by embedding (see
+:mod:`repro.topology.embedding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A rooted out-tree over processes ``0..nprocs-1`` with root 0.
+
+    ``parent[j]`` is the predecessor process j copies from (``parent[0]``
+    is ``-1``); ``finals`` are the processes with no children, whose
+    state the root reads to detect a completed circulation.
+    """
+
+    name: str
+    parent: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.parent)
+        if n < 2:
+            raise TopologyError("topology needs at least 2 processes")
+        if self.parent[0] != -1:
+            raise TopologyError("process 0 must be the root (parent -1)")
+        for j in range(1, n):
+            p = self.parent[j]
+            if not 0 <= p < n or p == j:
+                raise TopologyError(f"invalid parent {p} for process {j}")
+        # Acyclicity / connectivity: every process must reach the root.
+        for j in range(1, n):
+            seen = set()
+            node = j
+            while node != 0:
+                if node in seen:
+                    raise TopologyError(f"cycle through process {node}")
+                seen.add(node)
+                node = self.parent[node]
+
+    # ------------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return len(self.parent)
+
+    @property
+    def children(self) -> tuple[tuple[int, ...], ...]:
+        out: list[list[int]] = [[] for _ in range(self.nprocs)]
+        for j in range(1, self.nprocs):
+            out[self.parent[j]].append(j)
+        return tuple(tuple(c) for c in out)
+
+    @property
+    def finals(self) -> tuple[int, ...]:
+        """Processes with no children (ring: N; tree: the leaves)."""
+        kids = self.children
+        return tuple(j for j in range(self.nprocs) if not kids[j])
+
+    @property
+    def depth(self) -> tuple[int, ...]:
+        """Hop distance of each process from the root."""
+        out = [0] * self.nprocs
+        for j in range(1, self.nprocs):
+            d = 0
+            node = j
+            while node != 0:
+                node = self.parent[node]
+                d += 1
+            out[j] = d
+        return tuple(out)
+
+    @property
+    def height(self) -> int:
+        """The paper's ``h``: the longest root-to-final hop count."""
+        return max(self.depth)
+
+    def is_ring(self) -> bool:
+        return len(self.finals) == 1 and self.height == self.nprocs - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Topology({self.name!r}, nprocs={self.nprocs}, "
+            f"height={self.height}, finals={len(self.finals)})"
+        )
+
+
+def ring(nprocs: int) -> Topology:
+    """Figure 2(a): processes 0..N in a ring.
+
+    The token path is the chain 0 -> 1 -> ... -> N with process N read
+    back by process 0.
+    """
+    if nprocs < 2:
+        raise TopologyError("ring needs at least 2 processes")
+    return Topology("ring", (-1,) + tuple(range(nprocs - 1)))
+
+
+def two_ring(branch_a: int, branch_b: int, shared: int = 1) -> Topology:
+    """Figure 2(b): two rings intersecting at processes ``0..shared-1``.
+
+    After the shared prefix the token forks into two branches of
+    ``branch_a`` and ``branch_b`` processes; the branch tails are the
+    paper's N1 and N2.
+    """
+    if shared < 1:
+        raise TopologyError("the rings must share at least process 0")
+    if branch_a < 1 or branch_b < 1:
+        raise TopologyError("both branches need at least one process")
+    parent = [-1] + list(range(shared - 1))  # shared path 0..shared-1
+    # Branch A: shared..shared+branch_a-1
+    parent.append(shared - 1)
+    parent.extend(range(shared, shared + branch_a - 1))
+    # Branch B: shared+branch_a..shared+branch_a+branch_b-1
+    parent.append(shared - 1)
+    parent.extend(range(shared + branch_a, shared + branch_a + branch_b - 1))
+    return Topology("two-ring", tuple(parent))
+
+
+def kary_tree(nprocs: int, arity: int = 2) -> Topology:
+    """Figure 2(c): a complete k-ary tree (leaves linked to the root).
+
+    Process j's parent is ``(j-1) // arity``; a complete binary tree over
+    ``N`` processes has height ``O(log N)``, giving the paper's
+    ``O(h) = O(log N)`` barrier latency.
+    """
+    if arity < 1:
+        raise TopologyError("arity must be >= 1")
+    if nprocs < 2:
+        raise TopologyError("tree needs at least 2 processes")
+    parent = (-1,) + tuple((j - 1) // arity for j in range(1, nprocs))
+    return Topology(f"{arity}-ary-tree", parent)
+
+
+@dataclass(frozen=True)
+class DoubleTree:
+    """Figure 2(d): a detection tree and a dissemination tree sharing
+    process 0 as root.
+
+    The paper notes 2(d) can be realised in any connected graph by using
+    one embedded tree twice; we model it as the pair (both usually the
+    same :class:`Topology`) so protocol simulators can charge one
+    downward wave per tree.
+    """
+
+    up: Topology
+    down: Topology
+
+    def __post_init__(self) -> None:
+        if self.up.nprocs != self.down.nprocs:
+            raise TopologyError("double tree halves must cover the same processes")
+
+    @property
+    def nprocs(self) -> int:
+        return self.up.nprocs
+
+    @property
+    def height(self) -> int:
+        return max(self.up.height, self.down.height)
+
+
+def double_tree(nprocs: int, arity: int = 2) -> DoubleTree:
+    """A Figure 2(d) double tree using the same k-ary tree twice."""
+    t = kary_tree(nprocs, arity)
+    return DoubleTree(up=t, down=t)

@@ -1,0 +1,23 @@
+"""Plain-text visualization helpers.
+
+Terminal-friendly rendering of program states, trace timelines, and the
+experiment series (ASCII charts) -- used by the examples and by the
+experiments CLI, and handy when debugging fault scenarios.
+"""
+
+from repro.viz.timeline import (
+    render_state,
+    render_timeline,
+    render_topology,
+    state_glyphs,
+)
+from repro.viz.chart import ascii_chart, sparkline
+
+__all__ = [
+    "render_state",
+    "render_timeline",
+    "render_topology",
+    "state_glyphs",
+    "ascii_chart",
+    "sparkline",
+]

@@ -1,0 +1,75 @@
+"""ASCII charts for the experiment series.
+
+Good enough to eyeball the Figure 3-7 shapes in a terminal without a
+plotting stack (the environment is offline); the numeric tables remain
+the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of ``values``."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * len(values)
+    scale = (len(_BLOCKS) - 1) / (hi - lo)
+    return "".join(_BLOCKS[int(round((v - lo) * scale))] for v in values)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A multi-series scatter chart in ASCII.
+
+    Each series gets a letter marker (a, b, c, ...); overlapping points
+    show ``*``.  Axis extremes are annotated with their values.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {label!r} length mismatch")
+    all_y = [v for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(x), max(x)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    for idx, (label, ys) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for xv, yv in zip(x, ys):
+            col = int(round((xv - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((yv - y_lo) / y_span * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = mark if cell == " " else "*"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.4g}" + " " * max(1, width - 12) + f"{x_hi:>.4g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""State and trace timeline rendering.
+
+One line per interesting step: the control positions (one glyph per
+process), the phases, and the sequence numbers when present.  Glyphs:
+
+====  =========================
+``.``  ready
+``E``  execute
+``S``  success
+``X``  error
+``R``  repeat
+``v``  sequence number BOT
+``^``  sequence number TOP
+====  =========================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.barrier.control import CP
+from repro.gc.domains import BOT, TOP
+from repro.gc.state import State
+from repro.gc.trace import Trace, TraceEvent
+
+_CP_GLYPH = {
+    CP.READY: ".",
+    CP.EXECUTE: "E",
+    CP.SUCCESS: "S",
+    CP.ERROR: "X",
+    CP.REPEAT: "R",
+}
+
+
+def state_glyphs(state: State, var: str = "cp") -> str:
+    """Glyph string for a control-position vector."""
+    out = []
+    for pid in range(state.nprocs):
+        value = state.get(var, pid)
+        out.append(_CP_GLYPH.get(value, "?"))
+    return "".join(out)
+
+
+def _sn_glyph(value: Any) -> str:
+    if value is BOT:
+        return "v"
+    if value is TOP:
+        return "^"
+    return str(value)[-1]  # last digit keeps columns aligned
+
+
+def render_state(state: State) -> str:
+    """One-line summary of a barrier-program state."""
+    parts = []
+    if "cp" in state:
+        parts.append("cp=" + state_glyphs(state))
+    if "ph" in state:
+        parts.append(
+            "ph=" + "".join(str(state.get("ph", p))[-1] for p in range(state.nprocs))
+        )
+    if "sn" in state:
+        parts.append(
+            "sn=" + "".join(_sn_glyph(state.get("sn", p)) for p in range(state.nprocs))
+        )
+    return " ".join(parts) if parts else repr(state)
+
+
+def render_topology(topology) -> str:
+    """ASCII rendering of a branching-ring topology (Figure 2 shapes).
+
+    Finals (the processes the root reads back) are marked with ``*``.
+    """
+    finals = set(topology.finals)
+    lines: list[str] = []
+
+    def visit(pid: int, prefix: str, is_last: bool) -> None:
+        mark = "*" if pid in finals else ""
+        if pid == 0:
+            lines.append(f"0{mark}")
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(f"{prefix}{connector}{pid}{mark}")
+        kids = topology.children[pid]
+        child_prefix = "" if pid == 0 else prefix + ("    " if is_last else "|   ")
+        for i, child in enumerate(kids):
+            visit(child, child_prefix, i == len(kids) - 1)
+
+    visit(0, "", True)
+    return "\n".join(lines)
+
+
+def render_timeline(
+    initial_state: State,
+    trace: Trace | Iterable[TraceEvent],
+    max_lines: int = 60,
+    only_changes: bool = True,
+) -> str:
+    """Replay a trace and render the state after each event.
+
+    Fault events are marked with ``!``.  With ``only_changes`` (default)
+    consecutive identical lines collapse.  Output is truncated to
+    ``max_lines`` with a trailing ellipsis marker.
+    """
+    state = initial_state.snapshot()
+    lines: list[str] = [f"step {0:>5}   {render_state(state)}"]
+    last = render_state(state)
+    truncated = False
+    for ev in trace:
+        for var, value in ev.updates:
+            state.set(var, ev.pid, value)
+        line = render_state(state)
+        if only_changes and line == last and not ev.is_fault:
+            continue
+        last = line
+        marker = "!" if ev.is_fault else " "
+        lines.append(f"step {ev.step:>5} {marker} {line}")
+        if len(lines) >= max_lines:
+            truncated = True
+            break
+    if truncated:
+        lines.append("... (truncated)")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.barrier.cb import make_cb
+from repro.barrier.mb import make_mb
+from repro.barrier.rb import make_rb
+from repro.barrier.tokenring import make_token_ring
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cb4():
+    """CB with 4 processes, 3 phases."""
+    return make_cb(4, 3)
+
+
+@pytest.fixture
+def rb5():
+    """RB on a 5-process ring, 3 phases."""
+    return make_rb(5, nphases=3)
+
+
+@pytest.fixture
+def mb4():
+    """MB on a 4-process ring, 3 phases."""
+    return make_mb(4, nphases=3)
+
+
+@pytest.fixture
+def ring5():
+    """Standalone 5-process token ring."""
+    return make_token_ring(5)

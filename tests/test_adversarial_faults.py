@@ -1,0 +1,126 @@
+"""Adversarially-timed fault injection against the collective engine.
+
+Random fault environments may never hit the nastiest windows; these
+tests use :meth:`Runtime.schedule_fault` to strike specific ranks at
+specific instants -- mid-aggregation, at the root, during the release,
+back-to-back -- and require the TOLERATE mode to stay correct through
+every one of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des.network import LinkFaults
+from repro.simmpi import FTMode, Runtime
+from repro.simmpi.ftmodes import ERR_FAULT
+
+
+def phases_worker(n_phases, work=1.0):
+    def worker(comm):
+        total = 0
+        for _ in range(n_phases):
+            yield comm.compute(work)
+            yield comm.barrier()
+            total += (yield comm.allreduce(comm.rank, op="sum"))
+        return total
+
+    return worker
+
+
+def expected(nprocs, phases):
+    return phases * sum(range(nprocs))
+
+
+class TestTargetedTiming:
+    def test_fault_at_root_mid_collective(self):
+        rt = Runtime(nprocs=8, latency=0.01, seed=0, ft_mode=FTMode.TOLERATE)
+        # The first barrier's aggregation happens just after t=1.0.
+        rt.schedule_fault(1.005, rank=0)
+        results = rt.run(phases_worker(5))
+        assert results == [expected(8, 5)] * 8
+        assert rt.stats.instances_retried >= 1
+
+    def test_fault_at_leaf_mid_collective(self):
+        rt = Runtime(nprocs=8, latency=0.01, seed=0, ft_mode=FTMode.TOLERATE)
+        rt.schedule_fault(1.005, rank=7)
+        results = rt.run(phases_worker(5))
+        assert results == [expected(8, 5)] * 8
+
+    def test_fault_during_release_window(self):
+        # Aggregation for the first barrier completes ~1.03; strike
+        # during the release dissemination.
+        rt = Runtime(nprocs=8, latency=0.01, seed=0, ft_mode=FTMode.TOLERATE)
+        rt.schedule_fault(1.035, rank=3)
+        results = rt.run(phases_worker(5))
+        assert results == [expected(8, 5)] * 8
+
+    def test_every_rank_struck_once(self):
+        rt = Runtime(nprocs=6, latency=0.01, seed=0, ft_mode=FTMode.TOLERATE)
+        for rank in range(6):
+            rt.schedule_fault(1.0 + 0.8 * rank, rank=rank)
+        results = rt.run(phases_worker(8))
+        assert results == [expected(6, 8)] * 6
+        assert rt.stats.faults_injected == 6
+
+    def test_back_to_back_faults_same_instance(self):
+        rt = Runtime(nprocs=8, latency=0.01, seed=0, ft_mode=FTMode.TOLERATE)
+        for dt, rank in [(1.001, 2), (1.002, 5), (1.02, 2), (1.06, 0)]:
+            rt.schedule_fault(dt, rank=rank)
+        results = rt.run(phases_worker(4))
+        assert results == [expected(8, 4)] * 8
+
+    def test_faults_plus_message_loss(self):
+        rt = Runtime(
+            nprocs=8,
+            latency=0.01,
+            seed=1,
+            ft_mode=FTMode.TOLERATE,
+            link_faults=LinkFaults(loss=0.1),
+        )
+        for i in range(5):
+            rt.schedule_fault(1.0 + i * 1.1, rank=(3 * i) % 8)
+        results = rt.run(phases_worker(6))
+        assert results == [expected(8, 6)] * 8
+
+    def test_return_code_reports_targeted_fault(self):
+        hits = []
+
+        def worker(comm):
+            yield comm.compute(1.0)
+            code = yield comm.barrier()
+            if code == ERR_FAULT:
+                hits.append(comm.rank)
+                code = yield comm.barrier()
+            assert code == 0
+            return None
+
+        rt = Runtime(nprocs=4, latency=0.01, seed=0, ft_mode=FTMode.RETURN_CODE)
+        rt.schedule_fault(1.005, rank=1)
+        rt.run(worker)
+        assert len(hits) == 4  # every rank saw the error code
+
+    def test_bad_rank_rejected(self):
+        rt = Runtime(nprocs=4, seed=0)
+        with pytest.raises(ValueError):
+            rt.schedule_fault(1.0, rank=9)
+
+
+class TestFaultStorm:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_random_storm(self, seed):
+        """Dozens of deterministic strikes at random instants, on top of
+        message loss: correctness must survive all of it."""
+        rng = np.random.default_rng(seed)
+        rt = Runtime(
+            nprocs=8,
+            latency=0.01,
+            seed=seed,
+            ft_mode=FTMode.TOLERATE,
+            link_faults=LinkFaults(loss=0.03, duplication=0.03),
+        )
+        for _ in range(30):
+            rt.schedule_fault(
+                float(rng.uniform(0.5, 15.0)), rank=int(rng.integers(0, 8))
+            )
+        results = rt.run(phases_worker(10), max_events=20_000_000)
+        assert results == [expected(8, 10)] * 8

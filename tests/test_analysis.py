@@ -1,0 +1,161 @@
+"""The Section 6.1 analytical model: formulae and the paper's quoted
+numbers (these are exact reproductions, not shape checks)."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import (
+    AnalyticalModel,
+    expected_instances,
+    fault_probability_per_instance,
+    ft_instance_time,
+    ft_phase_time,
+    height_for_procs,
+    instances_quantile,
+    intolerant_phase_time,
+    overhead,
+    recovery_envelope,
+    recovery_time_bound,
+)
+from repro.analysis.series import fig3_series, fig4_series, recovery_bound_series
+
+
+class TestFormulae:
+    def test_instance_times(self):
+        assert ft_instance_time(5, 0.01) == pytest.approx(1.15)
+        assert intolerant_phase_time(5, 0.01) == pytest.approx(1.10)
+
+    def test_fault_probability(self):
+        p = fault_probability_per_instance(5, 0.01, 0.01)
+        assert p == pytest.approx(1 - 0.99**1.15)
+
+    def test_expected_instances_geometric(self):
+        e = expected_instances(5, 0.01, 0.05)
+        assert e == pytest.approx(1 / 0.95**1.15)
+
+    def test_no_faults_one_instance(self):
+        assert expected_instances(5, 0.05, 0.0) == 1.0
+
+    def test_phase_time(self):
+        t = ft_phase_time(5, 0.01, 0.01)
+        assert t == pytest.approx(1.15 / 0.99**1.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_instances(-1, 0.01, 0.0)
+        with pytest.raises(ValueError):
+            expected_instances(5, -0.01, 0.0)
+        with pytest.raises(ValueError):
+            expected_instances(5, 0.01, 1.0)
+
+
+class TestPaperNumbers:
+    """Exact quotes from Sections 6.1 and 8."""
+
+    def test_overhead_4_5_percent_no_faults(self):
+        assert overhead(5, 0.01, 0.0) == pytest.approx(0.045, abs=0.001)
+
+    def test_overhead_5_7_percent_f001(self):
+        assert overhead(5, 0.01, 0.01) == pytest.approx(0.057, abs=0.001)
+
+    def test_overhead_bounded_10_8_percent_f005(self):
+        assert overhead(5, 0.01, 0.05) == pytest.approx(0.108, abs=0.002)
+
+    def test_reexecution_below_1_6_percent(self):
+        # "when the frequency of faults is small (f <= 0.01), the
+        # percentage of phases executed incorrectly is lower than 1.6%"
+        for f in (0.001, 0.005, 0.01):
+            assert expected_instances(5, 0.01, f) - 1 < 0.016
+
+    def test_reexecution_1_7_percent_high_latency(self):
+        # "even at high communication latency, c = 0.05 ... f = 0.01 ...
+        # as low as 1.7%"
+        assert expected_instances(5, 0.05, 0.01) - 1 == pytest.approx(
+            0.0177, abs=0.001
+        )
+
+    def test_section8_3_to_4_percent_low_frequency(self):
+        # "the overhead was merely 3 to 4 percent when the frequency of
+        # faults was low (about 1 fault per second)" -- f = 0.001 with a
+        # 1 ms phase, at moderate latencies.
+        values = [overhead(5, c, 0.001) for c in (0.005, 0.0075, 0.01)]
+        assert all(0.02 < v < 0.05 for v in values)
+
+    def test_recovery_bound(self):
+        assert recovery_time_bound(5, 0.01) == pytest.approx(0.25)
+        # "under our assumption that 2hc <= 0.5, the program recovers in
+        # at most 1.25 time"
+        assert recovery_envelope(5, 0.05) == pytest.approx(1.25)
+
+    def test_operating_assumption(self):
+        # 2hc <= 0.5 across the entire swept range (h=5, c<=0.05).
+        assert 2 * 5 * 0.05 <= 0.5
+
+
+class TestHelpers:
+    def test_height_for_procs(self):
+        assert height_for_procs(32) == 5
+        assert height_for_procs(128) == 7
+        assert height_for_procs(2) == 1
+        with pytest.raises(ValueError):
+            height_for_procs(1)
+
+    def test_variance_and_ci(self):
+        from repro.analysis.model import instances_ci, instances_variance
+
+        assert instances_variance(5, 0.01, 0.0) == 0.0
+        v = instances_variance(5, 0.01, 0.1)
+        assert v > 0
+        lo, hi = instances_ci(5, 0.01, 0.1, phases=300)
+        from repro.analysis.model import expected_instances as ei
+
+        mean = ei(5, 0.01, 0.1)
+        assert lo < mean < hi
+        # More phases -> tighter interval.
+        lo2, hi2 = instances_ci(5, 0.01, 0.1, phases=3000)
+        assert hi2 - lo2 < hi - lo
+        with pytest.raises(ValueError):
+            instances_ci(5, 0.01, 0.1, phases=0)
+
+    def test_quantiles(self):
+        assert instances_quantile(5, 0.01, 0.0, 0.99) == 1
+        q = instances_quantile(5, 0.01, 0.3, 0.99)
+        p_fail = fault_probability_per_instance(5, 0.01, 0.3)
+        assert 1 - p_fail**q >= 0.99
+        with pytest.raises(ValueError):
+            instances_quantile(5, 0.01, 0.1, 1.5)
+
+    def test_model_facade(self):
+        m = AnalyticalModel(h=5)
+        assert m.overhead(0.01, 0.0) == overhead(5, 0.01, 0.0)
+        assert m.recovery_bound(0.02) == recovery_time_bound(5, 0.02)
+        assert m.phase_time(0.01, 0.01) == ft_phase_time(5, 0.01, 0.01)
+        assert m.intolerant_time(0.01) == intolerant_phase_time(5, 0.01)
+        assert m.instance_time(0.01) == ft_instance_time(5, 0.01)
+        assert m.expected_instances(0.01, 0.1) == expected_instances(5, 0.01, 0.1)
+
+
+class TestSeries:
+    def test_fig3_series_monotone(self):
+        for series in fig3_series():
+            assert all(b >= a for a, b in zip(series.y, series.y[1:]))
+
+    def test_fig4_series_monotone_in_c(self):
+        for series in fig4_series():
+            assert all(b >= a for a, b in zip(series.y, series.y[1:]))
+
+    def test_fig4_ordering_in_f(self):
+        s0, s1, s5 = fig4_series(f_values=(0.0, 0.01, 0.05))
+        for a, b, c in zip(s0.y, s1.y, s5.y):
+            assert a <= b <= c
+
+    def test_recovery_bounds(self):
+        series = recovery_bound_series(h_values=(5,), c_values=(0.0, 0.05))
+        assert series[0].y == (0.0, 1.25)
+
+    def test_series_shape_validation(self):
+        from repro.analysis.series import Series
+
+        with pytest.raises(ValueError):
+            Series("x", (1.0,), (1.0, 2.0), {})

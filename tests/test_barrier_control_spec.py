@@ -1,0 +1,207 @@
+"""Unit tests for repro.barrier.control and the specification oracle."""
+
+import pytest
+
+from repro.barrier.control import (
+    CP,
+    CB_CP_DOMAIN,
+    RB_CP_DOMAIN,
+    phase_distance,
+    phase_pred,
+    phase_succ,
+)
+from repro.barrier.spec import BarrierSpecChecker
+from repro.gc.state import State
+from repro.gc.trace import Trace, TraceEvent
+
+
+class TestControl:
+    def test_domains(self):
+        assert CP.REPEAT not in CB_CP_DOMAIN.values()
+        assert CP.REPEAT in RB_CP_DOMAIN.values()
+        assert CP.ERROR in CB_CP_DOMAIN.values()
+
+    def test_phase_arithmetic(self):
+        assert phase_succ(2, 3) == 0
+        assert phase_pred(0, 3) == 2
+        assert phase_distance(2, 0, 3) == 1
+        assert phase_distance(0, 2, 3) == 2
+
+    def test_phase_arith_validates(self):
+        with pytest.raises(ValueError):
+            phase_succ(0, 0)
+        with pytest.raises(ValueError):
+            phase_pred(0, 0)
+
+
+def ev(step, pid, cp=None, ph=None, fault=False):
+    updates = []
+    if cp is not None:
+        updates.append(("cp", cp))
+    if ph is not None:
+        updates.append(("ph", ph))
+    return TraceEvent(step, pid, "fault:x" if fault else "A", tuple(updates), is_fault=fault)
+
+
+def initial(n=2, ph=0):
+    return State({"cp": [CP.READY] * n, "ph": [ph] * n}, n)
+
+
+def full_phase(trace, start_step, phases, n=2, next_ph=None):
+    """Append a clean instance of ``phases`` to the trace; returns next step."""
+    s = start_step
+    for p in range(n):
+        trace.append(ev(s, p, cp=CP.EXECUTE))
+        s += 1
+    for p in range(n):
+        trace.append(ev(s, p, cp=CP.SUCCESS))
+        s += 1
+    if next_ph is not None:
+        for p in range(n):
+            trace.append(ev(s, p, cp=CP.READY, ph=next_ph))
+            s += 1
+    return s
+
+
+class TestOracleCleanRuns:
+    def test_single_successful_phase(self):
+        t = Trace()
+        full_phase(t, 1, 0)
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert rep.safety_ok
+        assert rep.phases_completed == 1
+        assert rep.instances[0].successful
+
+    def test_two_phases(self):
+        t = Trace()
+        s = full_phase(t, 1, 0, next_ph=1)
+        full_phase(t, s, 1)
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert rep.safety_ok and rep.phases_completed == 2
+
+    def test_phase_wraparound(self):
+        t = Trace()
+        s = 1
+        for i in range(4):  # 0,1,2,0 with nphases=3
+            s = full_phase(t, s, i % 3, next_ph=(i + 1) % 3)
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert rep.safety_ok and rep.phases_completed == 4
+
+
+class TestOracleFaultRuns:
+    def test_reexecution_after_abort_is_legal(self):
+        t = Trace()
+        # Proc 0 executes, faults out; proc 1 never started.
+        t.append(ev(1, 0, cp=CP.EXECUTE))
+        t.append(ev(2, 0, cp=CP.ERROR, fault=True))
+        t.append(ev(3, 0, cp=CP.READY))
+        # New instance of the same phase; both complete.
+        full_phase(t, 4, 0)
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert rep.safety_ok
+        assert rep.phases_completed == 1
+        assert len(rep.instances) == 2
+        assert not rep.instances[0].successful
+
+    def test_reexecution_after_success_is_legal(self):
+        # A detectable fault after completion forces a re-execution of
+        # the *same* phase: the spec allows it (the last instance rules).
+        t = Trace()
+        s = full_phase(t, 1, 0)
+        full_phase(t, s, 0)
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert rep.safety_ok
+        assert rep.phases_completed == 2
+
+    def test_overlap_detected(self):
+        t = Trace()
+        t.append(ev(1, 0, cp=CP.EXECUTE))
+        t.append(ev(2, 1, cp=CP.EXECUTE))
+        t.append(ev(3, 0, cp=CP.SUCCESS))
+        # Proc 0 starts a new instance while proc 1 still executes.
+        t.append(ev(4, 0, cp=CP.EXECUTE))
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert not rep.safety_ok
+        assert rep.violations[0].kind == "overlap"
+
+    def test_phase_skip_detected(self):
+        t = Trace()
+        s = full_phase(t, 1, 0, next_ph=2)  # jumps 0 -> 2 (skips 1)
+        for p in range(2):
+            t.append(ev(s, p, cp=CP.EXECUTE))
+            s += 1
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert any(v.kind == "wrong-phase" for v in rep.violations)
+
+    def test_advance_after_unsuccessful_detected(self):
+        t = Trace()
+        # Instance of 0 where proc 1 aborts -> unsuccessful.
+        t.append(ev(1, 0, cp=CP.EXECUTE))
+        t.append(ev(2, 1, cp=CP.EXECUTE))
+        t.append(ev(3, 0, cp=CP.SUCCESS))
+        t.append(ev(4, 1, cp=CP.ERROR, fault=True))
+        # Both jump to phase 1 anyway: illegal (phase 0 never succeeded).
+        t.append(ev(5, 0, cp=CP.READY, ph=1))
+        t.append(ev(6, 1, cp=CP.READY, ph=1))
+        t.append(ev(7, 0, cp=CP.EXECUTE))
+        t.append(ev(8, 1, cp=CP.EXECUTE))
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert any(v.kind == "wrong-phase" for v in rep.violations)
+
+    def test_fault_driven_execute_counts_as_start(self):
+        t = Trace()
+        t.append(ev(1, 0, cp=CP.EXECUTE, ph=2, fault=True))
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        # Phase 2 began out of order -> violation.
+        assert any(v.kind == "wrong-phase" for v in rep.violations)
+
+    def test_violations_after_filter(self):
+        t = Trace()
+        t.append(ev(1, 0, cp=CP.EXECUTE, ph=2, fault=True))
+        t.append(ev(2, 0, cp=CP.SUCCESS))
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert not rep.safety_ok
+        assert rep.safety_ok_after(1)
+
+    def test_incorrect_phase_values(self):
+        t = Trace()
+        t.append(ev(1, 0, cp=CP.EXECUTE, ph=2, fault=True))
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        assert rep.incorrect_phase_values == {2}
+
+
+class TestOraclePerturbedStart:
+    def test_floating_expectation(self):
+        # Perturbed start (procs in different phases): first instance
+        # gets no wrong-phase violation (expectation floats).
+        state = State({"cp": [CP.READY, CP.READY], "ph": [1, 2]}, 2)
+        t = Trace()
+        t.append(ev(1, 0, cp=CP.EXECUTE))
+        t.append(ev(2, 1, cp=CP.EXECUTE, ph=1))
+        t.append(ev(3, 0, cp=CP.SUCCESS))
+        t.append(ev(4, 1, cp=CP.SUCCESS))
+        rep = BarrierSpecChecker(2, 3).check(t, state)
+        assert rep.safety_ok
+
+    def test_initially_executing_processes_tracked(self):
+        state = State({"cp": [CP.EXECUTE, CP.READY], "ph": [0, 0]}, 2)
+        t = Trace()
+        t.append(ev(1, 1, cp=CP.EXECUTE))
+        t.append(ev(2, 0, cp=CP.SUCCESS))
+        t.append(ev(3, 1, cp=CP.SUCCESS))
+        rep = BarrierSpecChecker(2, 3).check(t, state)
+        assert rep.phases_completed == 1
+
+    def test_instances_per_phase(self):
+        t = Trace()
+        # fail, fail, success -> 3 instances for the first phase
+        t.append(ev(1, 0, cp=CP.EXECUTE))
+        t.append(ev(2, 0, cp=CP.ERROR, fault=True))
+        t.append(ev(3, 0, cp=CP.READY))
+        t.append(ev(4, 0, cp=CP.EXECUTE))
+        t.append(ev(5, 0, cp=CP.ERROR, fault=True))
+        t.append(ev(6, 0, cp=CP.READY))
+        s = full_phase(t, 7, 0)
+        rep = BarrierSpecChecker(2, 3).check(t, initial())
+        runs = rep.instances_per_phase()
+        assert runs[0] == [3]

@@ -1,0 +1,132 @@
+"""The fault-intolerant baseline: correct without faults, broken with.
+
+The baseline exists to price fault-tolerance (Figures 4/6); these tests
+pin down both that it is a correct barrier fault-free and that it
+genuinely has no tolerance (motivating the paper's program).
+"""
+
+import numpy as np
+import pytest
+
+from repro.barrier.intolerant import ICP, make_intolerant_barrier
+from repro.gc.faults import FaultInjector, FaultSpec, OneShotSchedule
+from repro.gc.scheduler import (
+    MaximalParallelDaemon,
+    RandomFairDaemon,
+    RoundRobinDaemon,
+    is_silent,
+)
+from repro.gc.simulator import Simulator
+from repro.topology.graphs import kary_tree
+
+
+def root_phase_advances(program, daemon, steps=3000):
+    advances = [0]
+
+    def observer(state, _step):
+        advances.append(advances[-1])
+
+    sim = Simulator(program, daemon)
+    result = sim.run(max_steps=steps)
+    return len(result.trace.filter(pid=0, action="NEXT")), result
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize(
+        "daemon_factory",
+        [RoundRobinDaemon, lambda: RandomFairDaemon(seed=2), lambda: MaximalParallelDaemon()],
+        ids=["rr", "rand", "maxpar"],
+    )
+    def test_barriers_complete(self, daemon_factory):
+        prog = make_intolerant_barrier(7)
+        count, _ = root_phase_advances(prog, daemon_factory())
+        assert count > 20
+
+    def test_no_process_runs_ahead(self):
+        prog = make_intolerant_barrier(7, nphases=4)
+        sim = Simulator(prog, RandomFairDaemon(seed=1), record_trace=False)
+        spreads = []
+        sim.run(
+            max_steps=3000,
+            observer=lambda s, _: spreads.append(
+                len({s.get("ph", p) for p in range(7)})
+            ),
+        )
+        assert max(spreads) <= 2
+
+    def test_work_precedes_advance(self):
+        """The root advances only when the whole tree is done: in any
+        state where some process still executes the current phase, the
+        root's NEXT is disabled."""
+        prog = make_intolerant_barrier(7)
+        sim = Simulator(prog, RoundRobinDaemon(), record_trace=False)
+        ok = []
+
+        def observer(state, _step):
+            root_next = prog.action_named("NEXT", 0)
+            if root_next.enabled(state):
+                my_ph = state.get("ph", 0)
+                ok.append(
+                    all(
+                        not (
+                            state.get("cp", p) is ICP.EXECUTE
+                            and state.get("ph", p) == my_ph
+                        )
+                        for p in range(7)
+                    )
+                )
+
+        sim.run(max_steps=1000, observer=observer)
+        assert ok and all(ok)
+
+
+class TestIntolerance:
+    def test_phase_corruption_deadlocks_or_desyncs(self):
+        """One corrupted phase counter kills the baseline: the run either
+        deadlocks or the victim is left behind forever."""
+        prog = make_intolerant_barrier(7, nphases=4)
+        fault = FaultSpec(name="ph-corrupt", resets={"ph": 2}, detectable=False)
+        injector = FaultInjector(
+            prog, fault, OneShotSchedule(at_step=10), targets=[3], seed=0
+        )
+        sim = Simulator(prog, RoundRobinDaemon(), injector=injector)
+        result = sim.run(max_steps=3000)
+        stuck = is_silent(prog, result.state)
+        behind = result.state.get("ph", 3) != result.state.get("ph", 0)
+        assert stuck or behind
+
+    def test_crash_hangs_everything(self):
+        """A crashed process (modelled as stuck in execute) freezes the
+        barrier within one phase."""
+        prog = make_intolerant_barrier(7)
+        # Remove process 5's WORK capability by corrupting it to a state
+        # it can never leave: keep cp=execute forever via the crash
+        # transformation from the extensions package.
+        from repro.extensions.crash import crash_fault, with_crash
+
+        crashed = with_crash(prog)
+        injector = FaultInjector(
+            crashed, crash_fault(), OneShotSchedule(at_step=5), targets=[5], seed=0
+        )
+        sim = Simulator(crashed, RoundRobinDaemon(), injector=injector)
+        result = sim.run(max_steps=2000)
+        advances = len(result.trace.filter(pid=0, action="NEXT"))
+        assert advances <= 2  # at most the in-flight phase completed
+
+
+class TestShapes:
+    def test_custom_topology(self):
+        prog = make_intolerant_barrier(topology=kary_tree(9, 3))
+        count, _ = root_phase_advances(prog, RoundRobinDaemon())
+        assert count > 10
+
+    def test_two_process_ring(self):
+        prog = make_intolerant_barrier(2)
+        count, _ = root_phase_advances(prog, RoundRobinDaemon())
+        assert count > 10
+
+    def test_needs_args(self):
+        with pytest.raises(ValueError):
+            make_intolerant_barrier()
+        with pytest.raises(ValueError):
+            make_intolerant_barrier(4, nphases=1)

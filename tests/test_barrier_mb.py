@@ -1,0 +1,168 @@
+"""Program MB (Section 5): the appendix properties, tested.
+
+* Fault-free equivalence to RB (every barrier correct, phases advance);
+* property (*): T3/T4/T5 and the CNEXT copy action are eventually
+  disabled, after which computations are those of a 2(N+1)-ring;
+* masking under detectable faults (which also reset local copies);
+* stabilization from arbitrary states (L > 2N+1);
+* bounded damage (at most m phases incorrect).
+"""
+
+import numpy as np
+import pytest
+
+from repro.barrier.legitimacy import mb_start_state
+from repro.barrier.mb import (
+    make_mb,
+    mb_detectable_fault,
+    mb_undetectable_fault,
+)
+from repro.barrier.spec import BarrierSpecChecker
+from repro.gc.domains import BOT, TOP
+from repro.gc.faults import BernoulliSchedule, FaultInjector, OneShotSchedule
+from repro.gc.properties import converges
+from repro.gc.scheduler import RandomFairDaemon, RoundRobinDaemon
+from repro.gc.simulator import Simulator
+
+
+class TestConstruction:
+    def test_domain_size(self):
+        prog = make_mb(4)
+        assert prog.metadata["sn_domain"].k == 8  # L = 2 * nprocs
+
+    def test_l_must_exceed_2n_plus_1(self):
+        with pytest.raises(ValueError):
+            make_mb(4, l_domain=7)
+        make_mb(4, l_domain=8)
+
+    def test_local_copy_variables(self, mb4):
+        names = [d.name for d in mb4.declarations]
+        assert names == [
+            "sn",
+            "cp",
+            "ph",
+            "lsn_prev",
+            "lcp_prev",
+            "lph_prev",
+            "lsn_next",
+        ]
+
+    def test_message_passing_action_shape(self, mb4):
+        """Every action either reads one neighbour or only local state:
+        T1/T2/T3/T4/T5 read only the process's own variables (incl.
+        copies); CPREV/CNEXT read exactly one neighbour."""
+        for proc in mb4.processes:
+            names = {a.name for a in proc.actions}
+            if proc.pid == 0:
+                assert "T1" in names and "T5" in names
+            else:
+                assert "T2" in names
+            assert "CPREV" in names
+
+
+class TestFaultFree:
+    def test_safety_and_progress(self, mb4):
+        sim = Simulator(mb4, RoundRobinDaemon())
+        result = sim.run(max_steps=10_000)
+        report = BarrierSpecChecker(4, 3).check(result.trace, mb4.initial_state())
+        assert report.safety_ok
+        assert report.phases_completed >= 50
+
+    def test_property_star_t3_t4_t5_disabled(self, mb4):
+        """In the absence of faults T3, T4, T5 and CNEXT never fire."""
+        sim = Simulator(mb4, RandomFairDaemon(seed=0))
+        result = sim.run(max_steps=5000)
+        for action in ("T3", "T4", "T5", "CNEXT"):
+            assert result.trace.count(action) == 0
+
+    def test_equivalent_to_double_ring(self, mb4):
+        """One phase takes 3 circulations of the virtual 2(N+1) ring:
+        each hop is a CPREV + a T1/T2, so 3 * 2 * 4 = 24 steps/phase
+        under round-robin."""
+        sim = Simulator(mb4, RoundRobinDaemon())
+        result = sim.run(max_steps=240)
+        report = BarrierSpecChecker(4, 3).check(result.trace, mb4.initial_state())
+        assert report.phases_completed == pytest.approx(10, abs=2)
+
+
+class TestMasking:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_violations_under_detectable_faults(self, seed):
+        prog = make_mb(4, nphases=3)
+        injector = FaultInjector(
+            prog, mb_detectable_fault(), BernoulliSchedule(0.01), seed=seed
+        )
+        sim = Simulator(prog, RandomFairDaemon(seed=seed), injector=injector)
+        result = sim.run(max_steps=30_000)
+        report = BarrierSpecChecker(4, 3).check(result.trace, prog.initial_state())
+        assert injector.count > 0
+        assert report.safety_ok, report.violations[:3]
+        assert report.phases_completed > 50
+
+    def test_detectable_fault_resets_local_copies(self, mb4, rng):
+        state = mb4.initial_state()
+        mb_detectable_fault().apply(mb4, state, 2, rng)
+        assert state.get("sn", 2) is BOT
+        assert state.get("lsn_prev", 2) is BOT
+        assert state.get("lsn_next", 2) is BOT
+
+    def test_stale_top_copy_cannot_misfire_t4(self):
+        """A stale TOP in lsn_next cannot trigger T4 because any new
+        detectable fault resets lsn_next to BOT along with sn."""
+        prog = make_mb(3)
+        state = prog.initial_state()
+        state.set("lsn_next", 1, TOP)  # stale from an old recovery
+        rng = np.random.default_rng(0)
+        mb_detectable_fault().apply(prog, state, 1, rng)
+        t4 = prog.action_named("T4", 1)
+        assert not t4.enabled(state)
+
+
+class TestStabilizing:
+    def test_convergence_from_arbitrary_states(self, rng):
+        prog = make_mb(3, nphases=2)
+        L = prog.metadata["sn_domain"].k
+        for _ in range(15):
+            state = prog.arbitrary_state(rng)
+            assert converges(
+                prog,
+                state,
+                lambda s: mb_start_state(s, L),
+                RoundRobinDaemon(),
+                max_steps=40_000,
+            )
+
+    def test_post_recovery_satisfies_spec(self, rng):
+        prog = make_mb(3, nphases=3)
+        L = prog.metadata["sn_domain"].k
+        state = prog.arbitrary_state(rng)
+        sim = Simulator(prog, RoundRobinDaemon(), record_trace=False)
+        mid = sim.run_until(
+            lambda s: mb_start_state(s, L), state, max_steps=40_000
+        )
+        assert mid.reached
+        sim2 = Simulator(prog, RoundRobinDaemon())
+        result = sim2.run(mid.state.snapshot(), max_steps=3000)
+        report = BarrierSpecChecker(3, 3).check(result.trace, mid.state)
+        assert report.safety_ok
+        assert report.phases_completed > 5
+
+
+class TestBoundedDamage:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incorrect_phases_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        nphases = 6
+        prog = make_mb(3, nphases=nphases)
+        state = prog.arbitrary_state(rng)
+        # m counts phases in the ph variables AND their local copies
+        # (the appendix: "m distinct phases in the phase variables and
+        # their local copies").
+        m = len(
+            {state.get("ph", p) for p in range(3)}
+            | {state.get("lph_prev", p) for p in range(3)}
+        )
+        sim = Simulator(prog, RandomFairDaemon(seed=seed))
+        result = sim.run(state.snapshot(), max_steps=10_000)
+        report = BarrierSpecChecker(3, nphases).check(result.trace, state)
+        assert len(report.incorrect_phase_values) <= m

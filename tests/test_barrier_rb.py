@@ -1,0 +1,225 @@
+"""Program RB: the Section 4.1 lemmas, tested.
+
+* Lemma 4.1.1 -- Safety + Progress in the absence of faults;
+* Lemma 4.1.2 -- masking tolerance to detectable faults;
+* Lemma 4.1.3 -- stabilizing tolerance to undetectable faults;
+* Lemma 4.1.4 -- at most m phases executed incorrectly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.barrier.control import CP
+from repro.barrier.legitimacy import rb_start_state
+from repro.barrier.rb import make_rb, rb_detectable_fault, rb_undetectable_fault
+from repro.barrier.spec import BarrierSpecChecker
+from repro.gc.domains import BOT
+from repro.gc.faults import BernoulliSchedule, FaultInjector, OneShotSchedule
+from repro.gc.properties import converges
+from repro.gc.scheduler import MaximalParallelDaemon, RandomFairDaemon, RoundRobinDaemon
+from repro.gc.simulator import Simulator
+
+
+def _meta(program):
+    return program.metadata["topology"], program.metadata["sn_domain"].k
+
+
+class TestConstruction:
+    def test_variables(self, rb5):
+        assert [d.name for d in rb5.declarations] == ["sn", "cp", "ph"]
+
+    def test_needs_two_phases(self):
+        with pytest.raises(ValueError):
+            make_rb(4, nphases=1)
+
+    def test_initial_is_start_state(self, rb5):
+        topo, k = _meta(rb5)
+        assert rb_start_state(rb5.initial_state(), topo, k)
+
+
+class TestLemma411FaultFree:
+    @pytest.mark.parametrize(
+        "daemon_factory",
+        [
+            RoundRobinDaemon,
+            lambda: RandomFairDaemon(seed=9),
+            lambda: MaximalParallelDaemon(seed=9),
+        ],
+        ids=["round-robin", "random-fair", "maximal-parallel"],
+    )
+    def test_safety_and_progress(self, rb5, daemon_factory):
+        sim = Simulator(rb5, daemon_factory())
+        result = sim.run(max_steps=6000)
+        report = BarrierSpecChecker(5, 3).check(result.trace, rb5.initial_state())
+        assert report.safety_ok
+        assert report.phases_completed >= 20
+
+    def test_three_circulations_per_phase(self, rb5):
+        # Each phase: 3 circulations x 5 token hops = 15 steps.
+        sim = Simulator(rb5, RoundRobinDaemon())
+        result = sim.run(max_steps=150)
+        report = BarrierSpecChecker(5, 3).check(result.trace, rb5.initial_state())
+        assert report.phases_completed == pytest.approx(150 // 15, abs=1)
+
+    def test_phase_values_propagate_from_root(self, rb5):
+        sim = Simulator(rb5, RoundRobinDaemon(), record_trace=False)
+        state = rb5.initial_state()
+        spread = []
+        sim.run(
+            state,
+            max_steps=500,
+            observer=lambda s, _: spread.append(
+                len({s.get("ph", p) for p in range(5)})
+            ),
+        )
+        assert max(spread) <= 2  # at most two adjacent phases coexist
+
+
+class TestLemma412Masking:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_violations_under_detectable_faults(self, seed):
+        prog = make_rb(5, nphases=3)
+        injector = FaultInjector(
+            prog, rb_detectable_fault(), BernoulliSchedule(0.01), seed=seed
+        )
+        sim = Simulator(prog, RandomFairDaemon(seed=seed), injector=injector)
+        result = sim.run(max_steps=25_000)
+        report = BarrierSpecChecker(5, 3).check(result.trace, prog.initial_state())
+        assert injector.count > 0
+        assert report.safety_ok, report.violations[:3]
+        assert report.phases_completed > 100
+
+    def test_repeat_propagates_to_root(self):
+        prog = make_rb(4, nphases=2)
+        injector = FaultInjector(
+            prog,
+            rb_detectable_fault(),
+            OneShotSchedule(at_step=6),
+            targets=[2],
+            seed=0,
+        )
+        sim = Simulator(prog, RoundRobinDaemon(), injector=injector)
+        saw_repeat = []
+        result = sim.run(
+            max_steps=400,
+            observer=lambda s, _: saw_repeat.append(
+                any(s.get("cp", p) is CP.REPEAT for p in range(4))
+            ),
+        )
+        assert any(saw_repeat)
+        report = BarrierSpecChecker(4, 2).check(result.trace, prog.initial_state())
+        assert report.safety_ok
+        assert report.phases_completed > 3
+
+    def test_fault_at_root_recovers(self):
+        prog = make_rb(4, nphases=3)
+        injector = FaultInjector(
+            prog,
+            rb_detectable_fault(),
+            OneShotSchedule(at_step=7),
+            targets=[0],
+            seed=0,
+        )
+        sim = Simulator(prog, RoundRobinDaemon(), injector=injector)
+        result = sim.run(max_steps=500)
+        report = BarrierSpecChecker(4, 3).check(result.trace, prog.initial_state())
+        assert report.safety_ok
+        assert report.phases_completed > 5
+        # The root's sequence number heals (T1's corrupt clause).
+        assert result.state.get("sn", 0) is not BOT
+
+
+class TestLemma413Stabilizing:
+    def test_convergence_to_start_state(self, rb5, rng):
+        topo, k = _meta(rb5)
+        for _ in range(20):
+            state = rb5.arbitrary_state(rng)
+            assert converges(
+                rb5,
+                state,
+                lambda s: rb_start_state(s, topo, k),
+                RoundRobinDaemon(),
+                max_steps=20_000,
+            )
+
+    def test_post_recovery_satisfies_spec(self, rb5, rng):
+        topo, k = _meta(rb5)
+        for _ in range(5):
+            state = rb5.arbitrary_state(rng)
+            sim = Simulator(rb5, RoundRobinDaemon(), record_trace=False)
+            mid = sim.run_until(
+                lambda s: rb_start_state(s, topo, k), state, max_steps=20_000
+            )
+            assert mid.reached
+            sim2 = Simulator(rb5, RoundRobinDaemon())
+            result = sim2.run(mid.state.snapshot(), max_steps=2000)
+            report = BarrierSpecChecker(5, 3).check(result.trace, mid.state)
+            assert report.safety_ok
+            assert report.phases_completed > 5
+
+
+class TestExhaustiveSmallInstance:
+    """Full-state-space verification of RB at N=2 (ring of 2, K=3,
+    2 phases): 2,500 syntactic states."""
+
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        from repro.gc.explore import Explorer
+
+        program = make_rb(2, nphases=2, k=3)
+        explorer = Explorer(program, max_states=500_000)
+        roots = explorer.full_state_space()
+        result = explorer.reachable(roots)
+        return program, explorer, result
+
+    def test_space_size(self, exploration):
+        _program, _explorer, result = exploration
+        # sn in {0,1,2,BOT,TOP}^2, cp in CP^2, ph in {0,1}^2.
+        assert len(result.states) == (5**2) * (5**2) * (2**2)
+
+    def test_no_deadlocks_anywhere(self, exploration):
+        _program, _explorer, result = exploration
+        for key, succs in result.transitions.items():
+            assert succs, f"deadlock at {key}"
+
+    def test_every_state_can_reach_a_start_state(self, exploration):
+        """EF start-state from all 2,500 states (the stabilization
+        target is reachable from everywhere)."""
+        program, explorer, result = exploration
+        topo = program.metadata["topology"]
+        assert explorer.some_path_converges(
+            result, lambda s: rb_start_state(s, topo, k=3)
+        )
+
+    def test_round_robin_converges_from_every_state(self, exploration):
+        """Fair convergence checked from every syntactic state."""
+        from repro.gc.properties import converges
+
+        program, explorer, result = exploration
+        topo = program.metadata["topology"]
+        for key in result.states:
+            state = result.state_of(key)
+            assert converges(
+                program,
+                state,
+                lambda s: rb_start_state(s, topo, k=3),
+                RoundRobinDaemon(),
+                max_steps=400,
+            ), f"no fair convergence from {key}"
+
+
+class TestLemma414BoundedDamage:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incorrect_phases_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        nphases = 6
+        prog = make_rb(4, nphases=nphases)
+        state = prog.arbitrary_state(rng)
+        m = len({state.get("ph", p) for p in range(4)})
+        sim = Simulator(prog, RandomFairDaemon(seed=seed))
+        result = sim.run(state.snapshot(), max_steps=8000)
+        report = BarrierSpecChecker(4, nphases).check(result.trace, state)
+        # m phases were perturbed; at most m execute incorrectly (the
+        # +1 allows the boundary instance the oracle attributes to the
+        # floating start).
+        assert len(report.incorrect_phase_values) <= m

@@ -1,0 +1,176 @@
+"""The underlying token-ring program (Section 4.1): properties (a)-(c).
+
+In the absence of faults exactly one token circulates; under detectable
+faults at most one token exists and the ring recovers; corrupted
+processes are flagged by BOT/TOP; process 0 never executes T4/T5 under
+detectable faults; under undetectable faults the ring stabilizes to a
+single token.
+"""
+
+import numpy as np
+import pytest
+
+from repro.barrier.tokenring import (
+    holds_token,
+    make_token_ring,
+    ring_legitimate_sn,
+    sn_all_ordinary,
+    token_count,
+)
+from repro.gc.domains import BOT, TOP
+from repro.gc.faults import BernoulliSchedule, FaultInjector, FaultSpec, OneShotSchedule
+from repro.gc.properties import converges
+from repro.gc.scheduler import RandomFairDaemon, RoundRobinDaemon
+from repro.gc.simulator import Simulator
+from repro.gc.state import State
+from repro.topology.graphs import kary_tree, ring
+
+
+def detectable_sn_fault():
+    return FaultSpec(name="sn-bot", resets={"sn": BOT}, detectable=True)
+
+
+class TestFaultFree:
+    def test_initially_one_token(self, ring5):
+        topo = ring5.metadata["topology"]
+        state = ring5.initial_state()
+        assert token_count(state, topo) == 1
+        # Uniform sn: the final process (N) holds the token.
+        assert holds_token(state, topo, 4)
+
+    def test_exactly_one_token_always(self, ring5):
+        topo = ring5.metadata["topology"]
+        state = ring5.initial_state()
+        sim = Simulator(ring5, RoundRobinDaemon(), record_trace=False)
+
+        counts = []
+        sim.run(
+            state,
+            max_steps=400,
+            observer=lambda s, _: counts.append(token_count(s, topo)),
+        )
+        assert set(counts) == {1}
+
+    def test_token_circulates_in_order(self, ring5):
+        state = ring5.initial_state()
+        sim = Simulator(ring5, RoundRobinDaemon())
+        result = sim.run(state, max_steps=100)
+        pids = [e.pid for e in result.trace]
+        # T1 at 0, then T2 at 1..4, repeating.
+        assert pids[:10] == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4]
+
+    def test_legitimate_sn_predicate_holds(self, ring5):
+        topo = ring5.metadata["topology"]
+        k = ring5.metadata["sn_domain"].k
+        sim = Simulator(ring5, RoundRobinDaemon(), record_trace=False)
+        ok = []
+        sim.run(
+            ring5.initial_state(),
+            max_steps=300,
+            observer=lambda s, _: ok.append(ring_legitimate_sn(s, topo, k)),
+        )
+        assert all(ok)
+
+
+class TestDetectableFaults:
+    def test_at_most_one_token_under_faults(self, ring5):
+        topo = ring5.metadata["topology"]
+        injector = FaultInjector(
+            ring5, detectable_sn_fault(), BernoulliSchedule(0.05), seed=3
+        )
+        sim = Simulator(ring5, RandomFairDaemon(seed=3), injector=injector)
+        state = ring5.initial_state()
+        counts = []
+        sim.run(
+            state,
+            max_steps=3000,
+            observer=lambda s, _: counts.append(token_count(s, topo)),
+        )
+        assert injector.count > 0
+        assert max(counts) <= 1
+        # Recovery: token exists again at the end of quiet periods.
+        assert counts[-1] <= 1 and 1 in counts[-100:]
+
+    def test_corruption_flagged_by_specials(self, ring5):
+        injector = FaultInjector(
+            ring5, detectable_sn_fault(), OneShotSchedule(5), targets=[2], seed=0
+        )
+        sim = Simulator(ring5, RoundRobinDaemon(), injector=injector)
+        saw_flag = []
+        sim.run(
+            ring5.initial_state(),
+            max_steps=100,
+            observer=lambda s, _: saw_flag.append(
+                s.get("sn", 2) is BOT or s.get("sn", 2) is TOP
+            ),
+        )
+        assert any(saw_flag)
+        assert not saw_flag[-1]  # eventually repaired
+
+    def test_zero_never_runs_t4_t5_under_detectable(self, ring5):
+        # Property (c): T5 never fires at 0 when at least one process
+        # stays uncorrupted.
+        injector = FaultInjector(
+            ring5,
+            detectable_sn_fault(),
+            BernoulliSchedule(0.05),
+            targets=[1, 2, 3, 4],  # 0 itself is spared for determinism
+            seed=7,
+        )
+        sim = Simulator(ring5, RandomFairDaemon(seed=7), injector=injector)
+        result = sim.run(max_steps=3000)
+        assert result.trace.count("T5") == 0
+        t4_at_zero = [e for e in result.trace if e.action == "T4" and e.pid == 0]
+        assert not t4_at_zero
+
+
+class TestUndetectableFaults:
+    def test_stabilizes_to_one_token(self, ring5, rng):
+        topo = ring5.metadata["topology"]
+        for _ in range(20):
+            state = ring5.arbitrary_state(rng)
+            assert converges(
+                ring5,
+                state,
+                lambda s: token_count(s, topo) == 1
+                and sn_all_ordinary(s, 5),
+                RoundRobinDaemon(),
+                max_steps=2000,
+            )
+
+    def test_all_bot_recovers_via_top_flush(self):
+        prog = make_token_ring(4)
+        state = State({"sn": [BOT] * 4}, 4)
+        sim = Simulator(prog, RoundRobinDaemon())
+        result = sim.run(state, max_steps=200)
+        # T3 at N, T4 backwards, T5 at 0 all fire.
+        assert result.trace.count("T3") >= 1
+        assert result.trace.count("T5") >= 1
+        assert sn_all_ordinary(result.state, 4)
+
+
+class TestTreeTokenProgram:
+    def test_tree_circulation(self):
+        topo = kary_tree(7, 2)
+        prog = make_token_ring(topology=topo)
+        sim = Simulator(prog, RoundRobinDaemon())
+        result = sim.run(max_steps=300)
+        # T1 fires repeatedly: full circulations complete.
+        assert result.trace.count("T1") >= 10
+
+    def test_tree_stabilizes(self, rng):
+        topo = kary_tree(7, 2)
+        prog = make_token_ring(topology=topo)
+        for _ in range(10):
+            state = prog.arbitrary_state(rng)
+            assert converges(
+                prog,
+                state,
+                lambda s: sn_all_ordinary(s, 7),
+                RoundRobinDaemon(),
+                max_steps=2000,
+            )
+
+    def test_k_must_exceed_ring_length(self):
+        prog = make_token_ring(6)
+        assert prog.metadata["sn_domain"].k == 7

@@ -1,0 +1,107 @@
+"""Section 4.2: RB' on two rings, trees, and arbitrary graphs
+(Lemma 4.2.1 / Proposition 4.2.2)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.barrier.legitimacy import rb_start_state
+from repro.barrier.rb import rb_detectable_fault
+from repro.barrier.spec import BarrierSpecChecker
+from repro.barrier.trees import make_rb_for_graph, make_rb_tree, make_rb_two_ring
+from repro.gc.faults import BernoulliSchedule, FaultInjector
+from repro.gc.properties import converges
+from repro.gc.scheduler import RandomFairDaemon, RoundRobinDaemon
+from repro.gc.simulator import Simulator
+
+
+def _meta(program):
+    return program.metadata["topology"], program.metadata["sn_domain"].k
+
+
+def check_program(program, nphases, seed=0, steps=20_000, fault_p=0.01):
+    """The Lemma 4.2.1 battery: fault-free correctness, masking under
+    detectable faults, stabilization from an arbitrary state."""
+    n = program.nprocs
+    topo, k = _meta(program)
+
+    # Fault-free.
+    result = Simulator(program, RoundRobinDaemon()).run(max_steps=steps // 4)
+    report = BarrierSpecChecker(n, nphases).check(
+        result.trace, program.initial_state()
+    )
+    assert report.safety_ok and report.phases_completed > 5
+
+    # Masking.
+    injector = FaultInjector(
+        program, rb_detectable_fault(), BernoulliSchedule(fault_p), seed=seed
+    )
+    sim = Simulator(program, RandomFairDaemon(seed=seed), injector=injector)
+    result = sim.run(max_steps=steps)
+    report = BarrierSpecChecker(n, nphases).check(
+        result.trace, program.initial_state()
+    )
+    assert injector.count > 0
+    assert report.safety_ok, report.violations[:3]
+    assert report.phases_completed > 10
+
+    # Stabilizing.
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        state = program.arbitrary_state(rng)
+        assert converges(
+            program,
+            state,
+            lambda s: rb_start_state(s, topo, k),
+            RoundRobinDaemon(),
+            max_steps=steps * 2,
+        )
+
+
+class TestTwoRing:
+    def test_topology_shape(self):
+        prog = make_rb_two_ring(3, 2, shared=2)
+        topo = prog.metadata["topology"]
+        assert topo.nprocs == 7
+        assert len(topo.finals) == 2  # N1 and N2
+
+    def test_multitolerance(self):
+        prog = make_rb_two_ring(2, 2, shared=1, nphases=3)
+        check_program(prog, nphases=3)
+
+
+class TestTree:
+    def test_log_height(self):
+        prog = make_rb_tree(15, arity=2)
+        assert prog.metadata["topology"].height == 3
+
+    @pytest.mark.parametrize("nprocs,arity", [(7, 2), (8, 2), (9, 3)])
+    def test_multitolerance(self, nprocs, arity):
+        prog = make_rb_tree(nprocs, arity=arity, nphases=2)
+        check_program(prog, nphases=2, steps=15_000, fault_p=0.005)
+
+    def test_larger_tree_progress(self):
+        prog = make_rb_tree(31, arity=2, nphases=2)
+        result = Simulator(prog, RoundRobinDaemon()).run(max_steps=4000)
+        report = BarrierSpecChecker(31, 2).check(
+            result.trace, prog.initial_state()
+        )
+        assert report.safety_ok and report.phases_completed > 5
+
+
+class TestArbitraryGraph:
+    def test_embeds_any_connected_graph(self):
+        graph = nx.petersen_graph()
+        prog, mapping = make_rb_for_graph(graph, root=0, nphases=2)
+        assert prog.nprocs == 10
+        assert set(mapping.values()) == set(graph.nodes)
+        result = Simulator(prog, RoundRobinDaemon()).run(max_steps=3000)
+        report = BarrierSpecChecker(10, 2).check(
+            result.trace, prog.initial_state()
+        )
+        assert report.safety_ok and report.phases_completed > 5
+
+    def test_disconnected_graph_rejected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(Exception):
+            make_rb_for_graph(graph)

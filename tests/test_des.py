@@ -1,0 +1,162 @@
+"""The discrete-event kernel and simulated network."""
+
+import pytest
+
+from repro.des.core import Simulation
+from repro.des.network import Link, LinkFaults, Network
+from repro.errors import SimulationError
+
+
+class TestSimulation:
+    def test_event_ordering(self):
+        sim = Simulation(seed=0)
+        order = []
+        sim.at(2.0, lambda: order.append("b"))
+        sim.at(1.0, lambda: order.append("a"))
+        sim.at(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_tie_break_by_insertion(self):
+        sim = Simulation(seed=0)
+        order = []
+        sim.at(1.0, lambda: order.append(1))
+        sim.at(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_after_relative(self):
+        sim = Simulation(seed=0)
+        times = []
+        sim.after(1.0, lambda: times.append(sim.now))
+
+        def chain():
+            if sim.now < 3.0:
+                sim.after(1.0, chain)
+            times.append(sim.now)
+
+        sim.after(1.0, chain)
+        sim.run()
+        assert times == [1.0, 1.0, 2.0, 3.0]
+
+    def test_cancel(self):
+        sim = Simulation(seed=0)
+        fired = []
+        ev = sim.at(1.0, lambda: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == [] and sim.pending == 0
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulation(seed=0)
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulation(seed=0)
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(5.0, lambda: fired.append(5))
+        assert sim.run(until=2.0) == 2.0
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_stop_predicate(self):
+        sim = Simulation(seed=0)
+        count = []
+        for i in range(10):
+            sim.at(float(i + 1), lambda: count.append(1))
+        sim.run(stop=lambda: len(count) >= 3)
+        assert len(count) == 3
+
+    def test_rng_streams_independent(self):
+        a = Simulation(seed=42)
+        b = Simulation(seed=42)
+        # Drawing from one stream does not perturb another.
+        a.rng("x").random(5)
+        assert list(a.rng("y").random(3)) == list(b.rng("y").random(3))
+
+    def test_max_events_guard(self):
+        sim = Simulation(seed=0)
+
+        def loop():
+            sim.after(0.1, loop)
+
+        sim.after(0.1, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestNetwork:
+    def test_latency(self):
+        sim = Simulation(seed=0)
+        net = Network(sim, default_latency=0.5)
+        got = []
+        net.send(0, 1, "hello", lambda m: got.append((sim.now, m.payload)))
+        sim.run()
+        assert got == [(0.5, "hello")]
+
+    def test_per_link_latency(self):
+        sim = Simulation(seed=0)
+        net = Network(sim, default_latency=0.5)
+        net.set_link(0, 1, latency=2.0)
+        got = []
+        net.send(0, 1, "x", lambda m: got.append(sim.now))
+        sim.run()
+        assert got == [2.0]
+
+    def test_loss(self):
+        sim = Simulation(seed=0)
+        link = Link(sim, 0, 1, 0.1, LinkFaults(loss=1.0))
+        got = []
+        link.send("x", lambda m: got.append(m))
+        sim.run()
+        assert got == [] and link.lost == 1
+
+    def test_duplication(self):
+        sim = Simulation(seed=0)
+        link = Link(sim, 0, 1, 0.1, LinkFaults(duplication=1.0))
+        got = []
+        link.send("x", lambda m: got.append(m.duplicate))
+        sim.run()
+        assert got == [False, True]
+
+    def test_corruption_flag(self):
+        sim = Simulation(seed=0)
+        link = Link(sim, 0, 1, 0.1, LinkFaults(corruption=1.0))
+        got = []
+        link.send("x", lambda m: got.append(m.corrupted))
+        sim.run()
+        assert got == [True]
+
+    def test_reorder_delays(self):
+        sim = Simulation(seed=1)
+        link = Link(sim, 0, 1, 0.1, LinkFaults(reorder=1.0, reorder_delay=10.0))
+        got = []
+        link.send("x", lambda m: got.append(sim.now))
+        sim.run()
+        assert got[0] > 0.1
+
+    def test_fault_rate_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaults(loss=1.5)
+
+    def test_negative_latency_rejected(self):
+        sim = Simulation(seed=0)
+        with pytest.raises(SimulationError):
+            Link(sim, 0, 1, -0.1)
+
+    def test_counters(self):
+        sim = Simulation(seed=3)
+        net = Network(sim, 0.1, LinkFaults(loss=0.5))
+        for _ in range(200):
+            net.send(0, 1, "x", lambda m: None)
+        sim.run()
+        assert net.messages_sent == 200
+        assert 50 < net.messages_lost < 150

@@ -1,0 +1,148 @@
+"""Experiment runners: each paper figure regenerates with the right
+shape, and the report/CLI layers work."""
+
+import pytest
+
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, table1
+from repro.experiments.cli import main as cli_main
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentResult, render_table, shape_check
+
+
+class TestReport:
+    def test_add_and_column(self):
+        r = ExperimentResult("x", "t", ("a", "b"))
+        r.add(1, 2.5)
+        r.add(3, 4.5)
+        assert r.column("b") == [2.5, 4.5]
+        with pytest.raises(ValueError):
+            r.add(1)
+
+    def test_render(self):
+        r = ExperimentResult("x", "t", ("a",), paper_claims=["c"], notes=["n"])
+        r.add(1.23456)
+        text = render_table(r)
+        assert "== x: t ==" in text
+        assert "1.235" in text
+        assert "paper claims:" in text and "notes:" in text
+
+    def test_shape_check(self):
+        assert shape_check([1, 2, 3], [1.0, 1.1, 1.2])
+        assert not shape_check([1, 2, 3], [1.0, 0.9, 1.2])
+        assert shape_check([3, 1, 2], [1.2, 1.0, 1.1])  # sorts by x
+        assert shape_check([1, 2], [2.0, 1.0], nondecreasing=False)
+        with pytest.raises(ValueError):
+            shape_check([1], [1, 2])
+
+
+class TestFig3:
+    def test_monotone_in_f_and_c(self):
+        r = fig3.run()
+        f = r.column("f")
+        for c in (0.0, 0.01, 0.05):
+            assert shape_check(f, r.column(f"c={c:g}"))
+        # At fixed f, larger c means more instances.
+        for row in r.rows:
+            assert row[1] <= row[2] <= row[3]
+
+    def test_paper_points(self):
+        r = fig3.run(f_values=(0.01,), c_values=(0.01, 0.05))
+        row = r.rows[0]
+        assert row[1] - 1 < 0.016
+        assert row[2] - 1 == pytest.approx(0.0177, abs=0.002)
+
+
+class TestFig4:
+    def test_quoted_overheads(self):
+        r = fig4.run(c_values=(0.01,))
+        row = r.rows[0]
+        assert row[1] == pytest.approx(0.045, abs=0.001)
+        assert row[2] == pytest.approx(0.0576, abs=0.001)
+        assert row[3] == pytest.approx(0.109, abs=0.002)
+
+
+class TestFig5:
+    def test_sim_matches_analytic(self):
+        r = fig5.run(
+            f_values=(0.0, 0.02, 0.05),
+            c_values=(0.01,),
+            phases=300,
+            seed=1,
+        )
+        for row in r.rows:
+            f, sim, analytic = row[0], row[1], row[2]
+            assert sim == pytest.approx(analytic, abs=0.05)
+
+    def test_sim_monotone_in_f(self):
+        r = fig5.run(f_values=(0.0, 0.05, 0.1), c_values=(0.01,), phases=300)
+        assert shape_check(r.column("f"), r.column("c=0.01 sim"))
+
+
+class TestFig6:
+    def test_sim_below_analytic(self):
+        # The <= holds in expectation (early abort makes failed
+        # instances cheaper); the tolerance absorbs the sampling noise
+        # of the fault count at a few hundred phases per point.
+        r = fig6.run(c_values=(0.01, 0.03), f_values=(0.01, 0.05), phases=600)
+        for row in r.rows:
+            _c, sim1, sim5, ana1, ana5 = row
+            assert sim1 <= ana1 + 0.015
+            assert sim5 <= ana5 + 0.025
+
+    def test_overhead_grows_with_c(self):
+        r = fig6.run(c_values=(0.0, 0.02, 0.05), f_values=(0.0,), phases=200)
+        assert shape_check(r.column("c"), r.column("f=0 sim"))
+
+
+class TestFig7:
+    def test_monotone_shapes(self):
+        r = fig7.run(h_values=(2, 5, 7), c_values=(0.01, 0.03, 0.05), trials=15)
+        # Rows: monotone across h at fixed c.
+        for row in r.rows:
+            assert row[1] <= row[2] <= row[3] + 0.05
+        # Columns: monotone across c at fixed h.
+        for col in ("h=2", "h=5", "h=7"):
+            assert shape_check(r.column("c"), r.column(col), tol=0.05)
+
+    def test_paper_envelope(self):
+        r = fig7.run(h_values=(7,), c_values=(0.05,), trials=25)
+        assert r.rows[0][1] < 1.25  # under the paper's envelope
+
+
+class TestTable1:
+    def test_runs_and_demonstrates(self):
+        r = table1.run(seed=0)
+        assert len(r.rows) == 3
+        joined = "\n".join(r.notes)
+        assert "0 violations" in joined  # masking demo
+        assert "20/20" in joined  # stabilizing demo
+        assert "safety_ok=True" in joined  # fail-safe demo
+
+
+class TestRegistryAndCLI:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "table1",
+            "sensitivity",
+        }
+
+    def test_run_experiment(self):
+        r = run_experiment("fig3")
+        assert r.exp_id == "fig3"
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cli_single(self, capsys):
+        assert cli_main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "overhead" in out.lower()
+
+    def test_cli_with_args(self, capsys):
+        assert cli_main(["fig7", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 perturb-and-recover trials" in out

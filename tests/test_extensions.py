@@ -1,0 +1,323 @@
+"""Section 7 extensions: classification, crash/Byzantine, fail-safe,
+atomic commitment, clock unison, phase synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.barrier.cb import cb_detectable_fault, make_cb
+from repro.barrier.control import CP
+from repro.barrier.legitimacy import cb_legitimate
+from repro.barrier.spec import BarrierSpecChecker
+from repro.extensions.classification import (
+    Correctability,
+    Detectability,
+    FaultClass,
+    Tolerance,
+    appropriate_tolerance,
+    classify,
+    table1_rows,
+)
+from repro.extensions.commit import run_transactions
+from repro.extensions.crash import (
+    byzantine_fault,
+    byzantine_repair,
+    crash_fault,
+    crashed_processes,
+    repair_fault,
+    with_byzantine,
+    with_crash,
+)
+from repro.extensions.failsafe import FailSafeMonitor, make_failsafe_cb
+from repro.extensions.phasesync import no_phase_skipped, phase_sync_invariant
+from repro.extensions.unison import (
+    clock_unison_invariant,
+    clocks_of,
+    cyclic_distance,
+    max_clock_skew,
+)
+from repro.gc.faults import BernoulliSchedule, FaultInjector, MultiInjector, OneShotSchedule
+from repro.gc.properties import converges, holds_throughout
+from repro.gc.scheduler import RandomFairDaemon, RoundRobinDaemon
+from repro.gc.simulator import Simulator
+from repro.gc.state import State
+
+
+class TestClassification:
+    def test_table1_mapping(self):
+        assert (
+            appropriate_tolerance(
+                Detectability.DETECTABLE, Correctability.EVENTUAL
+            )
+            is Tolerance.MASKING
+        )
+        assert (
+            appropriate_tolerance(
+                Detectability.UNDETECTABLE, Correctability.EVENTUAL
+            )
+            is Tolerance.STABILIZING
+        )
+        assert (
+            appropriate_tolerance(
+                Detectability.DETECTABLE, Correctability.UNCORRECTABLE
+            )
+            is Tolerance.FAIL_SAFE
+        )
+        assert (
+            appropriate_tolerance(
+                Detectability.UNDETECTABLE, Correctability.UNCORRECTABLE
+            )
+            is Tolerance.INTOLERANT
+        )
+
+    def test_standard_faults(self):
+        assert classify("message-loss").tolerance is Tolerance.MASKING
+        assert (
+            classify("transient-state-corruption").tolerance
+            is Tolerance.STABILIZING
+        )
+        assert (
+            classify("message-corruption-ecc").tolerance
+            is Tolerance.TRIVIALLY_MASKING
+        )
+        assert classify("permanent-crash").tolerance is Tolerance.FAIL_SAFE
+        assert classify("byzantine").tolerance is Tolerance.INTOLERANT
+
+    def test_unknown_fault(self):
+        with pytest.raises(KeyError, match="unknown fault"):
+            classify("gremlins")
+
+    def test_table_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        assert rows[1] == ("eventually-correctable", "masking", "stabilizing")
+
+    def test_fault_class_dataclass(self):
+        fc = FaultClass(Detectability.DETECTABLE, Correctability.EVENTUAL)
+        assert fc.tolerance is Tolerance.MASKING
+
+
+class TestCrash:
+    def test_crashed_process_never_acts(self):
+        prog = with_crash(make_cb(3, 2))
+        injector = FaultInjector(
+            prog, crash_fault(), OneShotSchedule(at_step=5), targets=[1], seed=0
+        )
+        sim = Simulator(prog, RoundRobinDaemon(), injector=injector)
+        result = sim.run(max_steps=500)
+        assert crashed_processes(result.state) == [1]
+        post_crash = [
+            e for e in result.trace if e.pid == 1 and not e.is_fault and e.step > 5
+        ]
+        assert post_crash == []
+
+    def test_repair_resumes_progress(self):
+        prog = with_crash(make_cb(3, 2))
+        crash = FaultInjector(
+            prog, crash_fault(), OneShotSchedule(at_step=5), targets=[1], seed=0
+        )
+        repair = FaultInjector(
+            prog,
+            repair_fault(cb_detectable_fault()),
+            OneShotSchedule(at_step=60),
+            targets=[1],
+            seed=0,
+        )
+        sim = Simulator(
+            prog, RandomFairDaemon(seed=0), injector=MultiInjector([crash, repair])
+        )
+        result = sim.run(max_steps=4000)
+        assert crashed_processes(result.state) == []
+        report = BarrierSpecChecker(3, 2).check(result.trace, prog.initial_state())
+        # Fail-stop + repair is a detectable fault: masking holds.
+        assert report.safety_ok
+        assert report.phases_completed > 10
+
+    def test_crash_state_shape(self):
+        prog = with_crash(make_cb(3, 2))
+        state = prog.initial_state()
+        assert all(state.get("up", p) for p in range(3))
+
+
+class TestByzantine:
+    def test_byzantine_scrambles_state(self):
+        prog = with_byzantine(make_cb(3, 2))
+        injector = FaultInjector(
+            prog, byzantine_fault(), OneShotSchedule(at_step=5), targets=[2], seed=0
+        )
+        sim = Simulator(prog, RandomFairDaemon(seed=1), injector=injector)
+        result = sim.run(max_steps=500)
+        byz_actions = result.trace.filter(pid=2, action="BYZ")
+        assert byz_actions  # the adversary acted
+
+    def test_repair_restores_stabilization(self, rng):
+        prog = with_byzantine(make_cb(3, 2))
+        state = prog.initial_state()
+        # Make process 2 Byzantine, let it scramble, then repair it and
+        # verify convergence (the post-repair system has no bad actor).
+        state.set("good", 2, False)
+        sim = Simulator(prog, RandomFairDaemon(seed=2), record_trace=False)
+        mid = sim.run(state, max_steps=200)
+        rng2 = np.random.default_rng(0)
+        byzantine_repair(cb_detectable_fault()).apply(prog, mid.state, 2, rng2)
+        assert mid.state.get("good", 2)
+        assert converges(
+            prog,
+            mid.state,
+            lambda s: cb_legitimate(
+                State(
+                    {"cp": list(s.vector("cp")), "ph": list(s.vector("ph"))}, 3
+                ),
+                2,
+            ),
+            RoundRobinDaemon(),
+            max_steps=3000,
+        )
+
+
+class TestFailSafe:
+    def test_safety_never_violated(self):
+        prog = make_failsafe_cb(4, 2)
+        injector = FaultInjector(
+            prog, crash_fault(), OneShotSchedule(at_step=50), seed=3
+        )
+        sim = Simulator(prog, RandomFairDaemon(seed=3), injector=injector)
+        result = sim.run(max_steps=3000)
+        verdict = FailSafeMonitor(4, 2).verdict(
+            result.trace, prog.initial_state(), result.state
+        )
+        assert verdict.fatal_reported
+        assert verdict.safety_ok
+        # At most the in-flight phase completes after the crash.
+        assert verdict.completions_after_crash <= 1
+
+    def test_progress_sacrificed_not_safety(self):
+        prog = make_failsafe_cb(3, 2)
+        injector = FaultInjector(
+            prog, crash_fault(), OneShotSchedule(at_step=10), targets=[0], seed=0
+        )
+        sim = Simulator(prog, RoundRobinDaemon(), injector=injector)
+        result = sim.run(max_steps=2000)
+        verdict = FailSafeMonitor(3, 2).verdict(
+            result.trace, prog.initial_state(), result.state
+        )
+        assert verdict.safety_ok
+
+    def test_no_crash_normal_operation(self):
+        prog = make_failsafe_cb(3, 2)
+        sim = Simulator(prog, RoundRobinDaemon())
+        result = sim.run(max_steps=1000)
+        verdict = FailSafeMonitor(3, 2).verdict(
+            result.trace, prog.initial_state(), result.state
+        )
+        assert not verdict.fatal_reported
+        assert verdict.report.phases_completed > 10
+
+
+class TestAtomicCommitment:
+    def test_all_yes_commits_first_try(self):
+        logs = run_transactions(4, 3, lambda r, t, a: True, seed=0)
+        assert all(o.attempts == 1 and o.committed for log in logs for o in log)
+
+    def test_no_votes_force_retry(self):
+        votes = {0: [False, True]}  # txn 0 fails once then succeeds
+
+        def vote_fn(rank, txn, attempt):
+            seq = votes.get(txn)
+            if seq is None:
+                return True
+            return seq[min(attempt, len(seq) - 1)]
+
+        logs = run_transactions(4, 2, vote_fn, seed=0)
+        assert logs[0][0].attempts == 2
+        assert logs[0][1].attempts == 1
+
+    def test_histories_agree_under_faults(self):
+        rng = np.random.default_rng(7)
+        memo = {}
+
+        def vote_fn(rank, txn, attempt):
+            key = (rank, txn, attempt)
+            if key not in memo:
+                memo[key] = bool(rng.random() > 0.2)
+            return memo[key]
+
+        logs = run_transactions(5, 6, vote_fn, seed=2, fault_frequency=0.05)
+        histories = [
+            [(o.index, o.attempts, o.committed) for o in log] for log in logs
+        ]
+        assert all(h == histories[0] for h in histories)
+
+    def test_hopeless_transaction_raises(self):
+        with pytest.raises(Exception):
+            run_transactions(
+                3, 1, lambda r, t, a: False, seed=0, max_attempts=3
+            )
+
+
+class TestClockUnison:
+    def test_cyclic_distance(self):
+        assert cyclic_distance(0, 5, 6) == 1
+        assert cyclic_distance(2, 4, 6) == 2
+        assert cyclic_distance(3, 3, 6) == 0
+
+    def test_invariant_on_running_barrier(self):
+        prog = make_cb(4, 6)
+        ok = holds_throughout(
+            prog,
+            prog.initial_state(),
+            lambda s: clock_unison_invariant(s, 6),
+            RandomFairDaemon(seed=0),
+            steps=3000,
+        )
+        assert ok
+
+    def test_skew_recovers_after_undetectable_faults(self, rng):
+        from repro.barrier.cb import cb_undetectable_fault
+
+        prog = make_cb(4, 6)
+        state = prog.arbitrary_state(rng)
+        if clock_unison_invariant(state, 6):
+            state.set("ph", 0, (state.get("ph", 1) + 3) % 6)
+        assert max_clock_skew(state, 6) >= 2
+        assert converges(
+            prog,
+            state,
+            lambda s: clock_unison_invariant(s, 6),
+            RoundRobinDaemon(),
+            max_steps=5000,
+        )
+
+    def test_clocks_accessor(self):
+        state = State({"ph": [1, 2, 3], "cp": [CP.READY] * 3}, 3)
+        assert clocks_of(state) == [1, 2, 3]
+
+
+class TestPhaseSync:
+    def test_invariant_on_running_barrier(self):
+        prog = make_cb(3, 4)
+        ok = holds_throughout(
+            prog,
+            prog.initial_state(),
+            lambda s: phase_sync_invariant(s, 4),
+            RoundRobinDaemon(),
+            steps=2000,
+        )
+        assert ok
+
+    def test_invariant_rejects_bad_states(self):
+        s = State({"cp": [CP.READY, CP.READY], "ph": [0, 2]}, 2)
+        assert not phase_sync_invariant(s, 4)
+        s2 = State({"cp": [CP.READY, CP.READY], "ph": [0, 1]}, 2)
+        assert not phase_sync_invariant(s2, 4)  # behind proc not success
+        s3 = State({"cp": [CP.SUCCESS, CP.READY], "ph": [0, 1]}, 2)
+        assert phase_sync_invariant(s3, 4)
+
+    def test_no_phase_skipped_over_run(self):
+        prog = make_cb(3, 4)
+        injector = FaultInjector(
+            prog, cb_detectable_fault(), BernoulliSchedule(0.02), seed=5
+        )
+        sim = Simulator(prog, RandomFairDaemon(seed=5), injector=injector)
+        result = sim.run(max_steps=10_000)
+        report = BarrierSpecChecker(3, 4).check(result.trace, prog.initial_state())
+        assert no_phase_skipped(report)

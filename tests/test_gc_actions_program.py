@@ -1,0 +1,122 @@
+"""Unit tests for repro.gc.actions and repro.gc.program."""
+
+import pytest
+
+from repro.gc.actions import Action, StateView, apply_updates
+from repro.gc.domains import IntRange
+from repro.gc.program import Process, Program, VariableDecl, parallel
+from repro.gc.state import State
+
+
+def counter_program(n=2, hi=5):
+    """Each process increments its own counter up to ``hi``."""
+    decl = VariableDecl("x", IntRange(0, hi), 0)
+
+    def guard(view):
+        return view.my("x") < hi
+
+    def stmt(view):
+        return [("x", view.my("x") + 1)]
+
+    procs = [Process(p, (Action("INC", p, guard, stmt),)) for p in range(n)]
+    return Program("counters", [decl], procs)
+
+
+class TestAction:
+    def test_enabled_and_updates(self):
+        prog = counter_program()
+        state = prog.initial_state()
+        action = prog.action_named("INC", 0)
+        assert action.enabled(state)
+        assert action.updates(state) == [("x", 1)]
+        assert state.get("x", 0) == 0  # updates() is pure
+
+    def test_execute_applies(self):
+        prog = counter_program()
+        state = prog.initial_state()
+        prog.action_named("INC", 1).execute(state)
+        assert state.vector("x") == (0, 1)
+
+    def test_disabled_at_cap(self):
+        prog = counter_program(hi=1)
+        state = State({"x": [1, 0]}, 2)
+        assert not prog.action_named("INC", 0).enabled(state)
+        assert prog.action_named("INC", 1).enabled(state)
+
+
+class TestStateView:
+    def test_reads(self):
+        state = State({"x": [10, 20]}, 2)
+        view = StateView(state, 1)
+        assert view.my("x") == 20
+        assert view.of("x", 0) == 10
+        assert view.vector("x") == (10, 20)
+        assert list(view.others()) == [0, 1]
+
+    def test_any_with(self):
+        state = State({"x": [1, 2, 2]}, 3)
+        view = StateView(state, 0)
+        assert view.any_with("x", 2) in (1, 2)
+        assert view.any_with("x", 9) is None
+
+    def test_any_with_random_witness(self, rng):
+        state = State({"x": [2, 2, 2]}, 3)
+        view = StateView(state, 0, rng)
+        witnesses = {view.any_with("x", 2) for _ in range(100)}
+        assert witnesses == {0, 1, 2}
+
+    def test_choose(self, rng):
+        view = StateView(State({"x": [0]}, 1), 0, rng)
+        assert {view.choose([1, 2, 3]) for _ in range(100)} == {1, 2, 3}
+        with pytest.raises(ValueError):
+            view.choose([])
+
+    def test_choose_deterministic_without_rng(self):
+        view = StateView(State({"x": [0]}, 1), 0)
+        assert view.choose([7, 8]) == 7
+
+
+class TestProgram:
+    def test_wrong_pid_on_action(self):
+        prog = counter_program()
+        action = prog.action_named("INC", 0)
+        with pytest.raises(ValueError):
+            Process(1, (action,))
+
+    def test_duplicate_declarations(self):
+        decl = VariableDecl("x", IntRange(0, 1), 0)
+        with pytest.raises(ValueError):
+            Program("bad", [decl, decl], [Process(0, ())])
+
+    def test_process_numbering(self):
+        with pytest.raises(ValueError):
+            Program("bad", [], [Process(1, ())])
+
+    def test_validate_state(self):
+        prog = counter_program(hi=2)
+        good = prog.initial_state()
+        prog.validate_state(good)
+        bad = State({"x": [0, 99]}, 2)
+        with pytest.raises(ValueError):
+            prog.validate_state(bad)
+
+    def test_arbitrary_state_in_domain(self, rng):
+        prog = counter_program(hi=3)
+        for _ in range(20):
+            prog.validate_state(prog.arbitrary_state(rng))
+
+    def test_default_declaration_validated(self):
+        with pytest.raises(ValueError):
+            VariableDecl("x", IntRange(0, 1), 5)
+
+
+class TestParallelAndApply:
+    def test_parallel_combines(self):
+        stmt = parallel(lambda v: [("x", 1)], lambda v: [("y", 2)])
+        view = StateView(State({"x": [0], "y": [0]}, 1), 0)
+        assert stmt(view) == [("x", 1), ("y", 2)]
+
+    def test_apply_updates(self):
+        state = State({"x": [0, 0]}, 2)
+        apply_updates(state, 1, [("x", 5)])
+        assert state.vector("x") == (0, 5)

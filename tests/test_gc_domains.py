@@ -1,0 +1,133 @@
+"""Unit tests for repro.gc.domains."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.gc.domains import (
+    BOT,
+    TOP,
+    EnumDomain,
+    IntRange,
+    SequenceNumberDomain,
+    check_value,
+)
+
+
+class TestSpecials:
+    def test_singletons(self):
+        assert BOT is not TOP
+        assert repr(BOT) == "BOT"
+        assert repr(TOP) == "TOP"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOT)) is BOT
+        assert pickle.loads(pickle.dumps(TOP)) is TOP
+
+    def test_ordering_vs_ints(self):
+        assert BOT > 5
+        assert not (BOT < 5)
+        assert BOT < TOP
+        assert TOP > BOT
+
+    def test_sortable_with_ints(self):
+        assert sorted([TOP, 3, BOT, 1]) == [1, 3, BOT, TOP]
+
+
+class TestIntRange:
+    def test_contains(self):
+        d = IntRange(0, 4)
+        assert d.contains(0) and d.contains(4)
+        assert not d.contains(-1) and not d.contains(5)
+        assert not d.contains(1.0)
+        assert not d.contains(True)  # bools are not phases
+
+    def test_values(self):
+        assert list(IntRange(2, 5).values()) == [2, 3, 4, 5]
+
+    def test_size_and_succ(self):
+        d = IntRange(0, 2)
+        assert d.size == 3
+        assert d.succ(0) == 1
+        assert d.succ(2) == 0  # wraps
+
+    def test_succ_with_offset(self):
+        d = IntRange(5, 7)
+        assert d.succ(7) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntRange(3, 2)
+
+    def test_sample_in_domain(self, rng):
+        d = IntRange(0, 9)
+        for _ in range(50):
+            assert d.contains(d.sample(rng))
+
+
+class TestEnumDomain:
+    def test_contains(self):
+        d = EnumDomain(("a", "b"))
+        assert d.contains("a") and not d.contains("c")
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            EnumDomain(("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EnumDomain(())
+
+    def test_sample(self, rng):
+        d = EnumDomain((1, 2, 3))
+        seen = {d.sample(rng) for _ in range(100)}
+        assert seen == {1, 2, 3}
+
+
+class TestSequenceNumberDomain:
+    def test_contains_ordinary_and_special(self):
+        d = SequenceNumberDomain(5)
+        assert d.contains(0) and d.contains(4)
+        assert not d.contains(5)
+        assert d.contains(BOT) and d.contains(TOP)
+
+    def test_without_specials(self):
+        d = SequenceNumberDomain(5, include_specials=False)
+        assert not d.contains(BOT)
+        assert BOT not in d.values()
+
+    def test_is_ordinary(self):
+        d = SequenceNumberDomain(5)
+        assert d.is_ordinary(3)
+        assert not d.is_ordinary(BOT)
+        assert not d.is_ordinary(TOP)
+        assert not d.is_ordinary(99)
+
+    def test_succ_mod_k(self):
+        d = SequenceNumberDomain(4)
+        assert d.succ(3) == 0
+
+    def test_succ_of_special_raises(self):
+        d = SequenceNumberDomain(4)
+        with pytest.raises(ValueError):
+            d.succ(BOT)
+
+    def test_values_cover_domain(self):
+        d = SequenceNumberDomain(3)
+        assert list(d.values()) == [0, 1, 2, BOT, TOP]
+
+    def test_too_small_k(self):
+        with pytest.raises(ValueError):
+            SequenceNumberDomain(1)
+
+    def test_sample_hits_specials(self, rng):
+        d = SequenceNumberDomain(2)
+        seen = {repr(d.sample(rng)) for _ in range(200)}
+        assert "BOT" in seen and "TOP" in seen
+
+
+def test_check_value():
+    check_value(IntRange(0, 1), "x", 1)
+    with pytest.raises(ValueError, match="outside domain"):
+        check_value(IntRange(0, 1), "x", 7)

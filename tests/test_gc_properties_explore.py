@@ -1,0 +1,179 @@
+"""Unit tests for repro.gc.properties and repro.gc.explore."""
+
+import pytest
+
+from repro.gc.actions import Action
+from repro.gc.domains import IntRange
+from repro.gc.explore import Explorer
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.properties import (
+    check_closure,
+    converges,
+    convergence_steps,
+    holds_throughout,
+    stabilization_profile,
+)
+from repro.gc.state import State
+
+
+def make_decreasing(n=2, hi=3):
+    """Each process decreases its value toward 0 -- stabilizes to all-0."""
+    decl = VariableDecl("x", IntRange(0, hi), hi)
+
+    def guard(view):
+        return view.my("x") > 0
+
+    def stmt(view):
+        return [("x", view.my("x") - 1)]
+
+    procs = [Process(p, (Action("DEC", p, guard, stmt),)) for p in range(n)]
+    return Program("dec", [decl], procs)
+
+
+def make_oscillator():
+    """x flips forever between 0 and 1 -- never stabilizes to x=1 forever."""
+    decl = VariableDecl("x", IntRange(0, 1), 0)
+
+    def guard(view):
+        return True
+
+    def stmt(view):
+        return [("x", 1 - view.my("x"))]
+
+    return Program("osc", [decl], [Process(0, (Action("F", 0, guard, stmt),))])
+
+
+def all_zero(state: State) -> bool:
+    return all(state.get("x", p) == 0 for p in range(state.nprocs))
+
+
+class TestProperties:
+    def test_convergence_steps(self):
+        prog = make_decreasing(2, 3)
+        steps = convergence_steps(prog, prog.initial_state(), all_zero)
+        assert steps == 6
+
+    def test_already_legitimate(self):
+        prog = make_decreasing(2, 3)
+        state = State({"x": [0, 0]}, 2)
+        assert convergence_steps(prog, state, all_zero) == 0
+
+    def test_no_convergence(self):
+        prog = make_oscillator()
+        assert not converges(
+            prog, prog.initial_state(), lambda s: False, max_steps=50
+        )
+
+    def test_closure(self):
+        prog = make_decreasing(2, 3)
+        state = State({"x": [0, 0]}, 2)
+        assert check_closure(prog, state, all_zero, steps=20)
+
+    def test_closure_requires_legitimate_start(self):
+        prog = make_decreasing(2, 3)
+        with pytest.raises(ValueError):
+            check_closure(prog, prog.initial_state(), all_zero)
+
+    def test_holds_throughout(self):
+        prog = make_decreasing(2, 3)
+        ok = holds_throughout(
+            prog,
+            prog.initial_state(),
+            lambda s: all(s.get("x", p) <= 3 for p in range(2)),
+            steps=20,
+        )
+        assert ok
+        bad = holds_throughout(
+            prog,
+            prog.initial_state(),
+            lambda s: all(s.get("x", p) >= 2 for p in range(2)),
+            steps=20,
+        )
+        assert not bad
+
+    def test_stabilization_profile(self, rng):
+        prog = make_decreasing(2, 3)
+        times = stabilization_profile(prog, all_zero, rng, trials=10)
+        assert len(times) == 10
+        assert all(0 <= t <= 6 for t in times)
+
+    def test_stabilization_profile_raises_on_divergence(self, rng):
+        prog = make_oscillator()
+        with pytest.raises(AssertionError):
+            stabilization_profile(
+                prog, lambda s: False, rng, trials=2, max_steps=20
+            )
+
+
+class TestExplorer:
+    def test_reachable_counts(self):
+        prog = make_decreasing(2, 2)
+        explorer = Explorer(prog)
+        result = explorer.reachable([prog.initial_state()])
+        # From (2,2): all (a,b) with a,b <= 2 reachable: 9 states.
+        assert len(result) == 9
+        assert not result.truncated
+
+    def test_invariant_check(self):
+        prog = make_decreasing(2, 2)
+        explorer = Explorer(prog)
+        result = explorer.reachable([prog.initial_state()])
+        assert explorer.check_invariant(result, lambda s: True) == []
+        bad = explorer.check_invariant(
+            result, lambda s: s.get("x", 0) + s.get("x", 1) < 4
+        )
+        assert len(bad) == 1  # only the initial (2,2)
+
+    def test_closure_check(self):
+        prog = make_decreasing(2, 2)
+        explorer = Explorer(prog)
+        result = explorer.reachable([prog.initial_state()])
+        assert explorer.check_closure(result, all_zero) == []
+        # x <= 1 is NOT closed... it is closed under decrease; use a
+        # predicate violated by transitions: x0 == 2 exits immediately.
+        leaks = explorer.check_closure(
+            result, lambda s: s.get("x", 0) == 2
+        )
+        assert leaks
+
+    def test_all_paths_converge(self):
+        prog = make_decreasing(2, 2)
+        explorer = Explorer(prog)
+        result = explorer.reachable([prog.initial_state()])
+        assert explorer.all_paths_converge(result, all_zero)
+
+    def test_all_paths_converge_detects_cycle(self):
+        prog = make_oscillator()
+        explorer = Explorer(prog)
+        result = explorer.reachable([prog.initial_state()])
+        assert not explorer.all_paths_converge(result, lambda s: False)
+
+    def test_some_path_converges(self):
+        prog = make_oscillator()
+        explorer = Explorer(prog)
+        result = explorer.reachable([prog.initial_state()])
+        # x=0 recurs, so EF(x=0) holds everywhere.
+        assert explorer.some_path_converges(
+            result, lambda s: s.get("x", 0) == 0
+        )
+        assert not explorer.some_path_converges(result, lambda s: False)
+
+    def test_full_state_space(self):
+        prog = make_decreasing(2, 1)
+        explorer = Explorer(prog)
+        states = explorer.full_state_space()
+        assert len(states) == 4  # {0,1}^2
+
+    def test_full_state_space_size_guard(self):
+        prog = make_decreasing(4, 9)
+        explorer = Explorer(prog, max_states=100)
+        with pytest.raises(ValueError):
+            explorer.full_state_space()
+
+    def test_truncation(self):
+        prog = make_decreasing(2, 2)
+        explorer = Explorer(prog, max_states=3)
+        result = explorer.reachable([prog.initial_state()])
+        assert result.truncated
+        with pytest.raises(ValueError):
+            explorer.all_paths_converge(result, all_zero)

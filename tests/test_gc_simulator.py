@@ -1,0 +1,101 @@
+"""Unit tests for repro.gc.simulator and repro.gc.trace."""
+
+import pytest
+
+from repro.gc.actions import Action
+from repro.gc.domains import IntRange
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.simulator import Simulator
+from repro.gc.trace import Trace, TraceEvent
+
+
+def counter(hi=10):
+    decl = VariableDecl("x", IntRange(0, hi), 0)
+
+    def guard(view):
+        return view.my("x") < hi
+
+    def stmt(view):
+        return [("x", view.my("x") + 1)]
+
+    return Program("c", [decl], [Process(0, (Action("INC", 0, guard, stmt),))])
+
+
+class TestRunLoop:
+    def test_runs_to_silence(self):
+        result = Simulator(counter(5)).run(max_steps=100)
+        assert result.stopped_by == "silent"
+        assert result.state.get("x", 0) == 5
+        assert result.steps == 5
+
+    def test_max_steps(self):
+        result = Simulator(counter(100)).run(max_steps=7)
+        assert result.stopped_by == "max_steps"
+        assert result.state.get("x", 0) == 7
+
+    def test_stop_predicate(self):
+        result = Simulator(counter(100)).run(
+            max_steps=100, stop=lambda s, step: s.get("x", 0) >= 3
+        )
+        assert result.reached and result.steps == 3
+
+    def test_stop_checked_before_first_step(self):
+        result = Simulator(counter(100)).run(
+            max_steps=100, stop=lambda s, step: True
+        )
+        assert result.reached and result.steps == 0
+
+    def test_run_until(self):
+        result = Simulator(counter(100)).run_until(
+            lambda s: s.get("x", 0) == 4, max_steps=100
+        )
+        assert result.reached and result.steps == 4
+
+    def test_observer_called_each_step(self):
+        seen = []
+        Simulator(counter(5)).run(
+            max_steps=100, observer=lambda s, step: seen.append(step)
+        )
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_trace_records_actions(self):
+        result = Simulator(counter(3)).run(max_steps=10)
+        assert [e.action for e in result.trace] == ["INC"] * 3
+        assert result.trace[0].updates == (("x", 1),)
+
+    def test_trace_disabled(self):
+        sim = Simulator(counter(3), record_trace=False)
+        result = sim.run(max_steps=10)
+        assert len(result.trace) == 0
+
+
+class TestTrace:
+    def test_capacity(self):
+        t = Trace(capacity=2)
+        for i in range(5):
+            t.append(TraceEvent(i, 0, "a", ()))
+        assert len(t) == 2 and t.dropped == 3
+
+    def test_filter(self):
+        t = Trace()
+        t.append(TraceEvent(1, 0, "a", ()))
+        t.append(TraceEvent(2, 1, "b", ()))
+        t.append(TraceEvent(3, 0, "b", ()))
+        assert len(t.filter(pid=0)) == 2
+        assert len(t.filter(action="b")) == 2
+        assert len(t.filter(pid=0, action="b")) == 1
+        assert len(t.filter(predicate=lambda e: e.step > 1)) == 2
+
+    def test_faults_and_count(self):
+        t = Trace()
+        t.append(TraceEvent(1, 0, "fault:x", (), is_fault=True))
+        t.append(TraceEvent(2, 0, "a", ()))
+        assert len(t.faults()) == 1
+        assert t.count("a") == 1
+
+    def test_event_wrote(self):
+        ev = TraceEvent(1, 0, "a", (("x", 5),))
+        assert ev.wrote("x") and not ev.wrote("y")
+        assert ev.value_written("x") == 5
+        with pytest.raises(KeyError):
+            ev.value_written("y")

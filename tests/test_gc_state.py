@@ -1,0 +1,92 @@
+"""Unit tests for repro.gc.state."""
+
+import pytest
+
+from repro.barrier.control import CP
+from repro.gc.state import State
+
+
+def make_state():
+    return State({"x": [1, 2, 3], "y": [0, 0, 0]}, 3)
+
+
+class TestBasics:
+    def test_get_set(self):
+        s = make_state()
+        assert s.get("x", 1) == 2
+        s.set("x", 1, 9)
+        assert s.get("x", 1) == 9
+
+    def test_unknown_variable(self):
+        s = make_state()
+        with pytest.raises(KeyError):
+            s.set("z", 0, 1)
+
+    def test_bad_pid(self):
+        s = make_state()
+        with pytest.raises(IndexError):
+            s.set("x", 3, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            State({"x": [1, 2]}, 3)
+
+    def test_vector_and_locals(self):
+        s = make_state()
+        assert s.vector("x") == (1, 2, 3)
+        assert s.locals_of(2) == {"x": 3, "y": 0}
+
+    def test_contains(self):
+        s = make_state()
+        assert "x" in s and "z" not in s
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_independent(self):
+        s = make_state()
+        snap = s.snapshot()
+        s.set("x", 0, 99)
+        assert snap.get("x", 0) == 1
+
+    def test_restore(self):
+        s = make_state()
+        snap = s.snapshot()
+        s.set("x", 0, 99)
+        s.restore(snap)
+        assert s.get("x", 0) == 1
+
+    def test_restore_shape_mismatch(self):
+        s = make_state()
+        other = State({"x": [1, 2, 3]}, 3)
+        with pytest.raises(ValueError):
+            s.restore(other)
+
+
+class TestKeysAndEquality:
+    def test_key_roundtrip(self):
+        s = make_state()
+        again = State.from_key(s.key(), 3)
+        assert again == s
+
+    def test_hash_consistent(self):
+        a = make_state()
+        b = make_state()
+        assert hash(a) == hash(b) and a == b
+        b.set("y", 2, 1)
+        assert a != b
+
+    def test_key_order_stable(self):
+        a = State({"b": [1], "a": [2]}, 1)
+        b = State({"a": [2], "b": [1]}, 1)
+        assert a.key() == b.key()
+
+
+class TestUniform:
+    def test_uniform_defaults_and_overrides(self, cb4):
+        s = State.uniform(cb4, ph=2)
+        assert s.vector("ph") == (2, 2, 2, 2)
+        assert all(v is CP.READY for v in s.vector("cp"))
+
+    def test_uniform_unknown_var(self, cb4):
+        with pytest.raises(KeyError):
+            State.uniform(cb4, bogus=1)

@@ -1,0 +1,135 @@
+"""Unit tests for the timed simulator (repro.gc.timed)."""
+
+import pytest
+
+from repro.gc.actions import Action
+from repro.gc.domains import IntRange
+from repro.gc.program import Process, Program, VariableDecl
+from repro.gc.timed import TimedSimulator, make_duration_fn
+
+
+def staged(n=3, hi=4, kinds=("compute",)):
+    """Each process counts independently; action kinds parameterized."""
+    decl = VariableDecl("x", IntRange(0, hi), 0)
+
+    def guard(view):
+        return view.my("x") < hi
+
+    def stmt(view):
+        return [("x", view.my("x") + 1)]
+
+    procs = [
+        Process(p, (Action("INC", p, guard, stmt, kind=kinds[p % len(kinds)]),))
+        for p in range(n)
+    ]
+    return Program("staged", [decl], procs)
+
+
+def chain(n=3):
+    """Process p waits for p-1 (sequential chain), each action 1 unit."""
+    decl = VariableDecl("done", IntRange(0, 1), 0)
+    procs = []
+    for p in range(n):
+
+        def guard(view, _p=p):
+            if view.my("done"):
+                return False
+            return _p == 0 or view.of("done", _p - 1) == 1
+
+        def stmt(view):
+            return [("done", 1)]
+
+        procs.append(
+            Process(p, (Action("GO", p, guard, stmt, kind="compute"),))
+        )
+    return Program("chain", [decl], procs)
+
+
+class TestDurations:
+    def test_kind_costs(self):
+        fn = make_duration_fn({"compute": 2.0, "comm": 0.5})
+        a = Action("a", 0, lambda v: True, lambda v: [], kind="compute")
+        b = Action("b", 0, lambda v: True, lambda v: [], kind="comm")
+        c = Action("c", 0, lambda v: True, lambda v: [], kind="local")
+        assert fn(a) == 2.0 and fn(b) == 0.5 and fn(c) == 0.0
+
+    def test_explicit_duration_wins(self):
+        fn = make_duration_fn({"compute": 2.0})
+        a = Action("a", 0, lambda v: True, lambda v: [], kind="compute", duration=7.0)
+        assert fn(a) == 7.0
+
+
+class TestTimedRuns:
+    def test_parallel_processes_overlap(self):
+        # 3 processes each doing 4 one-unit actions in parallel: 4 units.
+        sim = TimedSimulator(staged(3, 4), {"compute": 1.0})
+        result = sim.run(max_time=100)
+        assert result.stopped_by == "silent"
+        assert result.time == pytest.approx(4.0)
+        assert result.completions == 12
+
+    def test_sequential_chain_adds_up(self):
+        sim = TimedSimulator(chain(4), {"compute": 1.0})
+        result = sim.run(max_time=100)
+        assert result.time == pytest.approx(4.0)
+
+    def test_max_time(self):
+        sim = TimedSimulator(staged(1, 100), {"compute": 1.0})
+        result = sim.run(max_time=5.5)
+        assert result.stopped_by == "max_time"
+        assert result.state.get("x", 0) == 5
+
+    def test_stop_predicate(self):
+        sim = TimedSimulator(staged(1, 100), {"compute": 1.0})
+        result = sim.run(max_time=100, stop=lambda s, t: s.get("x", 0) >= 3)
+        assert result.reached
+        assert result.time == pytest.approx(3.0)
+
+    def test_guard_rechecked_at_completion(self):
+        # Two processes race to claim a single slot; the loser's work is
+        # wasted (guard false at completion).
+        decl = VariableDecl("slot", IntRange(0, 2), 0)
+
+        def guard(view):
+            return view.of("slot", 0) == 0
+
+        def stmt_a(view):
+            return [("slot", 1)]
+
+        def stmt_b(view):
+            return []  # process 1 does not own slot; writes nothing
+
+        prog = Program(
+            "race",
+            [decl],
+            [
+                Process(0, (Action("A", 0, guard, stmt_a, duration=1.0),)),
+                Process(1, (Action("B", 1, guard, stmt_b, duration=2.0),)),
+            ],
+        )
+        result = TimedSimulator(prog).run(max_time=10)
+        # A completes at t=1 and flips the slot; B completes at t=2 but
+        # its guard is now false -> wasted.
+        assert result.wasted == 1
+
+    def test_zero_duration_loop_detected(self):
+        decl = VariableDecl("x", IntRange(0, 1), 0)
+
+        def guard(view):
+            return True
+
+        def stmt(view):
+            return [("x", 1 - view.my("x"))]
+
+        prog = Program(
+            "osc",
+            [decl],
+            [Process(0, (Action("OSC", 0, guard, stmt, duration=0.0),))],
+        )
+        with pytest.raises(RuntimeError, match="instantaneous action loop"):
+            TimedSimulator(prog).run(max_time=10)
+
+    def test_trace_recording(self):
+        sim = TimedSimulator(staged(1, 2), {"compute": 1.5}, record_trace=True)
+        result = sim.run(max_time=10)
+        assert [e.time for e in result.trace] == [1.5, 3.0]

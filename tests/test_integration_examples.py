@@ -1,0 +1,98 @@
+"""Integration: the example scripts run end to end (their internal
+assertions are the checks), plus a cross-refinement consistency sweep."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "jacobi_stencil.py",
+        "fault_injection_demo.py",
+        "atomic_commit_demo.py",
+        "fuzzy_overlap.py",
+        "cluster_topology.py",
+        "distributed_mb.py",
+        "paper_figures.py",
+    ],
+)
+def test_example_runs(script):
+    path = EXAMPLES / script
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "OK" in result.stdout
+
+
+class TestCrossRefinementConsistency:
+    """CB, RB and MB implement the same specification: under identical
+    fault-free runs they complete barriers; under the same detectable
+    fault pressure none violates the specification."""
+
+    def test_all_refinements_satisfy_spec(self):
+        from repro.barrier import (
+            make_cb,
+            make_mb,
+            make_rb,
+            cb_detectable_fault,
+            mb_detectable_fault,
+            rb_detectable_fault,
+        )
+        from repro.barrier.spec import BarrierSpecChecker
+        from repro.gc import (
+            BernoulliSchedule,
+            FaultInjector,
+            RandomFairDaemon,
+            Simulator,
+        )
+
+        cases = [
+            (make_cb(4, 3), cb_detectable_fault()),
+            (make_rb(4, nphases=3), rb_detectable_fault()),
+            (make_mb(4, nphases=3), mb_detectable_fault()),
+        ]
+        completed = []
+        for program, fault in cases:
+            injector = FaultInjector(
+                program, fault, BernoulliSchedule(0.005), seed=99
+            )
+            sim = Simulator(program, RandomFairDaemon(seed=99), injector=injector)
+            result = sim.run(max_steps=20_000)
+            report = BarrierSpecChecker(4, 3).check(
+                result.trace, program.initial_state()
+            )
+            assert report.safety_ok, (program.name, report.violations[:2])
+            completed.append(report.phases_completed)
+        assert all(c > 20 for c in completed)
+
+    def test_refinement_slowdown_ordering(self):
+        """Per step-count, the refinements never get faster: CB (3
+        transitions per process) and RB (3 circulations of N hops) tie
+        at 3N steps per phase, while MB pays double (copy + hop: the
+        virtual 2(N+1) ring)."""
+        from repro.barrier import make_cb, make_mb, make_rb
+        from repro.barrier.spec import BarrierSpecChecker
+        from repro.gc import RoundRobinDaemon, Simulator
+
+        rates = []
+        for program in (make_cb(4, 3), make_rb(4, nphases=3), make_mb(4, nphases=3)):
+            sim = Simulator(program, RoundRobinDaemon())
+            result = sim.run(max_steps=2400)
+            report = BarrierSpecChecker(4, 3).check(
+                result.trace, program.initial_state()
+            )
+            rates.append(report.phases_completed)
+        assert rates[0] >= rates[1] > rates[2]
+        assert rates[1] == pytest.approx(2 * rates[2], abs=2)

@@ -1,0 +1,138 @@
+"""The distributed MB implementation over real messages."""
+
+import pytest
+
+from repro.barrier.control import CP
+from repro.des.network import LinkFaults
+from repro.gc.domains import BOT, TOP
+from repro.simmpi import Runtime
+from repro.simmpi.mb_impl import MBMachine, mb_barrier_program
+
+
+class TestMachine:
+    def make(self, rank=1, size=3):
+        return MBMachine(rank=rank, size=size, nphases=4, l_domain=6)
+
+    def test_initial_no_action_at_follower(self):
+        m = self.make()
+        assert not m.step()  # copies equal own sn: nothing enabled
+
+    def test_root_creates_token(self):
+        m = self.make(rank=0)
+        assert m.step()  # T1 fires from the uniform start
+        assert m.sn == 1
+        assert m.cp is CP.EXECUTE
+        assert m.events == ["enter-execute"]
+
+    def test_follower_tracks_predecessor(self):
+        m = self.make(rank=1)
+        m.on_neighbor_state(0, 1, CP.EXECUTE, 0)
+        assert m.lsn_prev == 1 and m.lcp_prev is CP.EXECUTE
+        assert m.step()  # T2
+        assert m.sn == 1 and m.cp is CP.EXECUTE
+
+    def test_busy_holds_token(self):
+        m = self.make(rank=1)
+        m.on_neighbor_state(0, 1, CP.EXECUTE, 0)
+        m.busy = True
+        assert not m.step()
+        m.busy = False
+        assert m.step()
+
+    def test_reset_and_flush(self):
+        m = self.make(rank=2, size=3)  # the last process
+        m.reset()
+        assert m.sn is BOT and m.cp is CP.ERROR
+        assert m.step()  # T3: BOT -> TOP
+        assert m.sn is TOP
+
+    def test_t4_uses_next_copy(self):
+        m = self.make(rank=1)
+        m.reset()
+        assert not m.step()  # lsn_next is BOT after reset
+        m.on_neighbor_state(2, TOP, CP.READY, 0)
+        assert m.lsn_next is TOP
+        assert m.step()
+        assert m.sn is TOP
+
+    def test_ignores_non_neighbors(self):
+        m = MBMachine(rank=1, size=5, nphases=4, l_domain=10)
+        m.on_neighbor_state(3, 7, CP.SUCCESS, 2)
+        assert m.lsn_prev == 0 and m.lsn_next == 0
+
+
+class TestDistributedRuns:
+    def test_clean_run_all_complete(self):
+        rt = Runtime(nprocs=5, latency=0.01, seed=0)
+        logs = rt.run(lambda comm: mb_barrier_program(comm, phases=8))
+        assert logs[0].completed == 8
+        assert all(l.completed >= 7 for l in logs)
+        assert all(l.reexecutions == 0 for l in logs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_message_loss_masked(self, seed):
+        rt = Runtime(
+            nprocs=4,
+            latency=0.01,
+            seed=seed,
+            link_faults=LinkFaults(loss=0.1, duplication=0.05, corruption=0.0),
+        )
+        logs = rt.run(lambda comm: mb_barrier_program(comm, phases=8))
+        assert logs[0].completed == 8
+        assert all(l.completed >= 8 - 1 for l in logs)
+
+    def test_detectable_faults_masked(self):
+        rt = Runtime(nprocs=5, latency=0.01, seed=2)
+        logs = rt.run(
+            lambda comm: mb_barrier_program(
+                comm, phases=10, fault_plan={2: [1.7, 5.3], 0: [3.1]}
+            )
+        )
+        assert logs[0].completed == 10
+        assert all(l.completed >= 10 - 1 for l in logs)
+        assert logs[2].faults_applied == 2
+        assert logs[0].faults_applied == 1
+
+    def test_faults_cost_reexecutions_not_correctness(self):
+        rt = Runtime(nprocs=4, latency=0.01, seed=3)
+        times = [1.2 + 2.6 * i for i in range(5)]
+        logs = rt.run(
+            lambda comm: mb_barrier_program(
+                comm, phases=12, fault_plan={1: times}
+            )
+        )
+        assert logs[0].completed == 12
+        assert all(l.completed >= 12 - 1 for l in logs)
+        # Rank 0 observed at least one re-executed instance.
+        assert logs[0].reexecutions >= 1
+
+    def test_loss_plus_faults(self):
+        rt = Runtime(
+            nprocs=4,
+            latency=0.01,
+            seed=5,
+            link_faults=LinkFaults(loss=0.05),
+        )
+        logs = rt.run(
+            lambda comm: mb_barrier_program(
+                comm, phases=6, fault_plan={3: [2.0]}
+            )
+        )
+        assert logs[0].completed == 6
+        assert all(l.completed >= 6 - 1 for l in logs)
+
+    def test_two_ranks(self):
+        rt = Runtime(nprocs=2, latency=0.01, seed=0)
+        logs = rt.run(lambda comm: mb_barrier_program(comm, phases=5))
+        assert logs[0].completed == 5
+        assert all(l.completed >= 5 - 1 for l in logs)
+
+    def test_timeout_guard(self):
+        rt = Runtime(nprocs=3, latency=0.01, seed=0)
+        with pytest.raises(Exception):
+            rt.run(
+                lambda comm: mb_barrier_program(
+                    comm, phases=10_000, max_time=5.0
+                ),
+                until=50.0,
+            )

@@ -1,0 +1,144 @@
+"""Coverage for corner paths not exercised elsewhere."""
+
+import pytest
+
+from repro.des.core import Simulation
+from repro.errors import (
+    FatalFaultError,
+    ReproError,
+    SimulationError,
+    SpecificationViolation,
+    TopologyError,
+)
+from repro.simmpi import FTMode, JobAborted, Runtime
+from repro.simmpi.ftmodes import SUCCESS
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            SpecificationViolation,
+            FatalFaultError,
+            SimulationError,
+            TopologyError,
+        ):
+            assert issubclass(exc, ReproError)
+
+
+class TestRuntimeCorners:
+    def test_abort_during_fuzzy_barrier(self):
+        def worker(comm):
+            yield comm.compute(1.0)
+            handle = yield comm.barrier_enter()
+            yield comm.compute(5.0)  # long overlap window
+            return (yield comm.barrier_wait(handle))
+
+        rt = Runtime(
+            nprocs=4,
+            latency=0.01,
+            seed=0,
+            ft_mode=FTMode.ABORT,
+            fault_frequency=0.9,
+        )
+        with pytest.raises(JobAborted):
+            rt.run(worker)
+
+    def test_recv_timeout_returns_none(self):
+        def worker(comm):
+            if comm.rank == 0:
+                msg = yield comm.recv(src=1, timeout=0.5)
+                return msg
+            yield comm.compute(5.0)  # never sends
+            return "busy"
+
+        rt = Runtime(nprocs=2, seed=0)
+        results = rt.run(worker)
+        assert results[0] is None
+
+    def test_recv_timeout_beaten_by_message(self):
+        def worker(comm):
+            if comm.rank == 0:
+                msg = yield comm.recv(src=1, timeout=5.0)
+                t = yield comm.now()
+                return (msg, t)
+            yield comm.compute(0.2)
+            yield comm.send(0, "late-but-in-time")
+            return None
+
+        rt = Runtime(nprocs=2, latency=0.01, seed=0)
+        results = rt.run(worker)
+        msg, t = results[0]
+        assert msg == "late-but-in-time"
+        assert t < 1.0  # did not wait out the timeout
+
+    def test_stale_timeout_does_not_cancel_next_recv(self):
+        def worker(comm):
+            if comm.rank == 0:
+                first = yield comm.recv(src=1, timeout=0.1)  # times out
+                second = yield comm.recv(src=1)  # must still block & get it
+                return (first, second)
+            yield comm.compute(1.0)
+            yield comm.send(0, "second")
+            return None
+
+        rt = Runtime(nprocs=2, latency=0.01, seed=0)
+        results = rt.run(worker)
+        assert results[0] == (None, "second")
+
+    def test_bad_timeout_rejected(self):
+        rt = Runtime(nprocs=2, seed=0)
+        from repro.simmpi.runtime import Comm
+
+        with pytest.raises(ValueError):
+            Comm(rt, 0).recv(timeout=0.0)
+
+    def test_single_rank_fuzzy(self):
+        def worker(comm):
+            handle = yield comm.barrier_enter()
+            result = yield comm.barrier_wait(handle)
+            return result
+
+        rt = Runtime(nprocs=1, seed=0)
+        assert rt.run(worker) == [SUCCESS]
+
+
+class TestSimulationCorners:
+    def test_run_with_no_events(self):
+        sim = Simulation(seed=0)
+        assert sim.run() == 0.0
+
+    def test_nested_scheduling_inside_callbacks(self):
+        sim = Simulation(seed=0)
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.after(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.at(2.0, outer)
+        sim.run()
+        assert seen == [("outer", 2.0), ("inner", 3.0)]
+
+    def test_events_processed_counter(self):
+        sim = Simulation(seed=0)
+        for i in range(5):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestTraceCapacityPath:
+    def test_simulator_respects_capacity(self):
+        from repro.barrier.cb import make_cb
+        from repro.gc.scheduler import RoundRobinDaemon
+        from repro.gc.simulator import Simulator
+
+        sim = Simulator(
+            make_cb(3, 2), RoundRobinDaemon(), trace_capacity=10
+        )
+        result = sim.run(max_steps=100)
+        assert len(result.trace) == 10
+        assert result.trace.dropped == 90

@@ -1,0 +1,149 @@
+"""Hypothesis property tests for the notation parser/pretty-printer.
+
+Random expression and statement ASTs must survive unparse -> parse
+unchanged, and random program texts built from them must compile and
+run without domain violations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gc.notation import (
+    AnyOf,
+    Assign,
+    BinOp,
+    Bool,
+    IfStmt,
+    Name,
+    Not,
+    Num,
+    Quantifier,
+    Special,
+    VarRef,
+    _Parser,
+    parse,
+    tokenize,
+    unparse_expr,
+)
+
+# ----------------------------------------------------------------------
+# Expression AST strategies
+# ----------------------------------------------------------------------
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s
+    not in {
+        "program", "param", "var", "action", "enum", "int", "seq", "if",
+        "then", "elif", "else", "fi", "skip", "and", "or", "not",
+        "forall", "exists", "any", "default", "true", "false", "j",
+    }
+)
+
+indices = st.one_of(
+    st.just("j"),
+    st.just("N"),
+    st.integers(0, 5).map(Num),
+    st.sampled_from([("j", 1), ("j", -1), ("j", 2)]),
+)
+
+var_refs = st.builds(VarRef, identifiers, indices)
+
+atoms = st.one_of(
+    st.integers(0, 99).map(Num),
+    st.sampled_from(["BOT", "TOP"]).map(Special),
+    st.booleans().map(Bool),
+    identifiers.map(Name),
+    var_refs,
+)
+
+
+def _expr_extend(children):
+    return st.one_of(
+        st.builds(
+            BinOp,
+            st.sampled_from(["+", "-", "%", "=", "!=", "<", "<=", ">", ">=", "and", "or"]),
+            children,
+            children,
+        ),
+        st.builds(Not, children),
+        st.builds(Quantifier, st.sampled_from(["forall", "exists"]), identifiers, children),
+        st.builds(
+            AnyOf,
+            identifiers,
+            children,
+            children,
+            st.one_of(st.none(), children),
+        ),
+    )
+
+
+expressions = st.recursive(atoms, _expr_extend, max_leaves=12)
+
+
+def parse_expr_text(text: str):
+    parser = _Parser(tokenize(text))
+    node = parser.parse_expr()
+    assert parser.peek().kind == "eof", f"trailing input after {text!r}"
+    return node
+
+
+@settings(max_examples=300, deadline=None)
+@given(expressions)
+def test_expr_roundtrip(expr):
+    text = unparse_expr(expr)
+    assert parse_expr_text(text) == expr
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.builds(Assign, var_refs, expressions), min_size=1, max_size=4))
+def test_statement_roundtrip(assigns):
+    from repro.gc.notation import _unparse_stmts
+
+    text = _unparse_stmts(tuple(assigns), "")
+    parser = _Parser(tokenize(text))
+    stmts = parser.parse_stmts()
+    assert tuple(stmts) == tuple(assigns)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(expressions, st.lists(st.builds(Assign, var_refs, atoms), min_size=1, max_size=2)),
+        min_size=1,
+        max_size=3,
+    ),
+    st.booleans(),
+)
+def test_if_statement_roundtrip(branches, with_else):
+    from repro.gc.notation import _unparse_stmts
+
+    parts = [(cond, tuple(body)) for cond, body in branches]
+    if with_else:
+        parts.append((None, (Assign(VarRef("x", "j"), Num(0)),)))
+    stmt = IfStmt(branches=tuple(parts))
+    text = _unparse_stmts((stmt,), "")
+    parser = _Parser(tokenize(text))
+    stmts = parser.parse_stmts()
+    assert tuple(stmts) == (stmt,)
+
+
+# ----------------------------------------------------------------------
+# Random compiled counter programs behave within their domains
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 9), st.integers(2, 4))
+def test_random_counter_programs_stay_in_domain(nprocs, cap, modulus):
+    from repro.gc.notation import compile_program
+    from repro.gc.scheduler import RoundRobinDaemon
+    from repro.gc.simulator import Simulator
+
+    source = f"""
+    program P
+    var x : int[0, {cap}] = 0
+    var m : int[0, {modulus - 1}] = 0
+    action INC :: x.j < {cap} -> x.j := x.j + 1; m.j := (m.j + 1) % {modulus}
+    """
+    prog = compile_program(source, nprocs=nprocs)
+    result = Simulator(prog, RoundRobinDaemon()).run(max_steps=200)
+    prog.validate_state(result.state)
+    assert result.state.get("x", 0) == cap
+    assert result.state.get("m", 0) == cap % modulus

@@ -1,0 +1,235 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    expected_instances,
+    fault_probability_per_instance,
+    ft_phase_time,
+    intolerant_phase_time,
+    overhead,
+)
+from repro.barrier.cb import make_cb
+from repro.barrier.control import CP, phase_distance, phase_pred, phase_succ
+from repro.barrier.legitimacy import cb_legitimate
+from repro.barrier.tokenring import make_token_ring, sn_all_ordinary, token_count
+from repro.extensions.unison import cyclic_distance
+from repro.gc.domains import BOT, TOP, IntRange, SequenceNumberDomain
+from repro.gc.properties import converges
+from repro.gc.scheduler import RoundRobinDaemon
+from repro.gc.state import State
+
+# ----------------------------------------------------------------------
+# Domains
+# ----------------------------------------------------------------------
+int_ranges = st.tuples(
+    st.integers(-50, 50), st.integers(0, 50)
+).map(lambda t: IntRange(t[0], t[0] + t[1]))
+
+
+@given(int_ranges, st.data())
+def test_intrange_succ_stays_inside_and_cycles(domain, data):
+    v = data.draw(st.sampled_from(list(domain.values())))
+    succ = domain.succ(v)
+    assert domain.contains(succ)
+    # |domain| applications of succ return to the start.
+    w = v
+    for _ in range(domain.size):
+        w = domain.succ(w)
+    assert w == v
+
+
+@given(st.integers(2, 40), st.data())
+def test_sequence_domain_values_closed_under_contains(k, data):
+    domain = SequenceNumberDomain(k)
+    v = data.draw(st.sampled_from(list(domain.values())))
+    assert domain.contains(v)
+    assert domain.is_ordinary(v) == (v is not BOT and v is not TOP)
+
+
+@given(st.integers(1, 30), st.data())
+def test_phase_arithmetic_inverse(n, data):
+    p = data.draw(st.integers(0, n - 1))
+    assert phase_pred(phase_succ(p, n), n) == p
+    assert phase_succ(phase_pred(p, n), n) == p
+    assert phase_distance(p, phase_succ(p, n), n) == (1 % n)
+
+
+@given(st.integers(2, 30), st.data())
+def test_cyclic_distance_is_a_metric(n, data):
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    c = data.draw(st.integers(0, n - 1))
+    assert cyclic_distance(a, b, n) == cyclic_distance(b, a, n)
+    assert (cyclic_distance(a, b, n) == 0) == (a == b)
+    assert cyclic_distance(a, c, n) <= cyclic_distance(a, b, n) + cyclic_distance(
+        b, c, n
+    )
+
+
+# ----------------------------------------------------------------------
+# State
+# ----------------------------------------------------------------------
+@given(
+    st.integers(1, 5),
+    st.lists(st.integers(-5, 5), min_size=1, max_size=5),
+)
+def test_state_key_roundtrip(nprocs, values):
+    vectors = {
+        f"v{i}": [values[i % len(values)]] * nprocs for i in range(3)
+    }
+    s = State(vectors, nprocs)
+    assert State.from_key(s.key(), nprocs) == s
+    assert hash(State.from_key(s.key(), nprocs)) == hash(s)
+
+
+# ----------------------------------------------------------------------
+# Analytical model
+# ----------------------------------------------------------------------
+params = st.tuples(
+    st.integers(0, 10),  # h
+    st.floats(0.0, 0.1, allow_nan=False),  # c
+    st.floats(0.0, 0.5, allow_nan=False),  # f
+)
+
+
+@given(params)
+def test_expected_instances_at_least_one(p):
+    h, c, f = p
+    assert expected_instances(h, c, f) >= 1.0
+
+
+@given(params)
+def test_phase_time_at_least_instance_time(p):
+    h, c, f = p
+    assert ft_phase_time(h, c, f) >= 1.0 + 3 * h * c - 1e-12
+
+
+@given(params)
+def test_overhead_nonnegative_and_consistent(p):
+    h, c, f = p
+    ov = overhead(h, c, f)
+    assert ov >= -1e-12
+    lhs = (1 + ov) * intolerant_phase_time(h, c)
+    assert abs(lhs - ft_phase_time(h, c, f)) < 1e-9
+
+
+@given(params, st.floats(0.001, 0.4))
+def test_model_monotone_in_f(p, df):
+    h, c, f = p
+    assume(f + df < 1.0)
+    assert expected_instances(h, c, f + df) >= expected_instances(h, c, f)
+    assert overhead(h, c, f + df) >= overhead(h, c, f) - 1e-12
+
+
+@given(params)
+def test_geometric_identity(p):
+    # E[K] = 1 / (1 - p_fail): the geometric mean matches the failure
+    # probability definition.
+    h, c, f = p
+    p_fail = fault_probability_per_instance(h, c, f)
+    assert abs(expected_instances(h, c, f) * (1 - p_fail) - 1.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Stabilization (the expensive, load-bearing properties)
+# ----------------------------------------------------------------------
+cb_states = st.tuples(
+    st.lists(
+        st.sampled_from([CP.READY, CP.EXECUTE, CP.SUCCESS, CP.ERROR]),
+        min_size=3,
+        max_size=3,
+    ),
+    st.lists(st.integers(0, 2), min_size=3, max_size=3),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cb_states)
+def test_cb_converges_from_any_state(cfg):
+    cps, phs = cfg
+    prog = make_cb(3, 3)
+    state = State({"cp": list(cps), "ph": list(phs)}, 3)
+    assert converges(
+        prog,
+        state,
+        lambda s: cb_legitimate(s, 3),
+        RoundRobinDaemon(),
+        max_steps=2000,
+    )
+
+
+legitimate_cb_states = st.tuples(
+    st.sampled_from(["entry", "exit", "handover"]),
+    st.integers(0, 2),  # phase i
+    st.lists(st.booleans(), min_size=3, max_size=3),  # which procs advanced
+).map(
+    lambda t: {
+        "entry": (
+            [CP.EXECUTE if b else CP.READY for b in t[2]],
+            [t[1]] * 3,
+        ),
+        "exit": (
+            [CP.SUCCESS if b else CP.EXECUTE for b in t[2]],
+            [t[1]] * 3,
+        ),
+        "handover": (
+            [CP.READY if b else CP.SUCCESS for b in t[2]],
+            [(t[1] + 1) % 3 if b else t[1] for b in t[2]],
+        ),
+    }[t[0]]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(legitimate_cb_states)
+def test_cb_legitimate_states_stay_legitimate(cfg):
+    cps, phs = cfg
+    prog = make_cb(3, 3)
+    state = State({"cp": list(cps), "ph": list(phs)}, 3)
+    assert cb_legitimate(state, 3)  # the generator only emits legit states
+    daemon = RoundRobinDaemon()
+    for _ in range(60):
+        if not daemon.step(prog, state):
+            break
+        assert cb_legitimate(state, 3)
+
+
+sn_values = st.sampled_from([0, 1, 2, 3, 4, BOT, TOP])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(sn_values, min_size=4, max_size=4))
+def test_token_ring_stabilizes_from_any_sn(sns):
+    prog = make_token_ring(4)
+    topo = prog.metadata["topology"]
+    state = State({"sn": list(sns)}, 4)
+    assert converges(
+        prog,
+        state,
+        lambda s: sn_all_ordinary(s, 4) and token_count(s, topo) == 1,
+        RoundRobinDaemon(),
+        max_steps=2000,
+    )
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(sn_values, min_size=4, max_size=4))
+def test_token_ring_never_more_than_n_tokens(sns):
+    # Token count is bounded and, once 1, stays 1.
+    prog = make_token_ring(4)
+    topo = prog.metadata["topology"]
+    state = State({"sn": list(sns)}, 4)
+    daemon = RoundRobinDaemon()
+    stable = False
+    for _ in range(200):
+        count = token_count(state, topo)
+        assert 0 <= count <= 4
+        if stable:
+            assert count == 1
+        if count == 1 and sn_all_ordinary(state, 4):
+            stable = True
+        if not daemon.step(prog, state):
+            break

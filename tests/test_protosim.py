@@ -1,0 +1,224 @@
+"""The timed protocol simulations behind Figures 5-7."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import (
+    expected_instances,
+    ft_instance_time,
+    intolerant_phase_time,
+    overhead,
+    recovery_time_bound,
+)
+from repro.protosim.faultenv import DetectableFaultEnv
+from repro.protosim.intolerant import IntolerantTreeBarrierSim
+from repro.protosim.metrics import InstanceStat, PhaseMetrics, overhead_vs_baseline
+from repro.protosim.recovery import RecoveryExperiment
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+
+
+class TestFaultEnv:
+    def test_rate_calibration(self):
+        env = DetectableFaultEnv(0.1, 8)
+        assert env.rate == pytest.approx(-math.log(0.9))
+        assert DetectableFaultEnv(0.0, 8).rate == 0.0
+
+    def test_no_faults_at_zero_frequency(self, rng):
+        env = DetectableFaultEnv(0.0, 8)
+        assert list(env.arrivals(rng, 1000.0)) == []
+        assert env.next_arrival(rng, 0.0) == math.inf
+
+    def test_arrival_statistics(self, rng):
+        env = DetectableFaultEnv(0.05, 4)
+        arrivals = list(env.arrivals(rng, 10_000.0))
+        expected = -math.log(0.95) * 10_000
+        assert expected * 0.8 < len(arrivals) < expected * 1.2
+        victims = {pid for _, pid in arrivals}
+        assert victims == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectableFaultEnv(1.0, 4)
+        with pytest.raises(ValueError):
+            DetectableFaultEnv(0.1, 0)
+
+
+class TestMetrics:
+    def make(self):
+        m = PhaseMetrics()
+        m.record(InstanceStat(0, 0.0, 1.0, False))
+        m.record(InstanceStat(0, 1.0, 2.2, True))
+        m.record(InstanceStat(1, 2.2, 3.4, True))
+        m.total_time = 3.4
+        return m
+
+    def test_counts(self):
+        m = self.make()
+        assert m.total_instances == 3
+        assert m.successful_phases == 2
+        assert m.failed_instances == 1
+        assert m.instances_per_phase == pytest.approx(1.5)
+        assert m.time_per_phase == pytest.approx(1.7)
+
+    def test_runs(self):
+        assert self.make().instance_runs() == [2, 1]
+
+    def test_durations(self):
+        m = self.make()
+        assert m.mean_failed_duration() == pytest.approx(1.0)
+        assert m.mean_successful_duration() == pytest.approx(1.2)
+
+    def test_empty(self):
+        m = PhaseMetrics()
+        assert math.isnan(m.instances_per_phase)
+        assert m.mean_failed_duration() == 0.0
+
+    def test_overhead_helper(self):
+        assert overhead_vs_baseline(1.21, 1.1) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            overhead_vs_baseline(1.0, 0.0)
+
+
+class TestFTTreeBarrierSim:
+    def test_fault_free_matches_1_plus_3hc(self):
+        for c in (0.0, 0.01, 0.05):
+            sim = FTTreeBarrierSim(
+                nprocs=32, config=SimConfig(latency=c, seed=0)
+            )
+            m = sim.run(phases=100)
+            # The run stops at the last success decision, one ready wave
+            # (h*c) short of a full final cycle -- hence the tolerance.
+            assert m.time_per_phase == pytest.approx(
+                ft_instance_time(5, c), abs=5 * c / 100 + 1e-9
+            )
+            assert m.instances_per_phase == 1.0
+
+    def test_overlap_mode_is_faster(self):
+        serial = FTTreeBarrierSim(
+            nprocs=32, config=SimConfig(latency=0.05, seed=0)
+        ).run(phases=30)
+        overlap = FTTreeBarrierSim(
+            nprocs=32,
+            config=SimConfig(latency=0.05, seed=0, work_model="overlap"),
+        ).run(phases=30)
+        assert overlap.time_per_phase < serial.time_per_phase
+        # Overlap hides one circulation: 1 + 2hc.
+        assert overlap.time_per_phase == pytest.approx(1 + 2 * 5 * 0.05, rel=1e-2)
+
+    def test_instances_track_analytic(self):
+        f, c = 0.05, 0.01
+        sim = FTTreeBarrierSim(
+            nprocs=32, config=SimConfig(latency=c, fault_frequency=f, seed=4)
+        )
+        m = sim.run(phases=800, max_time=40_000)
+        assert m.instances_per_phase == pytest.approx(
+            expected_instances(5, c, f), rel=0.05
+        )
+
+    def test_every_phase_eventually_succeeds(self):
+        sim = FTTreeBarrierSim(
+            nprocs=16, config=SimConfig(latency=0.02, fault_frequency=0.2, seed=2)
+        )
+        m = sim.run(phases=100, max_time=10_000)
+        assert m.successful_phases == 100  # masking: progress guaranteed
+        # rate -ln(0.8) ~ 0.22/unit over ~110 units of virtual time.
+        assert sim.faults_injected > 12
+
+    def test_early_abort_shortens_failures(self):
+        cfg = dict(latency=0.03, fault_frequency=0.15, seed=3)
+        fast = FTTreeBarrierSim(
+            nprocs=32, config=SimConfig(early_abort=True, **cfg)
+        ).run(phases=200, max_time=20_000)
+        slow = FTTreeBarrierSim(
+            nprocs=32, config=SimConfig(early_abort=False, **cfg)
+        ).run(phases=200, max_time=20_000)
+        assert fast.mean_failed_duration() < slow.mean_failed_duration()
+        # Without early abort a failed instance runs its work and both
+        # remaining circulations: at least 1 + 2hc (the failure is
+        # recorded at the success decision, before the repair wave).
+        assert slow.mean_failed_duration() >= (1 + 2 * 5 * 0.03) * 0.99
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(latency=-1)
+        with pytest.raises(ValueError):
+            SimConfig(fault_frequency=1.0)
+        with pytest.raises(ValueError):
+            FTTreeBarrierSim()
+
+
+class TestIntolerantSim:
+    def test_fault_free_matches_1_plus_2hc(self):
+        for c in (0.0, 0.02, 0.05):
+            sim = IntolerantTreeBarrierSim(nprocs=32, latency=c, seed=0)
+            m = sim.run(phases=30)
+            assert m.time_per_phase == pytest.approx(
+                intolerant_phase_time(5, c), rel=1e-2
+            )
+
+    def test_hangs_under_faults(self):
+        sim = IntolerantTreeBarrierSim(
+            nprocs=16, latency=0.01, fault_frequency=0.1, seed=1
+        )
+        m = sim.run(phases=1000, max_time=200.0)
+        assert sim.hung
+        assert m.successful_phases < 1000
+
+    def test_overhead_vs_ft_close_to_analytic(self):
+        c, f = 0.02, 0.01
+        ft = FTTreeBarrierSim(
+            nprocs=32, config=SimConfig(latency=c, fault_frequency=f, seed=5)
+        ).run(phases=400, max_time=20_000)
+        base = IntolerantTreeBarrierSim(nprocs=32, latency=c, seed=5).run(
+            phases=400
+        )
+        sim_overhead = overhead_vs_baseline(
+            ft.time_per_phase, base.time_per_phase
+        )
+        ana = overhead(5, c, f)
+        assert sim_overhead <= ana + 0.005  # Figure 6 <= Figure 4
+        assert sim_overhead > 0.5 * ana
+
+
+class TestRecovery:
+    def test_monotone_in_c(self):
+        means = []
+        for c in (0.0, 0.02, 0.05):
+            r = RecoveryExperiment(h=4, c=c, seed=0).run(trials=30)
+            means.append(r.mean_time)
+        assert means[0] < means[1] < means[2]
+
+    def test_monotone_in_h(self):
+        means = []
+        for h in (2, 4, 6):
+            r = RecoveryExperiment(h=h, c=0.03, seed=0).run(trials=30)
+            means.append(r.mean_time)
+        assert means[0] < means[1] < means[2]
+
+    def test_under_envelope(self):
+        # Recovery stays under 5hc + 1 (work in progress) everywhere.
+        for h, c in [(5, 0.01), (7, 0.05), (3, 0.05)]:
+            r = RecoveryExperiment(h=h, c=c, seed=1).run(trials=20)
+            assert r.max_time <= recovery_time_bound(h, c) + 1.0 + 1e-9
+
+    def test_paper_quote_128_procs(self):
+        # "if c is 0.05 and the number of processes is 128, the recovery
+        # time is less than one time unit" (mean).
+        r = RecoveryExperiment(h=7, c=0.05, seed=3).run(trials=40)
+        assert r.mean_time < 1.1
+
+    def test_stage1_modes(self):
+        worst = RecoveryExperiment(h=4, c=0.05, stage1="worst", seed=0).run(
+            trials=15
+        )
+        none = RecoveryExperiment(h=4, c=0.05, stage1="none", seed=0).run(
+            trials=15
+        )
+        assert worst.mean_time > none.mean_time
+        with pytest.raises(ValueError):
+            RecoveryExperiment(h=4, c=0.05, stage1="bogus")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryExperiment(h=0, c=0.01)

@@ -1,0 +1,69 @@
+"""Readback models: instant (Fig 2c idealized), star, tree (Fig 2d)."""
+
+import pytest
+
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+
+
+def run(readback, nprocs=8, c=0.1, p=0.0, phases=2, **kw):
+    sim = FTTreeBarrierSim(
+        nprocs=nprocs,
+        config=SimConfig(
+            latency=c, readback=readback, per_message_cost=p, seed=0, **kw
+        ),
+    )
+    return sim.run(phases=phases)
+
+
+class TestTimings:
+    def test_instant_is_baseline(self):
+        m = run("instant")
+        # h=3: instance = 1 + 2hc at the success decision.
+        assert m.instances[0].duration == pytest.approx(1 + 2 * 3 * 0.1)
+
+    def test_star_adds_one_visible_hop(self):
+        # The execute circulation's readback hop is absorbed by the
+        # serialized work window; only the success circulation's hop
+        # lands on the instance duration.
+        instant = run("instant").instances[0].duration
+        star = run("star").instances[0].duration
+        assert star == pytest.approx(instant + 0.1)
+
+    def test_star_fanin_cost(self):
+        cheap = run("star", p=0.0).instances[0].duration
+        costly = run("star", p=0.05).instances[0].duration
+        nfinals = 4  # 8-node binary tree has 4 leaves
+        # Same absorption: one serialization window is visible.
+        assert costly == pytest.approx(cheap + nfinals * 0.05)
+
+    def test_tree_ack_aggregation(self):
+        # p = 0: the up-tree costs depth hops per circulation.
+        instant = run("instant").instances[0].duration
+        tree = run("tree").instances[0].duration
+        assert tree > instant
+        assert tree <= instant + 2 * 3 * 0.1 + 1e-9
+
+    def test_tree_beats_star_at_scale(self):
+        star = run("star", nprocs=64, c=0.001, p=0.02).time_per_phase
+        tree = run("tree", nprocs=64, c=0.001, p=0.02).time_per_phase
+        assert tree < star
+
+
+class TestCorrectnessUnchanged:
+    @pytest.mark.parametrize("readback", ["instant", "star", "tree"])
+    def test_masking_under_faults(self, readback):
+        m = run(
+            readback,
+            nprocs=16,
+            c=0.02,
+            p=0.01,
+            phases=40,
+            fault_frequency=0.1,
+        )
+        assert m.successful_phases == 40  # every barrier still completes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(readback="carrier-pigeon")
+        with pytest.raises(ValueError):
+            SimConfig(per_message_cost=-1)

@@ -1,0 +1,80 @@
+"""Moderate-scale confidence tests (the paper's larger configurations)."""
+
+import pytest
+
+from repro.analysis.model import expected_instances
+from repro.barrier.rb import rb_detectable_fault
+from repro.barrier.spec import BarrierSpecChecker
+from repro.barrier.trees import make_rb_tree
+from repro.gc.faults import BernoulliSchedule, FaultInjector
+from repro.gc.scheduler import RandomFairDaemon, RoundRobinDaemon
+from repro.gc.simulator import Simulator
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+from repro.simmpi import FTMode, Runtime
+
+
+class TestLargeGC:
+    def test_rb_tree_63_processes_masking(self):
+        """A 63-process tree RB under detectable faults: zero violations
+        (the paper's mid-scale configuration)."""
+        prog = make_rb_tree(63, arity=2, nphases=2)
+        injector = FaultInjector(
+            prog, rb_detectable_fault(), BernoulliSchedule(0.002), seed=0
+        )
+        sim = Simulator(prog, RandomFairDaemon(seed=0), injector=injector)
+        result = sim.run(max_steps=40_000)
+        report = BarrierSpecChecker(63, 2).check(result.trace, prog.initial_state())
+        assert injector.count > 0
+        assert report.safety_ok
+        assert report.phases_completed > 5
+
+    def test_rb_ring_32_throughput(self):
+        prog = make_rb_tree(32, arity=2, nphases=4)
+        result = Simulator(prog, RoundRobinDaemon()).run(max_steps=20_000)
+        report = BarrierSpecChecker(32, 4).check(result.trace, prog.initial_state())
+        assert report.safety_ok
+        # 3 circulations x ~32 token steps per phase.
+        assert report.phases_completed >= 20_000 // (3 * 32) - 2
+
+
+class TestLargeProtosim:
+    def test_256_processes_fig5_point(self):
+        """The paper's h=8 scale: simulated instances/phase still tracks
+        the analytical curve."""
+        f, c, h = 0.05, 0.01, 8
+        sim = FTTreeBarrierSim(
+            nprocs=2**h,
+            config=SimConfig(latency=c, fault_frequency=f, seed=2),
+        )
+        metrics = sim.run(phases=200, max_time=10_000)
+        assert metrics.successful_phases == 200
+        assert metrics.instances_per_phase == pytest.approx(
+            expected_instances(h, c, f), abs=0.06
+        )
+
+    def test_recovery_at_256(self):
+        from repro.protosim.recovery import RecoveryExperiment
+
+        r = RecoveryExperiment(h=8, c=0.02, seed=1).run(trials=10)
+        assert r.max_time <= 5 * 8 * 0.02 + 1.0 + 1e-9
+
+
+class TestLargeSimMPI:
+    def test_64_ranks_tolerate(self):
+        def worker(comm):
+            total = 0
+            for _ in range(5):
+                yield comm.compute(1.0)
+                yield comm.barrier()
+                total += (yield comm.allreduce(1, op="sum"))
+            return total
+
+        rt = Runtime(
+            nprocs=64,
+            latency=0.005,
+            seed=4,
+            ft_mode=FTMode.TOLERATE,
+            fault_frequency=0.05,
+        )
+        results = rt.run(worker)
+        assert results == [5 * 64] * 64

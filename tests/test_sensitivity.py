@@ -1,0 +1,93 @@
+"""Extension sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    arity_sweep,
+    push_interval_sweep,
+    run,
+    severity_sweep,
+)
+
+
+class TestAritySweep:
+    def test_height_decreases_with_arity(self):
+        result = arity_sweep(nprocs=64, arities=(2, 4, 8), phases=20)
+        heights = result.column("height")
+        assert heights == sorted(heights, reverse=True)
+
+    def test_time_tracks_height(self):
+        result = arity_sweep(nprocs=64, arities=(2, 8), phases=20)
+        times = result.column("time/phase")
+        analytic = result.column("1+3hc")
+        for t, a in zip(times, analytic):
+            assert t == pytest.approx(a, rel=0.02)
+        assert times[1] < times[0]  # flatter tree -> faster barrier
+
+
+class TestSeveritySweep:
+    def test_runs_and_bounded(self):
+        result = severity_sweep(h=4, fractions=(0.25, 1.0), trials=10)
+        for row in result.rows:
+            assert 0 <= row[1] <= row[2] <= 5 * 4 * 0.01 + 1.0 + 1e-9
+
+    def test_full_perturbation_not_cheaper_than_none(self):
+        result = severity_sweep(h=4, fractions=(1.0,), trials=10)
+        assert result.rows[0][1] > 0
+
+
+class TestPushIntervalSweep:
+    def test_all_complete_and_messages_tradeoff(self):
+        result = push_interval_sweep(
+            nprocs=3, intervals=(0.02, 0.2), phases=4, loss=0.05
+        )
+        msgs = result.column("messages")
+        # Faster retransmission sends more messages.
+        assert msgs[0] > msgs[1]
+
+    def test_completion_monotone_in_interval(self):
+        result = push_interval_sweep(
+            nprocs=3, intervals=(0.02, 0.3), phases=4, loss=0.05
+        )
+        times = result.column("completion time")
+        assert times[0] <= times[1]
+
+
+class TestAvailabilitySweep:
+    def test_throughput_degrades_gracefully(self):
+        from repro.experiments.sensitivity import availability_sweep
+
+        result = availability_sweep(
+            h=4, rates=(0.0, 0.1, 0.3), phases=150
+        )
+        tput = result.column("throughput")
+        # Monotone-ish degradation, never collapse.
+        assert tput[0] > tput[2]
+        assert tput[2] > 0.3 * tput[0]
+
+    def test_incorrect_completions_rare(self):
+        from repro.experiments.sensitivity import availability_sweep
+
+        result = availability_sweep(h=4, rates=(0.1,), phases=200)
+        (_g, _tput, scrambles, incorrect) = result.rows[0]
+        assert scrambles > 10
+        # Bounded damage: a small fraction of scrambles forge a
+        # completion past the root.
+        assert incorrect <= scrambles * 0.25
+
+    def test_no_scrambles_no_incorrect(self):
+        from repro.experiments.sensitivity import availability_sweep
+
+        result = availability_sweep(h=3, rates=(0.0,), phases=50)
+        assert result.rows[0][3] == 0
+
+
+def test_bundled_run():
+    result = run(seed=0)
+    sweeps = set(result.column("sweep"))
+    assert sweeps == {
+        "ext-arity",
+        "ext-severity",
+        "ext-push-interval",
+        "ext-availability",
+    }

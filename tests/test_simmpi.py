@@ -1,0 +1,277 @@
+"""The simulated MPI runtime: point-to-point, collectives, FT modes."""
+
+import pytest
+
+from repro.des.network import LinkFaults
+from repro.simmpi import BarrierError, Comm, FTMode, JobAborted, Runtime
+from repro.simmpi.ftmodes import ERR_FAULT, SUCCESS
+
+
+def phases_worker(n_phases=10):
+    def worker(comm):
+        total = 0
+        for _ in range(n_phases):
+            yield comm.compute(1.0)
+            code = yield comm.barrier()
+            assert code == SUCCESS
+            total += (yield comm.allreduce(comm.rank, op="sum"))
+        return total
+
+    return worker
+
+
+class TestBasics:
+    def test_clean_run(self):
+        rt = Runtime(nprocs=8, latency=0.01, seed=0)
+        results = rt.run(phases_worker())
+        assert results == [10 * 28] * 8
+        # Phase time ~ compute + barrier + allreduce rounds.
+        assert 10.0 < rt.sim.now < 13.0
+
+    def test_single_rank(self):
+        rt = Runtime(nprocs=1, seed=0)
+
+        def solo(comm):
+            yield comm.compute(1.0)
+            assert (yield comm.barrier()) == SUCCESS
+            assert (yield comm.allreduce(5)) == 5
+            assert (yield comm.bcast(9)) == 9
+            return "done"
+
+        assert rt.run(solo) == ["done"]
+
+    def test_now_syscall(self):
+        rt = Runtime(nprocs=2, seed=0)
+
+        def worker(comm):
+            t0 = yield comm.now()
+            yield comm.compute(2.5)
+            t1 = yield comm.now()
+            return t1 - t0
+
+        results = rt.run(worker)
+        assert all(abs(r - 2.5) < 1e-9 for r in results)
+
+    def test_non_generator_rejected(self):
+        rt = Runtime(nprocs=2, seed=0)
+        with pytest.raises(TypeError):
+            rt.run(lambda comm: 42)
+
+    def test_deadlock_reported(self):
+        def worker(comm):
+            if comm.rank == 0:
+                yield comm.recv(src=1)  # never sent
+            return None
+
+        rt = Runtime(nprocs=2, seed=0)
+        with pytest.raises(BarrierError, match="did not finish"):
+            rt.run(worker, until=10.0)
+
+
+class TestPointToPoint:
+    def test_tagged_matching(self):
+        def worker(comm):
+            if comm.rank == 0:
+                yield comm.send(1, "a", tag=1)
+                yield comm.send(1, "b", tag=2)
+                return None
+            m2 = yield comm.recv(src=0, tag=2)
+            m1 = yield comm.recv(src=0, tag=1)
+            return (m1, m2)
+
+        rt = Runtime(nprocs=2, seed=0)
+        assert rt.run(worker)[1] == ("a", "b")
+
+    def test_wildcard_recv(self):
+        def worker(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(2):
+                    got.append((yield comm.recv()))
+                return sorted(got)
+            yield comm.send(0, comm.rank)
+            return None
+
+        rt = Runtime(nprocs=3, seed=0)
+        assert rt.run(worker)[0] == [1, 2]
+
+    def test_bad_destination(self):
+        rt = Runtime(nprocs=2, seed=0)
+        comm = Comm(rt, 0)
+        with pytest.raises(ValueError):
+            comm.send(5, "x")
+        with pytest.raises(ValueError):
+            comm.send(1, "x", tag=1 << 21)
+
+
+class TestCollectives:
+    def test_reduce_at_root_only(self):
+        def worker(comm):
+            r = yield comm.reduce(comm.rank + 1, op="sum")
+            return r
+
+        rt = Runtime(nprocs=4, seed=0)
+        results = rt.run(worker)
+        assert results[0] == 10
+        assert results[1:] == [None, None, None]
+
+    def test_ops(self):
+        def worker(comm):
+            mx = yield comm.allreduce(comm.rank, op="max")
+            mn = yield comm.allreduce(comm.rank, op="min")
+            pr = yield comm.allreduce(comm.rank + 1, op="prod")
+            return (mx, mn, pr)
+
+        rt = Runtime(nprocs=4, seed=0)
+        assert set(rt.run(worker)) == {(3, 0, 24)}
+
+    def test_bcast(self):
+        def worker(comm):
+            value = "payload" if comm.rank == 0 else None
+            return (yield comm.bcast(value))
+
+        rt = Runtime(nprocs=6, seed=0)
+        assert rt.run(worker) == ["payload"] * 6
+
+    def test_unknown_op(self):
+        rt = Runtime(nprocs=2, seed=0)
+        comm = Comm(rt, 0)
+        with pytest.raises(ValueError):
+            comm.allreduce(1, op="xor")
+
+    def test_nonzero_root_unsupported(self):
+        rt = Runtime(nprocs=2, seed=0)
+        comm = Comm(rt, 0)
+        with pytest.raises(ValueError):
+            comm.reduce(1, root=1)
+        with pytest.raises(ValueError):
+            comm.bcast(1, root=1)
+
+
+class TestMessageFaultMasking:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_loss_corruption_duplication(self, seed):
+        rt = Runtime(
+            nprocs=8,
+            latency=0.01,
+            seed=seed,
+            link_faults=LinkFaults(loss=0.05, corruption=0.03, duplication=0.05),
+        )
+        results = rt.run(phases_worker(15))
+        assert results == [15 * 28] * 8
+
+
+class TestProcessFaultModes:
+    def test_tolerate_masks(self):
+        rt = Runtime(
+            nprocs=8,
+            latency=0.01,
+            seed=11,
+            ft_mode=FTMode.TOLERATE,
+            fault_frequency=0.3,
+        )
+        results = rt.run(phases_worker(20))
+        assert results == [20 * 28] * 8
+        assert rt.stats.faults_injected > 0
+        assert rt.stats.instances_retried > 0
+
+    def test_return_code_surfaces_errors(self):
+        def worker(comm):
+            errors = 0
+            for _ in range(20):
+                yield comm.compute(1.0)
+                code = yield comm.barrier()
+                while code == ERR_FAULT:
+                    errors += 1
+                    code = yield comm.barrier()  # user-driven retry
+            return errors
+
+        rt = Runtime(
+            nprocs=8,
+            latency=0.01,
+            seed=13,
+            ft_mode=FTMode.RETURN_CODE,
+            fault_frequency=0.3,
+        )
+        results = rt.run(worker)
+        assert rt.stats.error_codes_returned > 0
+        assert all(e > 0 for e in results)
+
+    def test_abort_mode(self):
+        rt = Runtime(
+            nprocs=8,
+            latency=0.01,
+            seed=17,
+            ft_mode=FTMode.ABORT,
+            fault_frequency=0.5,
+        )
+        with pytest.raises(JobAborted):
+            rt.run(phases_worker(50))
+        assert rt.stats.aborted
+
+
+class TestFuzzyBarrier:
+    def test_enter_wait(self):
+        def worker(comm):
+            yield comm.compute(1.0)
+            handle = yield comm.barrier_enter()
+            yield comm.compute(0.5)  # overlapped
+            code = yield comm.barrier_wait(handle)
+            return code
+
+        rt = Runtime(nprocs=4, latency=0.05, seed=0)
+        assert rt.run(worker) == [SUCCESS] * 4
+
+    def test_wait_on_bad_handle(self):
+        def worker(comm):
+            yield comm.barrier_wait(99)
+
+        rt = Runtime(nprocs=4, seed=0)
+        with pytest.raises(RuntimeError, match="unknown fuzzy barrier"):
+            rt.run(worker)
+
+    def test_double_collective_rejected(self):
+        def worker(comm):
+            yield comm.barrier_enter()
+            yield comm.barrier()  # second collective while one is open
+
+        rt = Runtime(nprocs=4, seed=0)
+        with pytest.raises(RuntimeError, match="another still open"):
+            rt.run(worker)
+
+    def test_fuzzy_hides_latency(self):
+        from repro.extensions.fuzzy import fuzzy_phase, plain_phase
+
+        def run(fuzzy):
+            def worker(comm):
+                for _ in range(10):
+                    if fuzzy:
+                        yield from fuzzy_phase(comm, 1.0, 0.5)
+                    else:
+                        yield from plain_phase(comm, 1.0, 0.5)
+                return None
+
+            rt = Runtime(nprocs=8, latency=0.1, seed=0)
+            rt.run(worker)
+            return rt.sim.now
+
+        assert run(True) < run(False)
+
+    def test_fuzzy_under_faults(self):
+        def worker(comm):
+            for _ in range(10):
+                yield comm.compute(1.0)
+                handle = yield comm.barrier_enter()
+                yield comm.compute(0.3)
+                code = yield comm.barrier_wait(handle)
+                assert code == SUCCESS
+            return "ok"
+
+        rt = Runtime(
+            nprocs=8,
+            latency=0.02,
+            seed=4,
+            ft_mode=FTMode.TOLERATE,
+            fault_frequency=0.2,
+        )
+        assert rt.run(worker) == ["ok"] * 8

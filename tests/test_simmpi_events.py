@@ -1,0 +1,79 @@
+"""Runtime event recording (observability for fault scenarios)."""
+
+import pytest
+
+from repro.simmpi import FTMode, Runtime
+
+
+def worker(comm):
+    yield comm.compute(1.0)
+    if comm.rank == 0:
+        yield comm.send(1, "hi", tag=3)
+    elif comm.rank == 1:
+        yield comm.recv(src=0, tag=3)
+    yield comm.barrier()
+    return None
+
+
+class TestEventRecording:
+    def test_disabled_by_default(self):
+        rt = Runtime(nprocs=2, seed=0)
+        rt.run(worker)
+        assert rt.events == []
+
+    def test_records_lifecycle(self):
+        rt = Runtime(nprocs=2, seed=0, record_events=True)
+        rt.run(worker)
+        kinds0 = [e.kind for e in rt.events_for(0)]
+        assert kinds0[0] == "compute"
+        assert "send" in kinds0
+        assert "collective-enter" in kinds0
+        assert "collective-complete" in kinds0
+        kinds1 = [e.kind for e in rt.events_for(1)]
+        assert "recv" in kinds1
+
+    def test_event_details(self):
+        rt = Runtime(nprocs=2, seed=0, record_events=True)
+        rt.run(worker)
+        send = next(e for e in rt.events_for(0) if e.kind == "send")
+        assert send.detail == (1, 3)
+        enter = next(
+            e for e in rt.events_for(0) if e.kind == "collective-enter"
+        )
+        assert enter.detail == (0, "barrier")
+
+    def test_times_monotone_per_rank(self):
+        rt = Runtime(nprocs=4, seed=1, record_events=True)
+
+        def w(comm):
+            for _ in range(5):
+                yield comm.compute(0.5)
+                yield comm.barrier()
+            return None
+
+        rt.run(w)
+        for rank in range(4):
+            times = [e.time for e in rt.events_for(rank)]
+            assert times == sorted(times)
+
+    def test_fault_and_retry_events(self):
+        rt = Runtime(
+            nprocs=8,
+            seed=11,
+            ft_mode=FTMode.TOLERATE,
+            fault_frequency=0.3,
+            record_events=True,
+        )
+
+        def w(comm):
+            for _ in range(20):
+                yield comm.compute(1.0)
+                yield comm.barrier()
+            return None
+
+        rt.run(w)
+        kinds = {e.kind for e in rt.events}
+        assert "fault" in kinds
+        assert "retry" in kinds
+        retries = [e for e in rt.events if e.kind == "retry"]
+        assert len(retries) == rt.stats.instances_retried

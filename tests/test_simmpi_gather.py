@@ -1,0 +1,81 @@
+"""Gather / allgather / scatter collectives."""
+
+import pytest
+
+from repro.des.network import LinkFaults
+from repro.simmpi import Comm, FTMode, Runtime
+
+
+class TestGatherScatter:
+    def test_gather_root_only(self):
+        def worker(comm):
+            return (yield comm.gather(comm.rank * 10))
+
+        rt = Runtime(nprocs=5, seed=0)
+        results = rt.run(worker)
+        assert results[0] == [0, 10, 20, 30, 40]
+        assert results[1:] == [None] * 4
+
+    def test_allgather_everywhere(self):
+        def worker(comm):
+            return (yield comm.allgather(chr(ord("a") + comm.rank)))
+
+        rt = Runtime(nprocs=4, seed=0)
+        assert rt.run(worker) == [["a", "b", "c", "d"]] * 4
+
+    def test_scatter(self):
+        def worker(comm):
+            values = list(range(100, 100 + comm.size)) if comm.rank == 0 else None
+            return (yield comm.scatter(values))
+
+        rt = Runtime(nprocs=6, seed=0)
+        assert rt.run(worker) == [100 + r for r in range(6)]
+
+    def test_single_rank(self):
+        def worker(comm):
+            g = yield comm.gather(7)
+            ag = yield comm.allgather(8)
+            sc = yield comm.scatter([9])
+            return (g, ag, sc)
+
+        rt = Runtime(nprocs=1, seed=0)
+        assert rt.run(worker) == [([7], [8], 9)]
+
+    def test_nonzero_root_rejected(self):
+        rt = Runtime(nprocs=2, seed=0)
+        comm = Comm(rt, 0)
+        with pytest.raises(ValueError):
+            comm.gather(1, root=1)
+        with pytest.raises(ValueError):
+            comm.scatter([1, 2], root=1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_correct_under_faults_and_loss(self, seed):
+        def worker(comm):
+            out = []
+            for i in range(8):
+                yield comm.compute(0.5)
+                out.append((yield comm.allgather(comm.rank + i)))
+            return out
+
+        rt = Runtime(
+            nprocs=8,
+            seed=seed,
+            ft_mode=FTMode.TOLERATE,
+            fault_frequency=0.15,
+            link_faults=LinkFaults(loss=0.05, corruption=0.02),
+        )
+        results = rt.run(worker)
+        expected = [[r + i for r in range(8)] for i in range(8)]
+        assert all(r == expected for r in results)
+
+    def test_interleaved_with_other_collectives(self):
+        def worker(comm):
+            total = yield comm.allreduce(comm.rank)
+            lst = yield comm.allgather(total)
+            piece = yield comm.scatter(lst if comm.rank == 0 else None)
+            yield comm.barrier()
+            return piece
+
+        rt = Runtime(nprocs=4, seed=2)
+        assert rt.run(worker) == [6, 6, 6, 6]

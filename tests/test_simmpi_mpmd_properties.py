@@ -1,0 +1,110 @@
+"""MPMD jobs and randomized collective-sequence properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import FTMode, Runtime
+
+
+class TestMPMD:
+    def test_distinct_programs_per_rank(self):
+        def producer(comm):
+            yield comm.send(1, "payload", tag=9)
+            return "sent"
+
+        def consumer(comm):
+            msg = yield comm.recv(src=0, tag=9)
+            return msg
+
+        rt = Runtime(nprocs=2, seed=0)
+        assert rt.run([producer, consumer]) == ["sent", "payload"]
+
+    def test_mpmd_with_collectives(self):
+        def master(comm):
+            total = yield comm.reduce(0, op="sum")
+            _ = yield comm.bcast(total)
+            return total
+
+        def worker(comm):
+            yield comm.compute(0.5)
+            _ = yield comm.reduce(comm.rank * 2, op="sum")
+            echoed = yield comm.bcast(None)
+            return echoed
+
+        rt = Runtime(nprocs=4, seed=0)
+        results = rt.run([master, worker, worker, worker])
+        assert results[0] == 2 + 4 + 6
+        assert results[1:] == [12, 12, 12]
+
+    def test_wrong_count_rejected(self):
+        import pytest
+
+        def w(comm):
+            yield comm.barrier()
+
+        rt = Runtime(nprocs=3, seed=0)
+        with pytest.raises(ValueError, match="MPMD needs 3"):
+            rt.run([w, w])
+
+
+# ----------------------------------------------------------------------
+# Randomized collective sequences: simulated results must equal a
+# locally computed reference, faults or no faults.
+# ----------------------------------------------------------------------
+OPS = ("sum", "max", "min")
+
+collective_scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["allreduce", "bcast", "barrier", "allgather"]),
+        st.sampled_from(OPS),
+        st.integers(-5, 5),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def reference(script, nprocs):
+    """What each rank should observe, computed directly."""
+    out = []
+    for kind, op, k in script:
+        values = [r * k for r in range(nprocs)]
+        if kind == "allreduce":
+            agg = {"sum": sum, "max": max, "min": min}[op](values)
+            out.append(agg)
+        elif kind == "bcast":
+            out.append(values[0])
+        elif kind == "allgather":
+            out.append(tuple(values))
+        else:
+            out.append(0)
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(collective_scripts, st.integers(2, 6), st.booleans())
+def test_random_collective_sequences_correct(script, nprocs, faulty):
+    def worker(comm):
+        observed = []
+        for kind, op, k in script:
+            value = comm.rank * k
+            if kind == "allreduce":
+                observed.append((yield comm.allreduce(value, op=op)))
+            elif kind == "bcast":
+                observed.append((yield comm.bcast(value)))
+            elif kind == "allgather":
+                observed.append(tuple((yield comm.allgather(value))))
+            else:
+                observed.append((yield comm.barrier()))
+        return observed
+
+    rt = Runtime(
+        nprocs=nprocs,
+        latency=0.01,
+        seed=7,
+        ft_mode=FTMode.TOLERATE,
+        fault_frequency=0.3 if faulty else 0.0,
+    )
+    results = rt.run(worker)
+    expected = reference(script, nprocs)
+    assert all(r == expected for r in results)

@@ -1,0 +1,122 @@
+"""Hypothesis properties of the specification oracle itself.
+
+The oracle is the arbiter for every lemma test, so it gets its own
+adversarial scrutiny: random event soups must never crash it, and its
+bookkeeping must satisfy internal consistency invariants regardless of
+input.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.barrier.control import CP
+from repro.barrier.spec import BarrierSpecChecker
+from repro.gc.state import State
+from repro.gc.trace import Trace, TraceEvent
+
+NPROCS = 3
+NPHASES = 3
+
+cp_values = st.sampled_from(
+    [CP.READY, CP.EXECUTE, CP.SUCCESS, CP.ERROR, CP.REPEAT]
+)
+
+events = st.lists(
+    st.tuples(
+        st.integers(0, NPROCS - 1),  # pid
+        st.one_of(cp_values, st.none()),  # cp write (or none)
+        st.one_of(st.integers(0, NPHASES - 1), st.none()),  # ph write
+        st.booleans(),  # is_fault
+    ),
+    max_size=60,
+)
+
+initial_states = st.tuples(
+    st.lists(cp_values, min_size=NPROCS, max_size=NPROCS),
+    st.lists(st.integers(0, NPHASES - 1), min_size=NPROCS, max_size=NPROCS),
+).map(lambda t: State({"cp": list(t[0]), "ph": list(t[1])}, NPROCS))
+
+
+def build_trace(raw) -> Trace:
+    trace = Trace()
+    for step, (pid, cp, ph, fault) in enumerate(raw, start=1):
+        updates = []
+        if cp is not None:
+            updates.append(("cp", cp))
+        if ph is not None:
+            updates.append(("ph", ph))
+        trace.append(
+            TraceEvent(step, pid, "fault:x" if fault else "A", tuple(updates), is_fault=fault)
+        )
+    return trace
+
+
+@settings(max_examples=200, deadline=None)
+@given(initial_states, events)
+def test_oracle_total_on_arbitrary_traces(initial, raw):
+    """No crash, and basic report sanity, on arbitrary event soups."""
+    checker = BarrierSpecChecker(NPROCS, NPHASES)
+    report = checker.check(build_trace(raw), initial)
+    # Internal consistency.
+    assert report.phases_completed == sum(
+        1 for i in report.instances if i.successful
+    )
+    for inst in report.instances:
+        assert inst.completed <= inst.started
+        assert len(inst.started) <= NPROCS
+        assert inst.close_step is None or inst.close_step >= inst.open_step
+        if inst.successful:
+            assert len(inst.completed) == NPROCS
+    # Violations reference real instances' phases.
+    phases_seen = {i.phase for i in report.instances}
+    for v in report.violations:
+        assert 0 <= v.phase < NPHASES
+        assert v.phase in phases_seen or not report.instances
+    # Flagged instances exactly generate the incorrect-phase set.
+    assert report.incorrect_phase_values == {
+        i.phase for i in report.instances if i.flagged
+    }
+
+
+@settings(max_examples=100, deadline=None)
+@given(events)
+def test_oracle_monotone_violations(raw):
+    """violations_after(s) shrinks as s grows; safety_ok_after agrees."""
+    checker = BarrierSpecChecker(NPROCS, NPHASES)
+    report = checker.check(build_trace(raw))
+    steps = [0, len(raw) // 2, len(raw) + 1]
+    counts = [len(report.violations_after(s)) for s in steps]
+    assert counts[0] >= counts[1] >= counts[2]
+    assert report.safety_ok_after(len(raw) + 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 6), st.integers(2, 5))
+def test_clean_runs_never_flagged(nprocs, nphases):
+    """A synthesized perfect run has zero violations for any shape."""
+    trace = Trace()
+    step = 1
+    initial = State(
+        {"cp": [CP.READY] * nprocs, "ph": [0] * nprocs}, nprocs
+    )
+    for phase in range(nphases + 2):  # wraps past the modulus
+        p = phase % nphases
+        for pid in range(nprocs):
+            trace.append(TraceEvent(step, pid, "A", (("cp", CP.EXECUTE),)))
+            step += 1
+        for pid in range(nprocs):
+            trace.append(TraceEvent(step, pid, "A", (("cp", CP.SUCCESS),)))
+            step += 1
+        for pid in range(nprocs):
+            trace.append(
+                TraceEvent(
+                    step,
+                    pid,
+                    "A",
+                    (("cp", CP.READY), ("ph", (p + 1) % nphases)),
+                )
+            )
+            step += 1
+    report = BarrierSpecChecker(nprocs, nphases).check(trace, initial)
+    assert report.safety_ok
+    assert report.phases_completed == nphases + 2

@@ -1,0 +1,140 @@
+"""The finite-trace temporal algebra, and the paper's guarantees
+expressed in it."""
+
+import numpy as np
+import pytest
+
+from repro.barrier.cb import cb_detectable_fault, make_cb
+from repro.barrier.control import CP
+from repro.barrier.legitimacy import cb_legitimate, cb_start_state
+from repro.extensions.unison import clock_unison_invariant
+from repro.gc.faults import BernoulliSchedule, FaultInjector
+from repro.gc.scheduler import RandomFairDaemon
+from repro.gc.state import State
+from repro.gc.temporal import (
+    Verdict,
+    always,
+    atom,
+    eventually,
+    eventually_always,
+    leads_to,
+    record_run,
+    until,
+)
+
+
+def seq(*values):
+    """A toy state sequence over one variable x at one process."""
+    return [State({"x": [v]}, 1) for v in values]
+
+
+def x_is(v):
+    return atom(f"x={v}", lambda s: s.get("x", 0) == v)
+
+
+class TestOperators:
+    def test_atom(self):
+        assert x_is(1).evaluate(seq(1, 0))
+        assert x_is(1).evaluate(seq(0)).verdict is Verdict.VIOLATED
+        assert x_is(1).evaluate([]).verdict is Verdict.PENDING
+
+    def test_always(self):
+        assert always(x_is(1)).evaluate(seq(1, 1, 1))
+        result = always(x_is(1)).evaluate(seq(1, 0, 1))
+        assert result.verdict is Verdict.VIOLATED and result.at == 1
+
+    def test_eventually(self):
+        result = eventually(x_is(2)).evaluate(seq(0, 1, 2))
+        assert result and result.at == 2
+        assert eventually(x_is(9)).evaluate(seq(0, 1)).verdict is Verdict.PENDING
+
+    def test_eventually_always(self):
+        assert eventually_always(x_is(1)).evaluate(seq(0, 0, 1, 1, 1))
+        assert (
+            eventually_always(x_is(1)).evaluate(seq(1, 1, 0)).verdict
+            is Verdict.PENDING
+        )
+
+    def test_until(self):
+        assert until(x_is(0), x_is(1)).evaluate(seq(0, 0, 1, 5))
+        assert (
+            until(x_is(0), x_is(1)).evaluate(seq(0, 2, 1)).verdict
+            is Verdict.VIOLATED
+        )
+        assert (
+            until(x_is(0), x_is(1)).evaluate(seq(0, 0)).verdict
+            is Verdict.PENDING
+        )
+
+    def test_leads_to(self):
+        assert leads_to(x_is(1), x_is(2)).evaluate(seq(0, 1, 0, 2, 1, 2))
+        assert (
+            leads_to(x_is(1), x_is(2)).evaluate(seq(1, 0, 0)).verdict
+            is Verdict.PENDING
+        )
+        # No trigger at all: vacuously satisfied.
+        assert leads_to(x_is(9), x_is(2)).evaluate(seq(0, 1))
+
+    def test_conjunction_disjunction(self):
+        p = always(x_is(1)) & eventually(x_is(1))
+        assert p.evaluate(seq(1, 1))
+        q = always(x_is(9)) | eventually(x_is(1))
+        assert q.evaluate(seq(0, 1))
+        assert not (always(x_is(9)) & eventually(x_is(1))).evaluate(seq(0, 1))
+
+
+class TestPaperProperties:
+    def test_unison_always_holds_fault_free(self):
+        prog = make_cb(4, 5)
+        states = record_run(prog, steps=2000)
+        prop = always(atom("unison", lambda s: clock_unison_invariant(s, 5)))
+        assert prop.evaluate(states)
+
+    def test_progress_as_leads_to(self):
+        """Every start state leads to a later start state (one barrier
+        round completes and the next begins)."""
+        prog = make_cb(3, 3)
+        states = record_run(prog, steps=500)
+        start = atom("start", cb_start_state)
+        later_phase = atom(
+            "phase1", lambda s: s.get("ph", 0) == 1 and cb_start_state(s)
+        )
+        assert until(
+            atom("not-yet", lambda s: True), later_phase
+        ).evaluate(states)
+        assert leads_to(start, later_phase).evaluate(states)
+
+    def test_stabilization_as_eventually_always(self, rng):
+        prog = make_cb(3, 3)
+        state = prog.arbitrary_state(rng)
+        states = record_run(prog, state=state, steps=3000)
+        prop = eventually_always(
+            atom("legitimate", lambda s: cb_legitimate(s, 3))
+        )
+        assert prop.evaluate(states)
+
+    def test_masking_as_always_under_faults(self):
+        """Under detectable faults the oracle-level safety stays; at the
+        state level, what is *always* true is weaker: no phase spread
+        beyond 2 values."""
+        prog = make_cb(4, 6)
+        injector = FaultInjector(
+            prog, cb_detectable_fault(), BernoulliSchedule(0.01), seed=0
+        )
+        states = record_run(
+            prog, daemon=RandomFairDaemon(seed=0), steps=5000, injector=injector
+        )
+        # A detectable fault scrambles the victim's own phase, so the
+        # invariant quantifies over the *non-error* processes only.
+        spread_ok = atom(
+            "spread<=2",
+            lambda s: len(
+                {
+                    s.get("ph", p)
+                    for p in range(4)
+                    if s.get("cp", p) is not CP.ERROR
+                }
+            )
+            <= 2,
+        )
+        assert always(spread_ok).evaluate(states)

@@ -1,0 +1,98 @@
+"""Exhaustive model checking of the token ring on small instances.
+
+Dijkstra-style K-state rings stabilize under *any* daemon (no fairness
+needed) when K exceeds the ring length; we verify that exhaustively:
+from every syntactic state of the 3-process, K=4 ring (216 states), all
+execution paths reach the legitimate set and stay there.
+"""
+
+import pytest
+
+from repro.barrier.tokenring import (
+    make_token_ring,
+    ring_legitimate_sn,
+    token_count,
+)
+from repro.gc.domains import BOT, TOP
+from repro.gc.explore import Explorer
+
+
+@pytest.fixture(scope="module")
+def exploration():
+    program = make_token_ring(3, k=4)
+    explorer = Explorer(program, max_states=500_000)
+    roots = explorer.full_state_space()
+    result = explorer.reachable(roots)
+    return program, explorer, result
+
+
+class TestExhaustive:
+    def test_full_space_explored(self, exploration):
+        _program, _explorer, result = exploration
+        assert len(result.states) == 6**3  # {0..3, BOT, TOP}^3
+        assert not result.truncated
+
+    def test_no_deadlocks(self, exploration):
+        _program, _explorer, result = exploration
+        for key, succs in result.transitions.items():
+            assert succs, f"deadlock at {key}"
+
+    def test_closure_of_legitimate_set(self, exploration):
+        program, explorer, result = exploration
+        topo = program.metadata["topology"]
+
+        def legitimate(state):
+            return ring_legitimate_sn(state, topo, k=4)
+
+        assert explorer.check_closure(result, legitimate) == []
+
+    def test_all_paths_converge_unfairly(self, exploration):
+        """Convergence without any fairness assumption: no illegitimate
+        cycle exists anywhere in the full transition graph."""
+        program, explorer, result = exploration
+        topo = program.metadata["topology"]
+
+        def legitimate(state):
+            return ring_legitimate_sn(state, topo, k=4)
+
+        assert explorer.all_paths_converge(result, legitimate)
+
+    def test_token_count_invariant_inside_legit(self, exploration):
+        program, explorer, result = exploration
+        topo = program.metadata["topology"]
+        for key in result.states:
+            state = result.state_of(key)
+            if ring_legitimate_sn(state, topo, k=4):
+                assert token_count(state, topo) == 1
+
+    def test_specials_eventually_vanish(self, exploration):
+        """No reachable cycle keeps a BOT or TOP alive: the flush always
+        completes (checked via convergence to the all-ordinary set)."""
+        program, explorer, result = exploration
+
+        def all_ordinary(state):
+            return all(
+                state.get("sn", p) is not BOT and state.get("sn", p) is not TOP
+                for p in range(3)
+            )
+
+        assert explorer.all_paths_converge(result, all_ordinary)
+
+
+class TestScaledRing:
+    def test_four_process_ring_from_initial_region(self):
+        """The 4-process ring's reachable-from-perturbation region also
+        converges on all paths (sampled roots; full product space is
+        too large for exhaustive checking here)."""
+        import numpy as np
+
+        program = make_token_ring(4, k=5)
+        topo = program.metadata["topology"]
+        explorer = Explorer(program, max_states=200_000)
+        rng = np.random.default_rng(0)
+        roots = [program.arbitrary_state(rng) for _ in range(40)]
+        result = explorer.reachable(roots)
+        assert not result.truncated
+        assert explorer.all_paths_converge(
+            result, lambda s: ring_legitimate_sn(s, topo, k=5)
+        )

@@ -1,0 +1,110 @@
+"""Topology builders and graph embedding (Figure 2)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.embedding import embed_graph, spanning_tree_topology
+from repro.topology.graphs import (
+    DoubleTree,
+    Topology,
+    double_tree,
+    kary_tree,
+    ring,
+    two_ring,
+)
+
+
+class TestTopology:
+    def test_ring(self):
+        t = ring(5)
+        assert t.parent == (-1, 0, 1, 2, 3)
+        assert t.finals == (4,)
+        assert t.height == 4
+        assert t.is_ring()
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            Topology("bad", (0, 0))  # root must have parent -1
+        with pytest.raises(TopologyError):
+            Topology("bad", (-1, 2, 1))  # cycle 1 <-> 2
+        with pytest.raises(TopologyError):
+            Topology("bad", (-1,))  # too small
+        with pytest.raises(TopologyError):
+            Topology("bad", (-1, 5))  # parent out of range
+
+    def test_children_and_depth(self):
+        t = kary_tree(7, 2)
+        assert t.children[0] == (1, 2)
+        assert t.children[1] == (3, 4)
+        assert t.depth == (0, 1, 1, 2, 2, 2, 2)
+        assert t.height == 2
+        assert set(t.finals) == {3, 4, 5, 6}
+
+    def test_kary_tree_height_logarithmic(self):
+        import math
+
+        for n in (15, 31, 63, 127):
+            t = kary_tree(n, 2)
+            assert t.height == int(math.log2(n + 1)) - 1
+
+    def test_two_ring(self):
+        t = two_ring(3, 2, shared=2)
+        assert t.nprocs == 7
+        # Shared path 0-1, branch A 2-3-4, branch B 5-6.
+        assert t.parent == (-1, 0, 1, 2, 3, 1, 5)
+        assert set(t.finals) == {4, 6}
+
+    def test_two_ring_validation(self):
+        with pytest.raises(TopologyError):
+            two_ring(0, 2)
+        with pytest.raises(TopologyError):
+            two_ring(2, 2, shared=0)
+
+    def test_double_tree(self):
+        dt = double_tree(7)
+        assert isinstance(dt, DoubleTree)
+        assert dt.nprocs == 7
+        assert dt.height == 2
+
+    def test_double_tree_mismatch(self):
+        with pytest.raises(TopologyError):
+            DoubleTree(kary_tree(7), kary_tree(15))
+
+
+class TestEmbedding:
+    def test_bfs_tree_minimizes_height(self):
+        graph = nx.cycle_graph(8)
+        topo, mapping = spanning_tree_topology(graph, root=0)
+        assert topo.nprocs == 8
+        assert topo.height == 4  # BFS on a cycle: two arms of length 4
+        assert mapping[0] == 0
+
+    def test_grid_embedding(self):
+        graph = nx.grid_2d_graph(4, 4)
+        root = (0, 0)
+        topo, mapping = spanning_tree_topology(graph, root=root)
+        assert topo.nprocs == 16
+        assert topo.height == 6  # manhattan eccentricity of the corner
+        assert set(mapping.values()) == set(graph.nodes)
+
+    def test_embed_graph_double_tree(self):
+        dt, mapping = embed_graph(nx.complete_graph(6))
+        assert dt.up is dt.down
+        assert dt.height == 1  # complete graph: star from the root
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(TopologyError):
+            spanning_tree_topology(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(TopologyError):
+            spanning_tree_topology(nx.complete_graph(3), root=9)
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(TopologyError):
+            spanning_tree_topology(g, root=0)
+
+    def test_parents_precede_children(self):
+        graph = nx.random_regular_graph(3, 20, seed=4)
+        topo, _ = spanning_tree_topology(graph, root=list(graph)[0])
+        for j in range(1, topo.nprocs):
+            assert topo.parent[j] < j

@@ -1,0 +1,133 @@
+"""Wave-level unit tests of the timed tree-barrier simulator."""
+
+import pytest
+
+from repro.barrier.control import CP
+from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+from repro.topology.graphs import kary_tree, ring
+
+
+def make(nprocs=8, **cfg):
+    defaults = dict(latency=0.1, seed=0)
+    defaults.update(cfg)
+    return FTTreeBarrierSim(nprocs=nprocs, config=SimConfig(**defaults))
+
+
+class TestWaves:
+    def test_execute_wave_staggered_by_depth(self):
+        sim = make()
+        entered: dict[int, float] = {}
+        orig = sim._on_wave
+
+        def spy(pid, p_state, p_phase, wave):
+            before = sim.nodes[pid].state
+            orig(pid, p_state, p_phase, wave)
+            if before is CP.READY and sim.nodes[pid].state is CP.EXECUTE:
+                entered.setdefault(pid, sim.sim.now)
+
+        sim._on_wave = spy
+        sim.run(phases=1)
+        depth = sim.topology.depth
+        for pid, t in entered.items():
+            assert t == pytest.approx(depth[pid] * 0.1)
+
+    def test_wave_cost_is_height_times_latency(self):
+        # One fault-free instance: 3 circulations + serialized work.
+        for nprocs, arity in [(8, 2), (16, 4)]:
+            sim = FTTreeBarrierSim(
+                topology=kary_tree(nprocs, arity),
+                config=SimConfig(latency=0.1, seed=0),
+            )
+            h = sim.topology.height
+            metrics = sim.run(phases=1)
+            assert metrics.instances[0].duration == pytest.approx(
+                1 + 2 * h * 0.1
+            )  # instance ends at the success decision (ready wave after)
+
+    def test_ring_topology_costs_linear(self):
+        sim = FTTreeBarrierSim(
+            topology=ring(8), config=SimConfig(latency=0.1, seed=0)
+        )
+        metrics = sim.run(phases=2)
+        # Each instance runs from its execute wave to the success
+        # decision: 1 + 2hc with h = N-1 = 7 on the ring (the ready wave
+        # is the gap between instances).
+        for inst in metrics.instances:
+            assert inst.duration == pytest.approx(1 + 2 * 7 * 0.1)
+
+    def test_stale_wave_ignored(self):
+        sim = make()
+        sim.run(phases=1)
+        # Deliver a message from a long-dead wave: nothing may change.
+        snapshot = [(n.state, n.phase) for n in sim.nodes]
+        sim._on_wave(1, CP.EXECUTE, 99, wave=1)  # current wave id >> 1
+        assert [(n.state, n.phase) for n in sim.nodes] == snapshot
+
+
+class TestFaultWindows:
+    def _run_with_fault(self, t_fault, victim=3, early_abort=True):
+        sim = make(early_abort=early_abort)
+
+        def strike():
+            sim.nodes[victim].state = CP.ERROR
+            sim.nodes[victim].work_end = -1.0
+
+        sim.sim.at(t_fault, strike)
+        metrics = sim.run(phases=3)
+        return metrics
+
+    def test_fault_before_execute_wave_aborts_cheap(self):
+        # h=3 for 8 procs; execute wave passes node 3 (depth 2) at 0.2.
+        metrics = self._run_with_fault(0.05)
+        failed = [i for i in metrics.instances if not i.success]
+        assert failed and failed[0].duration == pytest.approx(0.3)  # hc
+
+    def test_fault_during_work_costs_full_instance(self):
+        # Strike after the execute wave passed everyone (t > hc = 0.3).
+        metrics = self._run_with_fault(0.8)
+        failed = [i for i in metrics.instances if not i.success]
+        assert failed
+        assert failed[0].duration == pytest.approx(1 + 2 * 3 * 0.1)
+
+    def test_fault_after_success_harmless(self):
+        # First instance timing (h=3, c=0.1): node 1 moves to success at
+        # 1.4, the success wave returns at 1.6, the ready wave passes
+        # node 1 at 1.7.  Strike in (1.4, 1.6): the node has completed
+        # its phase, the finals are untouched, so the instance still
+        # succeeds and the ready wave silently re-admits the error node.
+        metrics = self._run_with_fault(1.45, victim=1)
+        # The ready wave converts the error node back to ready: no
+        # failed instance for the *current* phase...
+        first_two = metrics.instances[:2]
+        assert first_two[0].success
+        # ...and the barrier keeps going to 3 successes.
+        assert metrics.successful_phases == 3
+
+    def test_all_barriers_complete_with_root_fault(self):
+        sim = make()
+
+        def strike():
+            sim.nodes[0].state = CP.ERROR
+            sim.nodes[0].work_end = -1.0
+
+        sim.sim.at(0.55, strike)
+        metrics = sim.run(phases=3)
+        assert metrics.successful_phases == 3
+
+
+class TestAccounting:
+    def test_instances_are_contiguous(self):
+        sim = make(fault_frequency=0.2, seed=7)
+        metrics = sim.run(phases=20, max_time=1000)
+        for a, b in zip(metrics.instances, metrics.instances[1:]):
+            assert b.start >= a.end - 1e-12
+
+    def test_successful_phase_count_matches_stop(self):
+        sim = make(fault_frequency=0.1, seed=3)
+        metrics = sim.run(phases=15, max_time=1000)
+        assert metrics.successful_phases == 15
+
+    def test_faults_counter(self):
+        sim = make(fault_frequency=0.3, seed=1)
+        sim.run(phases=20, max_time=1000)
+        assert sim.faults_injected > 0

@@ -18,6 +18,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.tracer import ensure_tracer
 
 
 @dataclass(order=True)
@@ -36,10 +37,14 @@ class Event:
 class Simulation:
     """A discrete-event simulation: schedule callbacks, run the clock."""
 
-    def __init__(self, seed: Any = None) -> None:
+    def __init__(self, seed: Any = None, tracer: Any = None) -> None:
         self._heap: list[Event] = []
         self._seq = count()
         self._now = 0.0
+        #: The simulation owns the virtual clock, so it also carries the
+        #: tracer: everything built on the kernel (network, runtimes)
+        #: reads ``sim.tracer`` to emit at ``sim.now``.
+        self.tracer = ensure_tracer(tracer)
         self._seed_seq = (
             seed
             if isinstance(seed, np.random.SeedSequence)

@@ -77,6 +77,9 @@ class Link:
         """
         rng = self.sim.rng("network")
         self.sent += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.msg_send(self.sim.now, self.src, self.dst, tag=tag)
         msg = Message(
             src=self.src,
             dst=self.dst,
@@ -87,6 +90,8 @@ class Link:
         f = self.faults
         if f.loss and rng.random() < f.loss:
             self.lost += 1
+            if tracer.enabled:
+                tracer.incr("net.messages_lost")
             return
         delay = self.latency
         if f.reorder and rng.random() < f.reorder:
@@ -96,6 +101,8 @@ class Link:
 
         def _deliver(m: Message = msg) -> None:
             self.delivered += 1
+            if tracer.enabled:
+                tracer.msg_recv(self.sim.now, m.src, m.dst, tag=m.tag)
             deliver(m)
 
         self.sim.after(delay, _deliver)
@@ -112,6 +119,8 @@ class Link:
 
             def _deliver_dup(m: Message = dup) -> None:
                 self.delivered += 1
+                if tracer.enabled:
+                    tracer.msg_recv(self.sim.now, m.src, m.dst, tag=m.tag)
                 deliver(m)
 
             self.sim.after(delay + self.latency, _deliver_dup)

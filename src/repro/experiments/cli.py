@@ -5,6 +5,7 @@
     repro-experiments all
     repro-experiments fig5 --phases 500 --seed 7
     python -m repro.experiments fig7 --trials 50
+    python -m repro.experiments trace-report runs/trace.jsonl
 """
 
 from __future__ import annotations
@@ -26,8 +27,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "trace-report"],
+        help="which table/figure to regenerate, or 'trace-report' to "
+        "summarize a JSONL trace",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="JSONL trace file (trace-report only)",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument(
@@ -61,8 +69,23 @@ def _kwargs_for(exp_id: str, args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def trace_report(path: str) -> int:
+    """Summarize a structured JSONL trace to the paper's quantities."""
+    from repro.obs.jsonl import read_jsonl
+    from repro.obs.summary import summarize
+
+    events = read_jsonl(path)
+    print(summarize(events).render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "trace-report":
+        if args.path is None:
+            print("trace-report requires a JSONL trace path", file=sys.stderr)
+            return 2
+        return trace_report(args.path)
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in targets:
         start = time.perf_counter()

@@ -183,6 +183,64 @@ class FaultInjector:
         )
 
 
+class ScriptedInjector:
+    """Deterministic fault injection from an explicit schedule.
+
+    ``schedule`` is a sequence of ``(step, pid)`` pairs: the spec is
+    applied to ``pid`` at the first injection opportunity at or after
+    ``step``.  Unlike :class:`FaultInjector`, both the timing and the
+    victims are fixed up front, which is what the cross-implementation
+    conformance suite needs -- the *same* seeded schedule replayed
+    against CB, RB, RB' and MB.  The spec's ``?``-randomized variables
+    still draw from ``seed``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        spec: FaultSpec,
+        schedule: Sequence[tuple[int, int]],
+        seed: Any = None,
+    ) -> None:
+        self.program = program
+        self.spec = spec
+        self.schedule = sorted(schedule)
+        for step, pid in self.schedule:
+            if not 0 <= pid < program.nprocs:
+                raise ValueError(f"scheduled fault at bad pid {pid}")
+            if step < 0:
+                raise ValueError(f"scheduled fault at negative step {step}")
+        self.rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self.count = 0
+        self._next = 0
+
+    def maybe_inject(
+        self, state: State, step: int, time: float = 0.0
+    ) -> Iterable[TraceEvent]:
+        """Fire every scheduled fault due at or before ``step``."""
+        while self._next < len(self.schedule) and self.schedule[self._next][0] <= step:
+            _due, pid = self.schedule[self._next]
+            self._next += 1
+            writes = self.spec.apply(self.program, state, pid, self.rng)
+            self.count += 1
+            yield TraceEvent(
+                step=step,
+                pid=pid,
+                action=f"fault:{self.spec.name}",
+                updates=tuple(writes),
+                time=time,
+                is_fault=True,
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.schedule)
+
+
 class MultiInjector:
     """Compose several independent injectors (e.g. detectable at one rate
     and undetectable at another)."""

@@ -27,6 +27,7 @@ import numpy as np
 from repro.gc.actions import Action, apply_updates
 from repro.gc.program import Program
 from repro.gc.state import State
+from repro.obs.tracer import ensure_tracer
 
 
 class Daemon(Protocol):
@@ -60,8 +61,9 @@ class RoundRobinDaemon:
     exclusive guards per process, making this moot).
     """
 
-    def __init__(self, start: int = 0) -> None:
+    def __init__(self, start: int = 0, tracer: Any = None) -> None:
         self._next = start
+        self.tracer = ensure_tracer(tracer)
 
     def step(self, program, state):
         n = program.nprocs
@@ -71,24 +73,35 @@ class RoundRobinDaemon:
                 if action.enabled(state):
                     ups = action.execute(state)
                     self._next = (pid + 1) % n
+                    if self.tracer.enabled:
+                        self.tracer.incr("gc.daemon_steps")
+                        self.tracer.incr("gc.actions_fired")
                     return [(action, ups)]
+        if self.tracer.enabled:
+            self.tracer.incr("gc.daemon_steps")
         return []
 
 
 class RandomFairDaemon:
     """Pick uniformly at random among all enabled actions."""
 
-    def __init__(self, seed: Any = None) -> None:
+    def __init__(self, seed: Any = None, tracer: Any = None) -> None:
         self.rng = _make_rng(seed)
+        self.tracer = ensure_tracer(tracer)
 
     def step(self, program, state):
         enabled: list[Action] = [
             a for a in program.actions() if a.enabled(state, self.rng)
         ]
+        if self.tracer.enabled:
+            self.tracer.incr("gc.daemon_steps")
+            self.tracer.incr("gc.enabled_actions", len(enabled))
         if not enabled:
             return []
         action = enabled[int(self.rng.integers(0, len(enabled)))]
         ups = action.execute(state, self.rng)
+        if self.tracer.enabled:
+            self.tracer.incr("gc.actions_fired")
         return [(action, ups)]
 
 
@@ -101,9 +114,12 @@ class MaximalParallelDaemon:
     against the snapshot; apply all updates to the live state.
     """
 
-    def __init__(self, seed: Any = None, random_choice: bool = False) -> None:
+    def __init__(
+        self, seed: Any = None, random_choice: bool = False, tracer: Any = None
+    ) -> None:
         self.rng = _make_rng(seed)
         self.random_choice = random_choice
+        self.tracer = ensure_tracer(tracer)
 
     def select(self, program: Program, snapshot: State) -> list[Action]:
         chosen: list[Action] = []
@@ -126,6 +142,9 @@ class MaximalParallelDaemon:
             fired.append((action, ups))
         for action, ups in fired:
             apply_updates(state, action.pid, ups)
+        if self.tracer.enabled:
+            self.tracer.incr("gc.daemon_steps")
+            self.tracer.incr("gc.actions_fired", len(fired))
         return fired
 
 

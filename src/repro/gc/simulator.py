@@ -15,6 +15,7 @@ from repro.gc.program import Program
 from repro.gc.scheduler import Daemon, RoundRobinDaemon, is_silent
 from repro.gc.state import State
 from repro.gc.trace import Trace, TraceEvent
+from repro.obs.tracer import ensure_tracer
 
 StopPredicate = Callable[[State, int], bool]
 StepObserver = Callable[[State, int], None]
@@ -45,12 +46,24 @@ class Simulator:
         injector: Any = None,
         record_trace: bool = True,
         trace_capacity: int | None = None,
+        tracer: Any = None,
     ) -> None:
         self.program = program
         self.daemon = daemon if daemon is not None else RoundRobinDaemon()
         self.injector = injector
         self.record_trace = record_trace
         self.trace_capacity = trace_capacity
+        self.tracer = ensure_tracer(tracer)
+
+    def _phase_observer(self, state: State):
+        """A phase-event deriver when the program is a barrier (has
+        ``cp``/``ph`` variables); None otherwise."""
+        domains = self.program.domains
+        if "cp" not in domains or "ph" not in domains:
+            return None
+        from repro.obs.observer import BarrierPhaseObserver
+
+        return BarrierPhaseObserver.from_state(self.tracer, self.program, state)
 
     def run(
         self,
@@ -70,14 +83,39 @@ class Simulator:
         trace = Trace(self.trace_capacity)
         if stop is not None and stop(state, 0):
             return RunResult(state, 0, "predicate", trace)
+        tracing = self.tracer.enabled
+        phase_obs = self._phase_observer(state) if tracing else None
+        spec = getattr(self.injector, "spec", None)
+        fault_detectable = spec.detectable if spec is not None else True
 
         for step in range(1, max_steps + 1):
             if self.injector is not None:
                 for fault_event in self.injector.maybe_inject(state, step):
                     if self.record_trace:
                         trace.append(fault_event)
+                    if tracing:
+                        self.tracer.fault(
+                            float(step),
+                            fault_event.pid,
+                            detectable=fault_detectable,
+                            name=fault_event.action,
+                        )
+                        if phase_obs is not None:
+                            phase_obs.observe(
+                                float(step),
+                                fault_event.pid,
+                                fault_event.updates,
+                            )
 
             fired = self.daemon.step(self.program, state)
+            if tracing:
+                for action, ups in fired:
+                    if phase_obs is not None:
+                        phase_obs.observe(float(step), action.pid, ups)
+                    if any(var == "sn" for var, _ in ups):
+                        # A sequence-number write is the token moving
+                        # (RB/MB and their BOT/TOP convergecast).
+                        self.tracer.token_pass(float(step), action.pid)
             if not fired and is_silent(self.program, state):
                 # A fault environment can re-enable a silent program (a
                 # crash repair, most notably), so silence only ends the

@@ -1,0 +1,72 @@
+"""Unified structured tracing & metrics (the observability layer).
+
+Every execution engine -- the discrete-event kernel and network
+(:mod:`repro.des`), the simulated MPI runtime (:mod:`repro.simmpi`), the
+timed protocol simulations (:mod:`repro.protosim`) and the untimed
+guarded-command simulator (:mod:`repro.gc`) -- accepts an optional
+``tracer=`` and emits the same typed event schema, so one summarizer
+(:func:`summarize`) reduces any run to the paper's quantities and the
+conformance suite can compare implementations event-for-event.
+
+Quick start::
+
+    from repro.obs import Tracer, summarize
+    from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+
+    tracer = Tracer()
+    sim = FTTreeBarrierSim(nprocs=32, config=SimConfig(fault_frequency=0.05),
+                           tracer=tracer)
+    sim.run(phases=100)
+    tracer.dump_jsonl("trace.jsonl")
+    print(summarize(tracer.events).render())
+"""
+
+from repro.obs.events import (
+    DETECT,
+    EVENT_KINDS,
+    FAULT,
+    MSG_RECV,
+    MSG_SEND,
+    PHASE_END,
+    PHASE_START,
+    RECOVERY,
+    TOKEN_PASS,
+    ObsEvent,
+)
+from repro.obs.jsonl import iter_jsonl, read_jsonl, write_jsonl
+from repro.obs.summary import TraceSummary, summarize
+from repro.obs.tracer import NULL_TRACER, NullTracer, ObsError, Tracer, ensure_tracer
+
+
+def __getattr__(name: str):
+    # Lazy: the observer imports repro.barrier (for CP), and repro.barrier's
+    # engines import repro.obs.tracer -- an eager import here would cycle.
+    if name == "BarrierPhaseObserver":
+        from repro.obs.observer import BarrierPhaseObserver
+
+        return BarrierPhaseObserver
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ObsEvent",
+    "EVENT_KINDS",
+    "PHASE_START",
+    "PHASE_END",
+    "FAULT",
+    "DETECT",
+    "RECOVERY",
+    "TOKEN_PASS",
+    "MSG_SEND",
+    "MSG_RECV",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ObsError",
+    "ensure_tracer",
+    "BarrierPhaseObserver",
+    "TraceSummary",
+    "summarize",
+    "write_jsonl",
+    "read_jsonl",
+    "iter_jsonl",
+]

@@ -1,0 +1,67 @@
+"""JSONL (one JSON object per line) trace export and import.
+
+The format is the flat :meth:`ObsEvent.to_dict` form, so traces are
+greppable and ``jq``-able::
+
+    {"kind": "phase_start", "t": 0.0, "pid": 0, "phase": 0}
+    {"kind": "fault", "t": 0.73, "pid": 3, "detectable": true}
+    {"kind": "phase_end", "t": 1.06, "pid": 0, "phase": 0, "success": false}
+
+Round trip is exact for JSON-representable payloads (the only payloads
+the engines emit: ints, floats, bools, strings, None).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Iterable, Iterator, Union
+
+from repro.obs.events import ObsEvent
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def _opened(path_or_file: PathOrFile, mode: str):
+    """(file, needs_close) for a path or an already-open text file."""
+    if hasattr(path_or_file, "write") or hasattr(path_or_file, "read"):
+        return path_or_file, False
+    return open(path_or_file, mode, encoding="utf-8"), True
+
+
+def write_jsonl(events: Iterable[ObsEvent], path_or_file: PathOrFile) -> int:
+    """Write ``events`` one JSON object per line; returns the count."""
+    fh, close = _opened(path_or_file, "w")
+    try:
+        count = 0
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+        return count
+    finally:
+        if close:
+            fh.close()
+
+
+def iter_jsonl(path_or_file: PathOrFile) -> Iterator[ObsEvent]:
+    """Lazily yield events from a JSONL trace (blank lines ignored)."""
+    fh, close = _opened(path_or_file, "r")
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record: Any = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"bad JSONL at line {lineno}: {exc}") from exc
+            yield ObsEvent.from_dict(record)
+    finally:
+        if close:
+            fh.close()
+
+
+def read_jsonl(path_or_file: PathOrFile) -> list[ObsEvent]:
+    """Read a whole JSONL trace into a list."""
+    return list(iter_jsonl(path_or_file))

@@ -1,0 +1,105 @@
+"""Derive phase events from guarded-command barrier runs.
+
+The untimed engines (:mod:`repro.gc.simulator`) execute actions that
+write ``cp``/``ph`` variables; phase instances are implicit in those
+transitions.  :class:`BarrierPhaseObserver` mirrors the per-process
+control positions and emits ``phase_start``/``phase_end`` events on the
+tracer, using the specification's instance semantics (Section 2): an
+instance opens when some process enters ``execute``, closes when no
+process remains in ``execute``, and is successful iff every process
+executed the phase fully (left ``execute`` via ``success``).
+
+This is deliberately the same reconstruction the oracle in
+:mod:`repro.barrier.spec` performs; the conformance suite asserts the
+two agree, which is what lets trace summaries stand in for the oracle
+on CB, RB, RB' (trees) and MB alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.barrier.control import CP
+
+
+class BarrierPhaseObserver:
+    """Feed per-process variable writes; get phase events on the tracer.
+
+    The observer also maintains two tracer counters usable as run-stop
+    predicates: ``obs.instances`` and ``obs.phases_successful``.
+    """
+
+    def __init__(
+        self,
+        tracer: Any,
+        nprocs: int,
+        initial_cp: Iterable[Any],
+        initial_ph: Iterable[int],
+        cp_var: str = "cp",
+        ph_var: str = "ph",
+    ) -> None:
+        self.tracer = tracer
+        self.nprocs = nprocs
+        self.cp_var = cp_var
+        self.ph_var = ph_var
+        self._cp = list(initial_cp)
+        self._ph = list(initial_ph)
+        if len(self._cp) != nprocs or len(self._ph) != nprocs:
+            raise ValueError("initial cp/ph must have one entry per process")
+        self._open_phase: int | None = None
+        self._executing: set[int] = set()
+        self._participants: set[int] = set()
+        self._completed: set[int] = set()
+
+    @classmethod
+    def from_state(cls, tracer: Any, program: Any, state: Any) -> "BarrierPhaseObserver":
+        """Build from a program's state (uses variables ``cp``/``ph``)."""
+        n = program.nprocs
+        return cls(
+            tracer,
+            n,
+            initial_cp=[state.get("cp", p) for p in range(n)],
+            initial_ph=[state.get("ph", p) for p in range(n)],
+        )
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, time: float, pid: int, updates: Iterable[tuple[str, Any]]
+    ) -> None:
+        """Process the writes one action (or fault) made at ``pid``."""
+        new_cp: Any = None
+        for var, value in updates:
+            if var == self.cp_var:
+                new_cp = value
+            elif var == self.ph_var:
+                self._ph[pid] = value
+        if new_cp is None:
+            return
+        old_cp = self._cp[pid]
+        self._cp[pid] = new_cp
+        if new_cp is old_cp:
+            return
+        if new_cp is CP.EXECUTE:
+            if self._open_phase is None:
+                self._open_phase = self._ph[pid]
+                self._participants.clear()
+                self._completed.clear()
+                self.tracer.phase_start(time, self._open_phase, pid=pid)
+            self._participants.add(pid)
+            self._executing.add(pid)
+        elif old_cp is CP.EXECUTE:
+            self._executing.discard(pid)
+            if new_cp is CP.SUCCESS:
+                self._completed.add(pid)
+            if self._open_phase is not None and not self._executing:
+                success = len(self._completed) == self.nprocs
+                self.tracer.phase_end(time, self._open_phase, success, pid=pid)
+                self.tracer.incr("obs.instances")
+                if success:
+                    self.tracer.incr("obs.phases_successful")
+                self._open_phase = None
+
+    @property
+    def open_phase(self) -> int | None:
+        """The phase of the currently-open instance (None when closed)."""
+        return self._open_phase

@@ -1,0 +1,132 @@
+"""Reduce a trace to the paper's quantities.
+
+:func:`summarize` turns any event sequence -- whichever engine produced
+it -- into the numbers the paper reports: instances per successful phase
+(Figures 3/5), recovery latency after perturbation (Figure 7), token
+circulations and messages per barrier (the Section 6 overhead terms).
+Because every engine emits the same schema, the summary is also the
+cross-implementation conformance currency: two engines agree on a
+quantity iff their summaries do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf, nan
+from typing import Iterable
+
+from repro.obs.events import (
+    DETECT,
+    FAULT,
+    MSG_RECV,
+    MSG_SEND,
+    PHASE_END,
+    PHASE_START,
+    RECOVERY,
+    TOKEN_PASS,
+    ObsEvent,
+)
+
+
+@dataclass
+class TraceSummary:
+    """The paper's quantities, reduced from one trace."""
+
+    events: int = 0
+    total_time: float = 0.0
+    #: Completed instances (phase attempts with a recorded end).
+    instances: int = 0
+    successful_phases: int = 0
+    faults: int = 0
+    detectable_faults: int = 0
+    detections: int = 0
+    recoveries: int = 0
+    token_passes: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    recovery_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def failed_instances(self) -> int:
+        return self.instances - self.successful_phases
+
+    @property
+    def instances_per_phase(self) -> float:
+        """Instances per successful phase (1.0 fault-free); ``inf`` when
+        no phase ever succeeded -- consistent with
+        :attr:`repro.protosim.metrics.PhaseMetrics.instances_per_phase`."""
+        if self.successful_phases == 0:
+            return inf
+        return self.instances / self.successful_phases
+
+    @property
+    def messages_per_barrier(self) -> float:
+        if self.successful_phases == 0:
+            return inf
+        return self.messages_sent / self.successful_phases
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        if not self.recovery_latencies:
+            return nan
+        return sum(self.recovery_latencies) / len(self.recovery_latencies)
+
+    def render(self) -> str:
+        """Human-readable report (the ``trace-report`` CLI output)."""
+        lines = [
+            f"Trace summary: {self.events} events over {self.total_time:g} "
+            "virtual time units",
+            f"  instances (attempts)  : {self.instances}",
+            f"  successful phases     : {self.successful_phases}",
+            f"  failed instances      : {self.failed_instances}",
+            f"  instances per phase   : {self.instances_per_phase:.6g}",
+            f"  faults (detectable)   : {self.faults} ({self.detectable_faults})",
+            f"  detections            : {self.detections}",
+            f"  recoveries            : {self.recoveries}",
+            f"  mean recovery latency : {self.mean_recovery_latency:.6g}",
+            f"  token passes          : {self.token_passes}",
+            f"  messages sent / recv  : {self.messages_sent} / "
+            f"{self.messages_received}",
+            f"  messages per barrier  : {self.messages_per_barrier:.6g}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(events: Iterable[ObsEvent]) -> TraceSummary:
+    """Reduce ``events`` (any engine, any order-preserving source)."""
+    summary = TraceSummary()
+    pending_fault: float | None = None
+    for event in events:
+        summary.events += 1
+        if event.time > summary.total_time:
+            summary.total_time = event.time
+        kind = event.kind
+        if kind == PHASE_END:
+            summary.instances += 1
+            if event.data.get("success"):
+                summary.successful_phases += 1
+        elif kind == PHASE_START:
+            pass  # instances are counted at their end (open ones pending)
+        elif kind == FAULT:
+            summary.faults += 1
+            if event.data.get("detectable", True):
+                summary.detectable_faults += 1
+            if pending_fault is None:
+                pending_fault = event.time
+        elif kind == DETECT:
+            summary.detections += 1
+        elif kind == RECOVERY:
+            summary.recoveries += 1
+            latency = event.data.get("latency")
+            if latency is None and pending_fault is not None:
+                latency = event.time - pending_fault
+            if latency is not None:
+                summary.recovery_latencies.append(float(latency))
+            pending_fault = None
+        elif kind == TOKEN_PASS:
+            summary.token_passes += 1
+        elif kind == MSG_SEND:
+            summary.messages_sent += 1
+        elif kind == MSG_RECV:
+            summary.messages_received += 1
+    return summary

@@ -12,17 +12,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import inf, log
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
 
 @dataclass
 class DetectableFaultEnv:
-    """Exponential fault arrivals over ``nprocs`` processes."""
+    """Exponential fault arrivals over ``nprocs`` processes.
+
+    With a ``tracer``, the environment counts its arrival draws
+    (``faultenv.draws``) and victim picks (``faultenv.victims``) so a
+    trace records how much fault pressure a run was configured for --
+    the injection sites themselves emit the ``fault`` events.
+    """
 
     frequency: float
     nprocs: int
+    tracer: Any = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.frequency < 1.0:
@@ -47,6 +54,9 @@ class DetectableFaultEnv:
             t += rng.exponential(1.0 / rate)
             if t >= until:
                 return
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.incr("faultenv.draws")
+                self.tracer.incr("faultenv.victims")
             yield t, int(rng.integers(0, self.nprocs))
 
     def next_arrival(self, rng: np.random.Generator, now: float) -> float:
@@ -54,7 +64,11 @@ class DetectableFaultEnv:
         rate = self.rate
         if rate == 0.0:
             return inf
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.incr("faultenv.draws")
         return now + rng.exponential(1.0 / rate)
 
     def victim(self, rng: np.random.Generator) -> int:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.incr("faultenv.victims")
         return int(rng.integers(0, self.nprocs))

@@ -1,8 +1,16 @@
-"""Metrics extracted from the timed barrier simulations."""
+"""Metrics extracted from the timed barrier simulations.
+
+The aggregates are derivable from structured traces: an engine run with
+a :class:`repro.obs.Tracer` yields ``phase_start``/``phase_end`` events
+from which :func:`metrics_from_events` rebuilds the same
+:class:`PhaseMetrics` the engine computed natively -- the conformance
+property the test suite pins down to 1e-9.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 @dataclass(frozen=True)
@@ -45,10 +53,16 @@ class PhaseMetrics:
     @property
     def instances_per_phase(self) -> float:
         """The Figure 3/5 quantity: instances executed per successful
-        phase (1.0 when no faults occur)."""
+        phase (1.0 when no faults occur).
+
+        With zero successful phases the ratio is ``inf`` -- every
+        instance was "spent" without completing a phase -- and
+        consistently so whatever the instance count, matching
+        :attr:`repro.obs.summary.TraceSummary.instances_per_phase`.
+        """
         succ = self.successful_phases
         if succ == 0:
-            return float("nan")
+            return float("inf")
         return self.total_instances / succ
 
     @property
@@ -79,6 +93,39 @@ class PhaseMetrics:
     def mean_successful_duration(self) -> float:
         ok = [s.duration for s in self.instances if s.success]
         return sum(ok) / len(ok) if ok else float("nan")
+
+
+def metrics_from_events(events: Iterable) -> PhaseMetrics:
+    """Rebuild :class:`PhaseMetrics` from a structured trace.
+
+    Pairs each ``phase_end`` with the open ``phase_start`` (a trailing
+    start with no end -- a run stopped mid-instance -- is ignored,
+    exactly as the engines only record completed instances).
+    """
+    from repro.obs.events import PHASE_END, PHASE_START
+
+    metrics = PhaseMetrics()
+    open_start: float | None = None
+    last_time = 0.0
+    for event in events:
+        if event.time > last_time:
+            last_time = event.time
+        if event.kind == PHASE_START:
+            open_start = event.time
+        elif event.kind == PHASE_END:
+            if open_start is None:
+                continue  # end without a start: partial trace, skip
+            metrics.record(
+                InstanceStat(
+                    phase=int(event.data["phase"]),
+                    start=open_start,
+                    end=event.time,
+                    success=bool(event.data["success"]),
+                )
+            )
+            open_start = None
+    metrics.total_time = last_time
+    return metrics
 
 
 def overhead_vs_baseline(ft_time_per_phase: float, base_time_per_phase: float) -> float:

@@ -25,6 +25,7 @@ from statistics import mean
 import numpy as np
 
 from repro.barrier.control import CP
+from repro.obs.tracer import ensure_tracer
 from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
 from repro.topology.graphs import kary_tree
 
@@ -60,6 +61,7 @@ class RecoveryExperiment:
         early_abort: bool = False,
         stage1: str = "uniform",
         seed: int = 0,
+        tracer=None,
     ) -> None:
         if h < 1:
             raise ValueError("tree height must be >= 1")
@@ -74,6 +76,9 @@ class RecoveryExperiment:
         self.phase_values = phase_values
         self.early_abort = early_abort
         self.seed = seed
+        # Virtual time restarts at 0 each trial, so recovery events carry
+        # an explicit latency (the summarizer prefers it over pairing).
+        self.tracer = ensure_tracer(tracer)
         # The paper's process-count mapping: 32 processes <-> h = 5.
         self.nprocs = 2**h
         self.topology = kary_tree(self.nprocs, 2)
@@ -89,7 +94,9 @@ class RecoveryExperiment:
             early_abort=self.early_abort,
             seed=trial_seed,
         )
-        sim = FTTreeBarrierSim(topology=self.topology, config=config)
+        sim = FTTreeBarrierSim(
+            topology=self.topology, config=config, tracer=self.tracer
+        )
         rng = np.random.default_rng(trial_seed)
 
         # The undetectable fault: arbitrary state at every process.
@@ -100,6 +107,11 @@ class RecoveryExperiment:
                 node.work_end = rng.uniform(0.0, self.work_time)
             else:
                 node.work_end = -1.0
+        if self.tracer.enabled:
+            # The whole-system perturbation (pid None: no single victim).
+            self.tracer.fault(
+                0.0, None, detectable=False, trial_seed=trial_seed
+            )
 
         # The start state is observed by the root inside its
         # wave-completion callback (it immediately begins the next
@@ -127,14 +139,19 @@ class RecoveryExperiment:
         else:
             stage1 = 0.0
         if all_ready():
-            return stage1
+            return self._record_recovery(stage1, trial_seed)
         sim.sim.at(stage1, sim._root_step)
         sim.sim.run(stop=lambda: bool(recovered_at), max_events=2_000_000)
         if not recovered_at:  # pragma: no cover - protocol failure guard
             raise AssertionError(
                 f"no recovery: h={self.h} c={self.c} seed={trial_seed}"
             )
-        return recovered_at[0]
+        return self._record_recovery(recovered_at[0], trial_seed)
+
+    def _record_recovery(self, at: float, trial_seed: int) -> float:
+        if self.tracer.enabled:
+            self.tracer.recovery(at, 0, latency=at, trial_seed=trial_seed)
+        return at
 
     def run(self, trials: int = 50) -> RecoveryResult:
         result = RecoveryResult(self.h, self.c)

@@ -44,10 +44,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import inf
-from typing import Literal
+from typing import Any, Literal
 
 from repro.barrier.control import CP
 from repro.des.core import Simulation
+from repro.obs.tracer import ensure_tracer
 from repro.protosim.faultenv import DetectableFaultEnv
 from repro.protosim.metrics import InstanceStat, PhaseMetrics
 from repro.topology.graphs import Topology, kary_tree
@@ -110,6 +111,7 @@ class FTTreeBarrierSim:
         nprocs: int | None = None,
         arity: int = 2,
         config: SimConfig | None = None,
+        tracer: Any = None,
     ) -> None:
         if topology is None:
             if nprocs is None:
@@ -117,7 +119,8 @@ class FTTreeBarrierSim:
             topology = kary_tree(nprocs, arity)
         self.topology = topology
         self.config = config or SimConfig()
-        self.sim = Simulation(seed=self.config.seed)
+        self.tracer = ensure_tracer(tracer)
+        self.sim = Simulation(seed=self.config.seed, tracer=self.tracer)
         depth = topology.depth
         self.nodes = [_Node(pid, depth[pid]) for pid in range(topology.nprocs)]
         self.children = topology.children
@@ -147,13 +150,15 @@ class FTTreeBarrierSim:
 
         # Fault environments.
         self._fault_env = DetectableFaultEnv(
-            self.config.fault_frequency, topology.nprocs
+            self.config.fault_frequency, topology.nprocs, tracer=self.tracer
         )
         self._scramble_env = DetectableFaultEnv(
-            self.config.undetectable_frequency, topology.nprocs
+            self.config.undetectable_frequency, topology.nprocs, tracer=self.tracer
         )
         self.faults_injected = 0
         self.scrambles_injected = 0
+        # Earliest unrecovered fault time (for recovery-latency events).
+        self._fault_since: float | None = None
 
         #: Optional hook fired (with the virtual time) whenever the root
         #: observes a start state -- every process ready in one phase --
@@ -193,6 +198,10 @@ class FTTreeBarrierSim:
         node.state = CP.ERROR
         node.work_end = -1.0  # in-progress work is lost
         self.faults_injected += 1
+        if self.tracer.enabled:
+            self.tracer.fault(self.sim.now, victim)
+            if self._fault_since is None:
+                self._fault_since = self.sim.now
         self._schedule_next_fault()
 
     def _schedule_next_scramble(self) -> None:
@@ -218,6 +227,10 @@ class FTTreeBarrierSim:
             else -1.0
         )
         self.scrambles_injected += 1
+        if self.tracer.enabled:
+            self.tracer.fault(self.sim.now, victim, detectable=False)
+            if self._fault_since is None:
+                self._fault_since = self.sim.now
         if victim == 0:
             # A scrambled root may have dropped its driving obligation
             # (e.g. it was waiting for its own work); the token layer
@@ -237,6 +250,9 @@ class FTTreeBarrierSim:
         root = self.nodes[0]
         self._wave_id += 1
         self._wave_start = self.sim.now
+        if self.tracer.enabled:
+            # One circulation = one release of the token by the root.
+            self.tracer.token_pass(self.sim.now, 0, wave=self._wave_id)
         self._pending_finals = set(self.finals) - {0}
         self._final_done_max = self.sim.now
         if self.config.readback == "tree":
@@ -363,6 +379,8 @@ class FTTreeBarrierSim:
 
         if root.state is CP.ERROR or root.state is CP.REPEAT:
             # Recover: adopt a final's phase, pull everyone to ready.
+            if self.tracer.enabled:
+                self.tracer.detect(now, 0, where="root")
             self._abort_instance(now)
             root.phase = finals[0].phase
             root.state = CP.READY
@@ -380,6 +398,16 @@ class FTTreeBarrierSim:
                 ):
                     self.start_state_hook(now)
                 # Begin a new instance of the current phase.
+                if self.tracer.enabled:
+                    if self._fault_since is not None:
+                        # Back in a start state after faults: masking
+                        # completed, measure the latency (Figure 7's
+                        # quantity for the detectable classes).
+                        self.tracer.recovery(
+                            now, 0, latency=now - self._fault_since
+                        )
+                        self._fault_since = None
+                    self.tracer.phase_start(now, root.phase)
                 self._instance_start = now
                 self._instance_phase = root.phase
                 self._participants = {0}
@@ -397,6 +425,8 @@ class FTTreeBarrierSim:
                 for f in finals
             )
             if doomed and self.config.early_abort:
+                if self.tracer.enabled:
+                    self.tracer.detect(now, 0, where="execute-wave")
                 # The returning execute wave already carries repeat: the
                 # instance is doomed, so skip the phase work entirely and
                 # launch the repair circulation now.  Its READY carrier
@@ -422,6 +452,8 @@ class FTTreeBarrierSim:
                 self._complete_instance(now, success=True)
                 root.phase = (root.phase + 1) % self.config.nphases
             else:
+                if self.tracer.enabled:
+                    self.tracer.detect(now, 0, where="success-wave")
                 self._complete_instance(now, success=False)
                 # RB: ph.0 := ph.N; under detectable faults the finals'
                 # phase equals the root's, so keeping root.phase is the
@@ -458,6 +490,8 @@ class FTTreeBarrierSim:
             # when an undetectable fault forged protocol state (the
             # damage Lemma 4.1.4 bounds).
             self.incorrect_completions += 1
+        if self.tracer.enabled:
+            self.tracer.phase_end(now, self._instance_phase, success)
         self.stats.record(
             InstanceStat(
                 phase=self._instance_phase,

@@ -30,6 +30,7 @@ from typing import Any, Callable, Generator, Iterable, Sequence
 
 from repro.des.core import Simulation
 from repro.des.network import LinkFaults, Message, Network
+from repro.obs.tracer import ensure_tracer
 from repro.protosim.faultenv import DetectableFaultEnv
 from repro.simmpi.ftmodes import ERR_FAULT, SUCCESS, BarrierError, FTMode, JobAborted
 from repro.topology.graphs import Topology, kary_tree, ring
@@ -272,13 +273,15 @@ class Runtime:
         arity: int = 2,
         retransmit_interval: float | None = None,
         record_events: bool = False,
+        tracer: Any = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one rank")
         self.nprocs = nprocs
         self.latency = latency
         self.ft_mode = ft_mode
-        self.sim = Simulation(seed=seed)
+        self.tracer = ensure_tracer(tracer)
+        self.sim = Simulation(seed=seed, tracer=self.tracer)
         self.network = Network(self.sim, latency, link_faults)
         self.topology: Topology | None = (
             None
@@ -306,7 +309,9 @@ class Runtime:
         self._fuzzy_waiting: list[int | None] = [None] * nprocs
         self._releases: dict[int, tuple[str, Any, int]] = {}
         self._fault_flag = [False] * nprocs
-        self._fault_env = DetectableFaultEnv(fault_frequency, nprocs)
+        self._fault_env = DetectableFaultEnv(
+            fault_frequency, nprocs, tracer=self.tracer
+        )
         self._aborting = False
         self.record_events = record_events
         self.events: list[RankEvent] = []
@@ -511,6 +516,8 @@ class Runtime:
         self.stats.faults_injected += 1
         self._fault_flag[victim] = True
         self._event(victim, "fault")
+        if self.tracer.enabled:
+            self.tracer.fault(self.sim.now, victim)
         # The detectable reset: the rank's in-flight collective
         # aggregation state is lost (its own contribution survives in the
         # application-level call record, like data reconstructed from the
@@ -530,6 +537,9 @@ class Runtime:
             result = self._single_rank_result(call)
             cid = self._coll_count[rank]
             self._coll_count[rank] += 1
+            if self.tracer.enabled:
+                self.tracer.phase_start(self.sim.now, cid)
+                self.tracer.phase_end(self.sim.now, cid, True)
             if blocking:
                 self.sim.after(0.0, lambda: self._resume(rank, result))
             else:
@@ -556,6 +566,10 @@ class Runtime:
         )
         self._coll[rank] = state
         self._event(rank, "collective-enter", (cid, call.kind))
+        if rank == 0 and self.tracer.enabled:
+            # The root's entry opens the instance (attempt 0); retries
+            # open follow-up instances from _root_decide.
+            self.tracer.phase_start(self.sim.now, cid)
         if not blocking:
             self.sim.after(0.0, lambda: self._resume(rank, cid))
         release = self._releases.get(cid)
@@ -709,6 +723,9 @@ class Runtime:
     def _root_decide(self, state: _CollState) -> None:
         """Rank 0 holds the full aggregation: decide the outcome."""
         faulted = any(self._fault_flag)
+        tracer = self.tracer
+        if faulted and tracer.enabled:
+            tracer.detect(self.sim.now, 0, cid=state.cid)
         if faulted:
             if self.ft_mode is FTMode.ABORT:
                 self._throw_all(
@@ -720,6 +737,9 @@ class Runtime:
                 # flags and ask every rank to contribute again.
                 self.stats.instances_retried += 1
                 self._event(0, "retry", (state.cid, state.attempt + 1))
+                if tracer.enabled:
+                    tracer.phase_end(self.sim.now, state.cid, False)
+                    tracer.phase_start(self.sim.now, state.cid)
                 self._fault_flag = [False] * self.nprocs
                 state.attempt += 1
                 state.child_values.clear()
@@ -732,6 +752,14 @@ class Runtime:
             status = "error"
         else:
             status = "ok"
+        if tracer.enabled:
+            # The instance closes at the root's decision; an "error"
+            # release completes the call but not the barrier semantics.
+            tracer.phase_end(self.sim.now, state.cid, status == "ok")
+            if status == "ok" and state.attempt > 0:
+                # Earlier attempts of this instance were struck; the ok
+                # decision is the moment masking completed.
+                tracer.recovery(self.sim.now, 0, cid=state.cid)
         if state.kind in ("bcast", "scatter"):
             value = state.value  # collectives root is rank 0
         elif state.kind in self._DATA_KINDS:

@@ -17,6 +17,38 @@ def rng():
 
 
 @pytest.fixture
+def fault_schedule():
+    """Factory for seeded deterministic fault schedules.
+
+    Returns ``make(seed, count, nprocs, ...)`` producing a sorted list of
+    ``(when, pid)`` pairs -- virtual-time instants by default, or integer
+    step numbers with ``steps=True`` (for the untimed gc engines).  The
+    same ``(seed, count, nprocs)`` triple always yields the same
+    schedule, so a failure's parameters fully reproduce it.
+    """
+
+    def make(
+        seed: int,
+        count: int,
+        nprocs: int,
+        *,
+        start: float = 0.5,
+        stop: float = 15.0,
+        steps: bool = False,
+    ):
+        rng = np.random.default_rng(seed)
+        schedule = []
+        for _ in range(count):
+            when = rng.uniform(start, stop)
+            if steps:
+                when = int(when)
+            schedule.append((when, int(rng.integers(0, nprocs))))
+        return sorted(schedule)
+
+    return make
+
+
+@pytest.fixture
 def cb4():
     """CB with 4 processes, 3 phases."""
     return make_cb(4, 3)

@@ -7,7 +7,6 @@ back-to-back -- and require the TOLERATE mode to stay correct through
 every one of them.
 """
 
-import numpy as np
 import pytest
 
 from repro.des.network import LinkFaults
@@ -69,7 +68,7 @@ class TestTargetedTiming:
         results = rt.run(phases_worker(4))
         assert results == [expected(8, 4)] * 8
 
-    def test_faults_plus_message_loss(self):
+    def test_faults_plus_message_loss(self, fault_schedule):
         rt = Runtime(
             nprocs=8,
             latency=0.01,
@@ -77,8 +76,8 @@ class TestTargetedTiming:
             ft_mode=FTMode.TOLERATE,
             link_faults=LinkFaults(loss=0.1),
         )
-        for i in range(5):
-            rt.schedule_fault(1.0 + i * 1.1, rank=(3 * i) % 8)
+        for when, rank in fault_schedule(1, 5, 8, start=1.0, stop=6.0):
+            rt.schedule_fault(when, rank=rank)
         results = rt.run(phases_worker(6))
         assert results == [expected(8, 6)] * 8
 
@@ -107,10 +106,9 @@ class TestTargetedTiming:
 
 class TestFaultStorm:
     @pytest.mark.parametrize("seed", range(3))
-    def test_dense_random_storm(self, seed):
+    def test_dense_random_storm(self, seed, fault_schedule):
         """Dozens of deterministic strikes at random instants, on top of
         message loss: correctness must survive all of it."""
-        rng = np.random.default_rng(seed)
         rt = Runtime(
             nprocs=8,
             latency=0.01,
@@ -118,9 +116,7 @@ class TestFaultStorm:
             ft_mode=FTMode.TOLERATE,
             link_faults=LinkFaults(loss=0.03, duplication=0.03),
         )
-        for _ in range(30):
-            rt.schedule_fault(
-                float(rng.uniform(0.5, 15.0)), rank=int(rng.integers(0, 8))
-            )
+        for when, rank in fault_schedule(seed, 30, 8):
+            rt.schedule_fault(when, rank=rank)
         results = rt.run(phases_worker(10), max_events=20_000_000)
         assert results == [expected(8, 10)] * 8

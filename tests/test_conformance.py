@@ -1,0 +1,155 @@
+"""Cross-implementation conformance via structured traces.
+
+The paper gives four barrier programs -- CB (coarse grain), RB (token
+ring), RB' on trees, MB (message passing).  All four now emit the same
+trace schema through :class:`repro.obs.Tracer`, so one harness checks
+them uniformly:
+
+* fault-free, every implementation executes exactly one instance per
+  phase (``instances_per_phase == 1.0``), and all agree;
+* under the *same* seeded deterministic fault schedule, every
+  implementation masks the detectable faults -- it reaches the same
+  target count of successful phases with a safe trace -- and its
+  trace-derived phase count equals the specification oracle's.
+"""
+
+import pytest
+
+from repro.barrier.cb import cb_detectable_fault, make_cb
+from repro.barrier.mb import make_mb, mb_detectable_fault
+from repro.barrier.rb import make_rb, rb_detectable_fault
+from repro.barrier.spec import BarrierSpecChecker
+from repro.barrier.trees import make_rb_tree
+from repro.gc.faults import ScriptedInjector
+from repro.gc.scheduler import RoundRobinDaemon
+from repro.gc.simulator import Simulator
+from repro.obs import Tracer, summarize
+
+NPHASES = 3
+TARGET = 5  # successful phases each run must reach
+SEEDS = [101, 202, 303]
+
+IMPLS = {
+    "cb": (lambda n: make_cb(n, NPHASES), cb_detectable_fault),
+    "rb-ring": (lambda n: make_rb(n, nphases=NPHASES), rb_detectable_fault),
+    "rb-tree": (
+        lambda n: make_rb_tree(n, arity=2, nphases=NPHASES),
+        rb_detectable_fault,
+    ),
+    "mb": (lambda n: make_mb(n, nphases=NPHASES), mb_detectable_fault),
+}
+
+
+def run_impl(name, nprocs, schedule=None, seed=0):
+    """One traced run; stops once TARGET successful phases completed."""
+    factory, spec_factory = IMPLS[name]
+    program = factory(nprocs)
+    tracer = Tracer()
+    injector = None
+    if schedule is not None:
+        injector = ScriptedInjector(program, spec_factory(), schedule, seed=seed)
+    sim = Simulator(program, RoundRobinDaemon(), injector=injector, tracer=tracer)
+    result = sim.run(
+        max_steps=20_000,
+        stop=lambda s, _st: tracer.counters.get("obs.phases_successful", 0)
+        >= TARGET,
+    )
+    return program, result, tracer
+
+
+@pytest.mark.parametrize("nprocs", [3, 4, 5])
+class TestFaultFree:
+    def test_one_instance_per_phase_everywhere(self, nprocs):
+        ratios = {}
+        for name in IMPLS:
+            _prog, result, tracer = run_impl(name, nprocs)
+            assert result.reached, f"{name} n={nprocs} never reached {TARGET}"
+            s = summarize(tracer.events)
+            assert s.successful_phases == TARGET
+            assert s.faults == 0
+            ratios[name] = s.instances_per_phase
+        assert all(r == 1.0 for r in ratios.values()), ratios
+
+    def test_trace_agrees_with_spec_oracle(self, nprocs):
+        for name in IMPLS:
+            _prog, result, tracer = run_impl(name, nprocs)
+            report = BarrierSpecChecker(nprocs, NPHASES).check(result.trace)
+            assert report.safety_ok, f"{name} n={nprocs}"
+            assert (
+                summarize(tracer.events).successful_phases
+                == report.phases_completed
+            ), f"{name} n={nprocs}"
+
+
+@pytest.mark.parametrize("nprocs", [3, 4, 5])
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSeededFaultSchedules:
+    """The same deterministic (step, pid) schedule replayed against every
+    implementation: all must mask it."""
+
+    def schedule_for(self, fault_schedule, seed, nprocs):
+        # Step window [1, 30): inside every implementation's run even at
+        # n=3 (the fastest, CB, needs ~40 steps for TARGET phases), so
+        # the whole schedule always fires.
+        return fault_schedule(seed, 4, nprocs, start=1.0, stop=30.0, steps=True)
+
+    def test_all_implementations_mask_the_schedule(
+        self, fault_schedule, seed, nprocs
+    ):
+        schedule = self.schedule_for(fault_schedule, seed, nprocs)
+        successes = {}
+        for name in IMPLS:
+            _prog, result, tracer = run_impl(name, nprocs, schedule, seed=seed)
+            assert result.reached, (
+                f"{name} n={nprocs} seed={seed}: masking stalled "
+                f"(schedule={schedule})"
+            )
+            successes[name] = summarize(tracer.events).successful_phases
+        # Agreement on successful-phase counts: each run stops at the
+        # same target, so divergence here means some implementation
+        # failed to mask its faults.
+        assert len(set(successes.values())) == 1, successes
+        assert set(successes.values()) == {TARGET}
+
+    def test_traces_are_safe_and_match_the_oracle(
+        self, fault_schedule, seed, nprocs
+    ):
+        schedule = self.schedule_for(fault_schedule, seed, nprocs)
+        for name in IMPLS:
+            _prog, result, tracer = run_impl(name, nprocs, schedule, seed=seed)
+            report = BarrierSpecChecker(nprocs, NPHASES).check(result.trace)
+            assert report.safety_ok, f"{name} n={nprocs} seed={seed}"
+            s = summarize(tracer.events)
+            assert s.successful_phases == report.phases_completed, (
+                f"{name} n={nprocs} seed={seed}"
+            )
+            # The schedule fired deterministically and identically.
+            assert s.faults == len(schedule)
+            assert s.detectable_faults == len(schedule)
+
+
+def test_scripted_injector_is_deterministic():
+    prog = IMPLS["rb-ring"][0](4)
+    spec = rb_detectable_fault()
+    schedule = [(5, 1), (9, 3), (2, 0)]
+    a = ScriptedInjector(prog, spec, schedule, seed=7)
+    assert a.schedule == sorted(schedule)
+    assert not a.exhausted
+    state = prog.initial_state()
+    fired = list(a.maybe_inject(state, 6))
+    assert [(e.step, e.pid) for e in fired] == [(6, 0), (6, 1)]
+    assert all(e.is_fault for e in fired)
+    assert a.count == 2 and not a.exhausted
+    assert list(a.maybe_inject(state, 8)) == []
+    fired = list(a.maybe_inject(state, 9))
+    assert [(e.pid) for e in fired] == [3]
+    assert a.exhausted
+
+
+def test_scripted_injector_validates_schedule():
+    prog = IMPLS["cb"][0](3)
+    spec = cb_detectable_fault()
+    with pytest.raises(ValueError, match="bad pid"):
+        ScriptedInjector(prog, spec, [(1, 9)])
+    with pytest.raises(ValueError, match="negative step"):
+        ScriptedInjector(prog, spec, [(-1, 0)])

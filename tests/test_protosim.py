@@ -71,8 +71,17 @@ class TestMetrics:
 
     def test_empty(self):
         m = PhaseMetrics()
-        assert math.isnan(m.instances_per_phase)
+        assert math.isinf(m.instances_per_phase)
         assert m.mean_failed_duration() == 0.0
+
+    def test_no_successful_phase_is_inf(self):
+        # Whether zero or many instances ran, zero successes means the
+        # ratio is inf -- consistently with TraceSummary.
+        m = PhaseMetrics()
+        m.record(InstanceStat(0, 0.0, 1.0, False))
+        m.record(InstanceStat(0, 1.0, 2.0, False))
+        assert math.isinf(m.instances_per_phase)
+        assert m.instances_per_phase > 0
 
     def test_overhead_helper(self):
         assert overhead_vs_baseline(1.21, 1.1) == pytest.approx(0.1)

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.analysis.model import expected_instances
 from repro.barrier.rb import rb_detectable_fault
 from repro.barrier.spec import BarrierSpecChecker

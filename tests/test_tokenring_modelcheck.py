@@ -8,6 +8,8 @@ execution paths reach the legitimate set and stay there.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.barrier.tokenring import (
     make_token_ring,
     ring_legitimate_sn,

@@ -1,0 +1,69 @@
+"""Observability overhead benchmarks and the regression gate.
+
+Two roles:
+
+* under pytest, asserts the observability layer's perf contract -- the
+  NullTracer <5% hot-path budget and the deterministic quantities
+  against the committed ``BASELINE_obs.json``;
+* as a script (``python benchmarks/bench_overhead.py [--quick]``),
+  delegates to :mod:`repro.obs.regress`: runs the workloads, writes
+  ``BENCH_obs.json``, and exits non-zero if the gate fails.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import pytest
+
+from repro.obs import regress
+from repro.obs.regress import (
+    BASELINE_PATH,
+    CountingNullTracer,
+    compare,
+    load_json,
+    measure,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return measure(repeats=1, quick=True)
+
+
+def test_null_tracer_overhead_gate():
+    """With tracing off, the kernel makes ~zero tracer calls per step."""
+    counting = CountingNullTracer()
+    result = regress.run_kernel(counting)
+    calls_per_step = counting.calls / max(1, result["steps"])
+    assert calls_per_step <= regress.NULL_CALLS_PER_STEP_TOL, (
+        f"{calls_per_step:.3f} unguarded tracer calls per step -- a "
+        "recording call lost its 'if tracer.enabled:' guard"
+    )
+
+
+def test_gate_against_committed_baseline(report):
+    assert BASELINE_PATH.exists(), "benchmarks/BASELINE_obs.json missing"
+    gate = compare(report, load_json(BASELINE_PATH))
+    assert gate.ok, gate.render()
+
+
+def test_tracing_off_not_slower_than_on(report):
+    """Self-relative wall check: recording must cost something >= 0.
+
+    The limit is looser than the CLI default (1.5) because this runs a
+    single repeat per mode -- enough to catch NullTracer doing real
+    work, without flaking on scheduler noise.
+    """
+    gate = compare(report, report, wall_ratio_limit=3.0)
+    wall_checks = [c for c in gate.checks if "tracing_off_vs_on" in c.name]
+    assert wall_checks, "wall-ratio checks missing"
+    assert all(c.ok for c in wall_checks), gate.render()
+
+
+if __name__ == "__main__":
+    sys.exit(regress.main(sys.argv[1:]))

@@ -102,7 +102,15 @@ class Link:
         def _deliver(m: Message = msg) -> None:
             self.delivered += 1
             if tracer.enabled:
-                tracer.msg_recv(self.sim.now, m.src, m.dst, tag=m.tag)
+                # latency payload = the metrics layer's message-latency
+                # histogram observation point.
+                tracer.msg_recv(
+                    self.sim.now,
+                    m.src,
+                    m.dst,
+                    tag=m.tag,
+                    latency=self.sim.now - m.send_time,
+                )
             deliver(m)
 
         self.sim.after(delay, _deliver)
@@ -120,7 +128,13 @@ class Link:
             def _deliver_dup(m: Message = dup) -> None:
                 self.delivered += 1
                 if tracer.enabled:
-                    tracer.msg_recv(self.sim.now, m.src, m.dst, tag=m.tag)
+                    tracer.msg_recv(
+                        self.sim.now,
+                        m.src,
+                        m.dst,
+                        tag=m.tag,
+                        latency=self.sim.now - m.send_time,
+                    )
                 deliver(m)
 
             self.sim.after(delay + self.latency, _deliver_dup)

@@ -6,6 +6,8 @@
     repro-experiments fig5 --phases 500 --seed 7
     python -m repro.experiments fig7 --trials 50
     python -m repro.experiments trace-report runs/trace.jsonl
+    python -m repro.experiments metrics-report runs/trace.jsonl --format prom
+    python -m repro.experiments causal-report runs/trace.jsonl
 """
 
 from __future__ import annotations
@@ -15,6 +17,9 @@ import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+#: Subcommands that consume a JSONL trace instead of regenerating a figure.
+REPORT_COMMANDS = ("trace-report", "metrics-report", "causal-report")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,15 +32,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "trace-report"],
-        help="which table/figure to regenerate, or 'trace-report' to "
-        "summarize a JSONL trace",
+        choices=sorted(EXPERIMENTS) + ["all", *REPORT_COMMANDS],
+        help="which table/figure to regenerate, or one of the trace "
+        "reports (trace-report: summary; metrics-report: aggregated "
+        "metrics; causal-report: per-fault chains) over a JSONL trace",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
-        help="JSONL trace file (trace-report only)",
+        help="JSONL trace file (the *-report subcommands)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="metrics-report / causal-report output format "
+        "(prom = Prometheus text exposition; metrics-report only)",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument(
@@ -79,13 +92,54 @@ def trace_report(path: str) -> int:
     return 0
 
 
+def metrics_report(path: str, fmt: str = "text") -> int:
+    """Aggregate a JSONL trace into the metrics registry and export it."""
+    import json as _json
+
+    from repro.obs.jsonl import read_jsonl
+    from repro.obs.metrics import metrics_from_trace
+
+    registry = metrics_from_trace(read_jsonl(path))
+    if fmt == "json":
+        print(_json.dumps(registry.to_json(), indent=2, sort_keys=True))
+    elif fmt == "prom":
+        sys.stdout.write(registry.render_prometheus())
+    else:
+        print(registry.render())
+    return 0
+
+
+def causal_report_cmd(path: str, fmt: str = "text") -> int:
+    """Reconstruct per-fault causal chains from a JSONL trace."""
+    import json as _json
+
+    from repro.obs.causal import causal_report
+    from repro.obs.jsonl import read_jsonl
+
+    report = causal_report(read_jsonl(path))
+    if fmt == "json":
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.experiment == "trace-report":
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment in REPORT_COMMANDS:
         if args.path is None:
-            print("trace-report requires a JSONL trace path", file=sys.stderr)
-            return 2
-        return trace_report(args.path)
+            # A proper argparse error (usage + message, exit status 2)
+            # instead of the old unhelpful path-less crash.
+            parser.error(
+                f"{args.experiment} requires a JSONL trace path "
+                f"(usage: {parser.prog} {args.experiment} <trace.jsonl>)"
+            )
+        if args.experiment == "trace-report":
+            return trace_report(args.path)
+        if args.experiment == "metrics-report":
+            return metrics_report(args.path, args.format)
+        return causal_report_cmd(args.path, args.format)
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in targets:
         start = time.perf_counter()

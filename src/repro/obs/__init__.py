@@ -33,7 +33,23 @@ from repro.obs.events import (
     TOKEN_PASS,
     ObsEvent,
 )
+from repro.obs.causal import (
+    CausalReport,
+    FaultChain,
+    build_chains,
+    causal_report,
+)
 from repro.obs.jsonl import iter_jsonl, read_jsonl, write_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsObserver,
+    MetricsRegistry,
+    metrics_from_trace,
+    parse_prometheus_text,
+)
 from repro.obs.summary import TraceSummary, summarize
 from repro.obs.tracer import NULL_TRACER, NullTracer, ObsError, Tracer, ensure_tracer
 
@@ -69,4 +85,16 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "iter_jsonl",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "MetricsError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "metrics_from_trace",
+    "parse_prometheus_text",
+    "FaultChain",
+    "CausalReport",
+    "build_chains",
+    "causal_report",
 ]

@@ -9,17 +9,43 @@ greppable and ``jq``-able::
 
 Round trip is exact for JSON-representable payloads (the only payloads
 the engines emit: ints, floats, bools, strings, None).
+
+Non-finite floats (``inf`` recovery latencies from runs that never
+converged, ``nan`` placeholders) are *not* JSON-representable; bare
+``Infinity``/``NaN`` tokens would make the output unreadable to strict
+parsers (``jq``, browsers, other languages).  They are therefore written
+as the string sentinels ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"`` and
+decoded back to floats on read -- which reserves those three exact
+strings; engine payloads never legitimately contain them.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import IO, Any, Iterable, Iterator, Union
 
 from repro.obs.events import ObsEvent
 
 PathOrFile = Union[str, Path, IO[str]]
+
+#: String sentinels standing in for non-finite floats in the files.
+NONFINITE_SENTINELS = {"Infinity": math.inf, "-Infinity": -math.inf, "NaN": math.nan}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, str) and value in NONFINITE_SENTINELS:
+        return NONFINITE_SENTINELS[value]
+    return value
 
 
 def _opened(path_or_file: PathOrFile, mode: str):
@@ -35,7 +61,10 @@ def write_jsonl(events: Iterable[ObsEvent], path_or_file: PathOrFile) -> int:
     try:
         count = 0
         for event in events:
-            fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+            record = {k: _encode_value(v) for k, v in event.to_dict().items()}
+            # allow_nan=False: any non-finite float that slipped past the
+            # sentinel encoding is a bug, not a bare Infinity in the file.
+            fh.write(json.dumps(record, separators=(",", ":"), allow_nan=False))
             fh.write("\n")
             count += 1
         return count
@@ -56,7 +85,9 @@ def iter_jsonl(path_or_file: PathOrFile) -> Iterator[ObsEvent]:
                 record: Any = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(f"bad JSONL at line {lineno}: {exc}") from exc
-            yield ObsEvent.from_dict(record)
+            yield ObsEvent.from_dict(
+                {k: _decode_value(v) for k, v in record.items()}
+            )
     finally:
         if close:
             fh.close()

@@ -47,6 +47,7 @@ class BarrierPhaseObserver:
         if len(self._cp) != nprocs or len(self._ph) != nprocs:
             raise ValueError("initial cp/ph must have one entry per process")
         self._open_phase: int | None = None
+        self._open_since: float = 0.0
         self._executing: set[int] = set()
         self._participants: set[int] = set()
         self._completed: set[int] = set()
@@ -82,6 +83,7 @@ class BarrierPhaseObserver:
         if new_cp is CP.EXECUTE:
             if self._open_phase is None:
                 self._open_phase = self._ph[pid]
+                self._open_since = time
                 self._participants.clear()
                 self._completed.clear()
                 self.tracer.phase_start(time, self._open_phase, pid=pid)
@@ -93,7 +95,16 @@ class BarrierPhaseObserver:
                 self._completed.add(pid)
             if self._open_phase is not None and not self._executing:
                 success = len(self._completed) == self.nprocs
-                self.tracer.phase_end(time, self._open_phase, success, pid=pid)
+                # The duration payload (in daemon steps for the untimed
+                # engines) is the metrics layer's histogram observation
+                # point -- same key as the timed engines emit.
+                self.tracer.phase_end(
+                    time,
+                    self._open_phase,
+                    success,
+                    pid=pid,
+                    duration=time - self._open_since,
+                )
                 self.tracer.incr("obs.instances")
                 if success:
                     self.tracer.incr("obs.phases_successful")

@@ -1,0 +1,375 @@
+"""Perf-regression harness for the observability layer.
+
+Runs three seeded workloads -- the guarded-command kernel, the Figure 5
+timed tree-barrier sweep point, and the Figure 7 perturb-and-recover
+experiment -- and writes ``BENCH_obs.json``: wall-clock medians plus the
+runs' *deterministic* trace quantities and histogram quantiles (virtual
+time, hence machine-independent).  :func:`compare` gates a fresh report
+against the committed baseline (``benchmarks/BASELINE_obs.json``) with a
+configurable tolerance.
+
+Gating philosophy: wall-clock numbers are recorded for trajectory but
+never compared against the committed baseline (a different machine would
+make that meaningless).  The gates are
+
+- every deterministic quantity (event counts, instances per phase,
+  recovery-latency distribution quantiles) within ``rel_tol`` of the
+  baseline -- a semantic regression in any engine or in the reduction
+  pipeline trips this;
+- the **NullTracer overhead gate**: with tracing off, engines must make
+  (almost) *zero* calls into the tracer -- every recording call is
+  guarded by ``if tracer.enabled:``.  A counting NullTracer measures
+  unguarded calls per kernel step; the budget is ``calls_per_step <=
+  baseline + 0.05`` (the <5% hot-path budget).  Dropping a guard or
+  making NullTracer methods do work trips this deterministically;
+- optionally (``wall_ratio_limit``) the self-relative sanity check that
+  a run with tracing *off* is not slower than the same run recording --
+  compared within one process, so it is machine-independent too.
+
+CLI: ``python -m repro.obs.regress [--quick] [--out BENCH_obs.json]``
+(also reachable as ``python benchmarks/bench_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.causal import _quantile
+from repro.obs.metrics import metrics_from_trace
+from repro.obs.summary import summarize
+from repro.obs.tracer import NullTracer, Tracer
+
+#: Default artifact locations (repo root / benchmarks).
+BENCH_PATH = Path("BENCH_obs.json")
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "BASELINE_obs.json"
+
+#: The NullTracer budget: unguarded tracer calls per kernel step.
+NULL_CALLS_PER_STEP_TOL = 0.05
+
+
+class CountingNullTracer(NullTracer):
+    """A disabled tracer that counts how often it is *called* anyway.
+
+    Engines promise to guard every recording call with ``if
+    tracer.enabled:``; any call that reaches these methods is an
+    unguarded hot-path hit, which is exactly the overhead the <5% budget
+    bounds.  ``enabled`` stays False so guarded paths stay silent.
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def _count(self, *_args: Any, **_kwargs: Any) -> None:
+        self.calls += 1
+
+    emit = phase_start = phase_end = fault = detect = recovery = _count
+    token_pass = msg_send = msg_recv = incr = timer_start = _count
+
+    def timer_stop(self, name: str, time: float) -> float:
+        self.calls += 1
+        return 0.0
+
+
+# ---------------------------------------------------------------------------
+# Workloads (seeded; every quantity below is virtual-time deterministic)
+# ---------------------------------------------------------------------------
+
+def run_kernel(tracer: Any) -> dict[str, Any]:
+    """Guarded-command RB stepping (the substrate hot loop)."""
+    from repro.barrier.rb import make_rb
+    from repro.gc.scheduler import RoundRobinDaemon
+    from repro.gc.simulator import Simulator
+
+    prog = make_rb(16, nphases=4)
+    sim = Simulator(
+        prog, RoundRobinDaemon(tracer=tracer), tracer=tracer, record_trace=False
+    )
+    result = sim.run(max_steps=2_000)
+    return {"steps": result.steps}
+
+
+def run_fig5(tracer: Any) -> dict[str, Any]:
+    """One Figure 5 sweep point: timed tree barrier under faults."""
+    from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
+
+    sim = FTTreeBarrierSim(
+        nprocs=16,
+        config=SimConfig(latency=0.02, fault_frequency=0.1, seed=0),
+        tracer=tracer,
+    )
+    metrics = sim.run(phases=30)
+    return {"instances_per_phase": metrics.instances_per_phase}
+
+
+def run_fig7(tracer: Any) -> dict[str, Any]:
+    """The Figure 7 perturb-and-recover experiment."""
+    from repro.protosim.recovery import RecoveryExperiment
+
+    exp = RecoveryExperiment(h=3, c=0.02, seed=0, tracer=tracer)
+    result = exp.run(trials=8)
+    return {"mean_recovery_time": result.mean_time}
+
+
+WORKLOADS: dict[str, Callable[[Any], dict[str, Any]]] = {
+    "kernel": run_kernel,
+    "fig5": run_fig5,
+    "fig7": run_fig7,
+}
+
+
+def _deterministic(events: list, native: dict[str, Any]) -> dict[str, Any]:
+    s = summarize(events)
+    latencies = s.recovery_latencies
+    out = {
+        "events": s.events,
+        "instances": s.instances,
+        "successful_phases": s.successful_phases,
+        "faults": s.faults,
+        "detections": s.detections,
+        "recoveries": s.recoveries,
+        "token_passes": s.token_passes,
+        "messages_sent": s.messages_sent,
+        "recovery_latency_p50": _safe(_quantile(latencies, 0.5)),
+        "recovery_latency_p90": _safe(_quantile(latencies, 0.9)),
+    }
+    for key, value in native.items():
+        out[key] = _safe(value) if isinstance(value, float) else value
+    return out
+
+
+def _histogram_quantiles(events: list) -> dict[str, Any]:
+    registry = metrics_from_trace(events)
+    hist = registry["barrier_instance_duration"]
+    out: dict[str, Any] = {}
+    for result in ("success", "failed"):
+        if hist.count(result=result):
+            out[f"instance_duration_{result}_p50"] = round(
+                hist.quantile(0.5, result=result), 9
+            )
+            out[f"instance_duration_{result}_p90"] = round(
+                hist.quantile(0.9, result=result), 9
+            )
+    return out
+
+
+def _safe(value: Any) -> Any:
+    if isinstance(value, float) and not math.isfinite(value):
+        return None if math.isnan(value) else ("Infinity" if value > 0 else "-Infinity")
+    return value
+
+
+def measure(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
+    """Run every workload; build the BENCH_obs report dict."""
+    if quick:
+        repeats = max(1, min(repeats, 2))
+    report: dict[str, Any] = {"version": 1, "repeats": repeats, "workloads": {}}
+    for name, workload in WORKLOADS.items():
+        traced_times: list[float] = []
+        null_times: list[float] = []
+        events: list = []
+        native: dict[str, Any] = {}
+        for _ in range(repeats):
+            tracer = Tracer()
+            start = time.perf_counter()
+            native = workload(tracer)
+            traced_times.append(time.perf_counter() - start)
+            events = tracer.events
+        for _ in range(repeats):
+            start = time.perf_counter()
+            workload(None)
+            null_times.append(time.perf_counter() - start)
+        report["workloads"][name] = {
+            "wall": {
+                "median_s": statistics.median(traced_times),
+                "times_s": traced_times,
+                "null_median_s": statistics.median(null_times),
+                "null_times_s": null_times,
+            },
+            "deterministic": _deterministic(events, native),
+            "quantiles": _histogram_quantiles(events),
+        }
+    counting = CountingNullTracer()
+    kernel = run_kernel(counting)
+    steps = max(1, kernel["steps"])
+    report["null_tracer_gate"] = {
+        "calls": counting.calls,
+        "steps": steps,
+        "calls_per_step": counting.calls / steps,
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------------
+
+class GateCheck:
+    def __init__(self, name: str, ok: bool, detail: str) -> None:
+        self.name = name
+        self.ok = ok
+        self.detail = detail
+
+
+class GateResult:
+    """The outcome of one baseline comparison."""
+
+    def __init__(self, checks: list[GateCheck]) -> None:
+        self.checks = checks
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> list[GateCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def render(self) -> str:
+        lines = [
+            f"Regression gate: {len(self.checks)} checks, "
+            f"{len(self.failures)} failing"
+        ]
+        for check in self.checks:
+            mark = "ok  " if check.ok else "FAIL"
+            lines.append(f"  [{mark}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+
+def _close(current: Any, base: Any, rel_tol: float) -> bool:
+    if current is None or base is None or isinstance(base, str) or isinstance(
+        current, str
+    ):
+        return current == base
+    if isinstance(base, (int, float)):
+        return math.isclose(
+            float(current), float(base), rel_tol=rel_tol, abs_tol=1e-9
+        )
+    return current == base
+
+
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    rel_tol: float = 0.01,
+    null_tol: float = NULL_CALLS_PER_STEP_TOL,
+    wall_ratio_limit: float | None = None,
+) -> GateResult:
+    """Gate ``current`` against ``baseline`` (see module docstring)."""
+    checks: list[GateCheck] = []
+    for name, base_wl in baseline.get("workloads", {}).items():
+        cur_wl = current.get("workloads", {}).get(name)
+        if cur_wl is None:
+            checks.append(GateCheck(f"{name}", False, "workload missing"))
+            continue
+        for section in ("deterministic", "quantiles"):
+            for key, base_value in base_wl.get(section, {}).items():
+                cur_value = cur_wl.get(section, {}).get(key)
+                ok = _close(cur_value, base_value, rel_tol)
+                checks.append(
+                    GateCheck(
+                        f"{name}.{key}",
+                        ok,
+                        f"current={cur_value!r} baseline={base_value!r} "
+                        f"(rel_tol={rel_tol})",
+                    )
+                )
+        if wall_ratio_limit is not None:
+            wall = cur_wl.get("wall", {})
+            t_null = wall.get("null_median_s")
+            t_traced = wall.get("median_s")
+            if t_null is not None and t_traced:
+                ratio = t_null / t_traced
+                checks.append(
+                    GateCheck(
+                        f"{name}.tracing_off_vs_on",
+                        ratio <= wall_ratio_limit,
+                        f"off/on wall ratio {ratio:.3f} "
+                        f"(limit {wall_ratio_limit})",
+                    )
+                )
+    base_cps = baseline.get("null_tracer_gate", {}).get("calls_per_step", 0.0)
+    cur_cps = current.get("null_tracer_gate", {}).get("calls_per_step")
+    checks.append(
+        GateCheck(
+            "null_tracer.calls_per_step",
+            cur_cps is not None and cur_cps <= base_cps + null_tol,
+            f"current={cur_cps!r} budget={base_cps + null_tol:g} "
+            "(the <5% NullTracer overhead gate)",
+        )
+    )
+    return GateResult(checks)
+
+
+# ---------------------------------------------------------------------------
+# Files + CLI
+# ---------------------------------------------------------------------------
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="observability perf-regression harness",
+    )
+    parser.add_argument("--out", default=str(BENCH_PATH), help="report path")
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="committed baseline"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.01, help="relative gate tolerance"
+    )
+    parser.add_argument(
+        "--wall-ratio-limit",
+        type=float,
+        default=1.5,
+        help="max tracing-off/on wall ratio (0 disables the wall check)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=args.repeats, quick=args.quick)
+    out = write_report(report, args.out)
+    print(f"wrote {out}")
+    if args.update_baseline:
+        base = write_report(report, args.baseline)
+        print(f"baseline updated: {base}")
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run --update-baseline first")
+        return 1
+    gate = compare(
+        report,
+        load_json(baseline_path),
+        rel_tol=args.tolerance,
+        wall_ratio_limit=args.wall_ratio_limit or None,
+    )
+    print(gate.render())
+    return 0 if gate.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

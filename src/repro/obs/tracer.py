@@ -46,11 +46,18 @@ class NullTracer:
     def emit(self, kind: str, time: float, pid: int | None = None, **data: Any) -> None:
         pass
 
-    def phase_start(self, time: float, phase: int, pid: int | None = 0) -> None:
+    def phase_start(
+        self, time: float, phase: int, pid: int | None = 0, **data: Any
+    ) -> None:
         pass
 
     def phase_end(
-        self, time: float, phase: int, success: bool, pid: int | None = 0
+        self,
+        time: float,
+        phase: int,
+        success: bool,
+        pid: int | None = 0,
+        **data: Any,
     ) -> None:
         pass
 
@@ -70,10 +77,14 @@ class NullTracer:
     ) -> None:
         pass
 
-    def msg_send(self, time: float, src: int, dst: int, tag: int = 0) -> None:
+    def msg_send(
+        self, time: float, src: int, dst: int, tag: int = 0, **data: Any
+    ) -> None:
         pass
 
-    def msg_recv(self, time: float, src: int, dst: int, tag: int = 0) -> None:
+    def msg_recv(
+        self, time: float, src: int, dst: int, tag: int = 0, **data: Any
+    ) -> None:
         pass
 
     # -- counters / timers ---------------------------------------------
@@ -86,6 +97,16 @@ class NullTracer:
     def timer_stop(self, name: str, time: float) -> float:
         return 0.0
 
+    def timer_cancel(self, name: str) -> bool:
+        return False
+
+    # -- listeners ------------------------------------------------------
+    def subscribe(self, listener: Any) -> None:
+        pass
+
+    def unsubscribe(self, listener: Any) -> None:
+        pass
+
     # -- views ---------------------------------------------------------
     @property
     def events(self) -> list[ObsEvent]:
@@ -97,6 +118,10 @@ class NullTracer:
 
     @property
     def timers(self) -> dict[str, tuple[float, int]]:
+        return {}
+
+    @property
+    def open_timers(self) -> dict[str, float]:
         return {}
 
 
@@ -120,19 +145,32 @@ class Tracer(NullTracer):
         #: name -> (accumulated elapsed, stop count)
         self._timers: dict[str, tuple[float, int]] = {}
         self._timer_open: dict[str, float] = {}
+        #: live subscribers, each called with every emitted ObsEvent
+        self._listeners: list[Any] = []
 
     # -- events --------------------------------------------------------
     def emit(self, kind: str, time: float, pid: int | None = None, **data: Any) -> None:
         """Record one event (``kind`` must be a known event kind)."""
-        self._events.append(ObsEvent(kind=kind, time=time, pid=pid, data=data))
+        event = ObsEvent(kind=kind, time=time, pid=pid, data=data)
+        self._events.append(event)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(event)
 
-    def phase_start(self, time: float, phase: int, pid: int | None = 0) -> None:
-        self.emit(PHASE_START, time, pid, phase=phase)
+    def phase_start(
+        self, time: float, phase: int, pid: int | None = 0, **data: Any
+    ) -> None:
+        self.emit(PHASE_START, time, pid, phase=phase, **data)
 
     def phase_end(
-        self, time: float, phase: int, success: bool, pid: int | None = 0
+        self,
+        time: float,
+        phase: int,
+        success: bool,
+        pid: int | None = 0,
+        **data: Any,
     ) -> None:
-        self.emit(PHASE_END, time, pid, phase=phase, success=bool(success))
+        self.emit(PHASE_END, time, pid, phase=phase, success=bool(success), **data)
 
     def fault(
         self, time: float, pid: int | None, detectable: bool = True, **data: Any
@@ -152,11 +190,15 @@ class Tracer(NullTracer):
             data["dst"] = dst
         self.emit(TOKEN_PASS, time, src, **data)
 
-    def msg_send(self, time: float, src: int, dst: int, tag: int = 0) -> None:
-        self.emit(MSG_SEND, time, src, dst=dst, tag=tag)
+    def msg_send(
+        self, time: float, src: int, dst: int, tag: int = 0, **data: Any
+    ) -> None:
+        self.emit(MSG_SEND, time, src, dst=dst, tag=tag, **data)
 
-    def msg_recv(self, time: float, src: int, dst: int, tag: int = 0) -> None:
-        self.emit(MSG_RECV, time, dst, src=src, tag=tag)
+    def msg_recv(
+        self, time: float, src: int, dst: int, tag: int = 0, **data: Any
+    ) -> None:
+        self.emit(MSG_RECV, time, dst, src=src, tag=tag, **data)
 
     # -- counters ------------------------------------------------------
     def incr(self, name: str, amount: int | float = 1) -> None:
@@ -182,6 +224,20 @@ class Tracer(NullTracer):
         self._timers[name] = (total + elapsed, count + 1)
         return elapsed
 
+    def timer_cancel(self, name: str) -> bool:
+        """Discard a running timer without recording it (e.g. a wave
+        superseded by recovery).  Returns whether it was open."""
+        return self._timer_open.pop(name, None) is not None
+
+    # -- listeners ------------------------------------------------------
+    def subscribe(self, listener: Any) -> None:
+        """Call ``listener(event)`` for every event emitted from now on
+        (the live wiring for :class:`repro.obs.metrics.MetricsObserver`)."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Any) -> None:
+        self._listeners.remove(listener)
+
     # -- views ---------------------------------------------------------
     @property
     def events(self) -> list[ObsEvent]:
@@ -195,6 +251,14 @@ class Tracer(NullTracer):
     def timers(self) -> dict[str, tuple[float, int]]:
         """``{name: (accumulated elapsed, stop count)}``."""
         return self._timers
+
+    @property
+    def open_timers(self) -> dict[str, float]:
+        """Timers started but not yet stopped: ``{name: start time}``.
+
+        Anything still here at end of run was silently unaccounted
+        before; :meth:`TraceSummary.render` now lists these names."""
+        return dict(self._timer_open)
 
     # -- export --------------------------------------------------------
     def dump_jsonl(self, path: Any) -> int:

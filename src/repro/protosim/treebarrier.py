@@ -491,7 +491,14 @@ class FTTreeBarrierSim:
             # damage Lemma 4.1.4 bounds).
             self.incorrect_completions += 1
         if self.tracer.enabled:
-            self.tracer.phase_end(now, self._instance_phase, success)
+            # The duration payload is the histogram observation point for
+            # the metrics layer (instance-duration distribution, Fig 5/6).
+            self.tracer.phase_end(
+                now,
+                self._instance_phase,
+                success,
+                duration=now - self._instance_start,
+            )
         self.stats.record(
             InstanceStat(
                 phase=self._instance_phase,

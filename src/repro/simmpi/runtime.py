@@ -235,6 +235,9 @@ class _CollState:
     sent_up: bool = False
     attempt: int = 0
     blocking: bool = True  # False for fuzzy (enter/wait) barriers
+    #: Start of the current attempt (= entered_at until a retry opens a
+    #: fresh instance); the root stamps phase_end durations from it.
+    attempt_started: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -539,7 +542,7 @@ class Runtime:
             self._coll_count[rank] += 1
             if self.tracer.enabled:
                 self.tracer.phase_start(self.sim.now, cid)
-                self.tracer.phase_end(self.sim.now, cid, True)
+                self.tracer.phase_end(self.sim.now, cid, True, duration=0.0)
             if blocking:
                 self.sim.after(0.0, lambda: self._resume(rank, result))
             else:
@@ -563,6 +566,7 @@ class Runtime:
             value=value,
             entered_at=self.sim.now,
             blocking=blocking,
+            attempt_started=self.sim.now,
         )
         self._coll[rank] = state
         self._event(rank, "collective-enter", (cid, call.kind))
@@ -738,8 +742,14 @@ class Runtime:
                 self.stats.instances_retried += 1
                 self._event(0, "retry", (state.cid, state.attempt + 1))
                 if tracer.enabled:
-                    tracer.phase_end(self.sim.now, state.cid, False)
+                    tracer.phase_end(
+                        self.sim.now,
+                        state.cid,
+                        False,
+                        duration=self.sim.now - state.attempt_started,
+                    )
                     tracer.phase_start(self.sim.now, state.cid)
+                state.attempt_started = self.sim.now
                 self._fault_flag = [False] * self.nprocs
                 state.attempt += 1
                 state.child_values.clear()
@@ -755,7 +765,12 @@ class Runtime:
         if tracer.enabled:
             # The instance closes at the root's decision; an "error"
             # release completes the call but not the barrier semantics.
-            tracer.phase_end(self.sim.now, state.cid, status == "ok")
+            tracer.phase_end(
+                self.sim.now,
+                state.cid,
+                status == "ok",
+                duration=self.sim.now - state.attempt_started,
+            )
             if status == "ok" and state.attempt > 0:
                 # Earlier attempts of this instance were struck; the ok
                 # decision is the moment masking completed.

@@ -11,7 +11,12 @@ from repro.viz.timeline import (
     render_topology,
     state_glyphs,
 )
-from repro.viz.chart import ascii_chart, sparkline
+from repro.viz.chart import (
+    ascii_chart,
+    ascii_histogram,
+    ascii_histogram_of,
+    sparkline,
+)
 
 __all__ = [
     "render_state",
@@ -19,5 +24,7 @@ __all__ = [
     "render_topology",
     "state_glyphs",
     "ascii_chart",
+    "ascii_histogram",
+    "ascii_histogram_of",
     "sparkline",
 ]

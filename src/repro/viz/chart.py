@@ -7,9 +7,61 @@ the ground truth.
 
 from __future__ import annotations
 
+from math import inf, isfinite
 from typing import Mapping, Sequence
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_histogram(
+    bounds: Sequence[float], counts: Sequence[int], width: int = 40
+) -> str:
+    """Horizontal-bar rendering of a fixed-bucket histogram.
+
+    ``bounds`` are the buckets' upper bounds (the last may be ``inf``),
+    ``counts`` the per-bucket (non-cumulative) counts.  Empty trailing
+    buckets are elided so sparse distributions stay short.
+    """
+    if len(bounds) != len(counts):
+        raise ValueError("bounds and counts length mismatch")
+    if not bounds:
+        return "(empty histogram)"
+    last = max(
+        (i for i, n in enumerate(counts) if n), default=-1
+    )
+    if last < 0:
+        return "(no observations)"
+    shown_bounds = bounds[: last + 1]
+    shown_counts = counts[: last + 1]
+    peak = max(shown_counts)
+    labels = [
+        "<= " + ("+Inf" if b == inf else f"{b:g}") for b in shown_bounds
+    ]
+    label_w = max(len(lab) for lab in labels)
+    lines = []
+    for lab, n in zip(labels, shown_counts):
+        bar = "#" * (round(n / peak * width) if peak else 0)
+        lines.append(f"{lab:>{label_w}} | {bar}{' ' if bar else ''}{n}")
+    return "\n".join(lines)
+
+
+def ascii_histogram_of(
+    values: Sequence[float], bins: int = 8, width: int = 40
+) -> str:
+    """Equal-width-bin histogram of raw ``values`` (non-finite dropped)."""
+    finite = [v for v in values if isfinite(v)]
+    if not finite:
+        return "(no observations)"
+    lo, hi = min(finite), max(finite)
+    if hi - lo < 1e-12:
+        return ascii_histogram([hi], [len(finite)], width)
+    step = (hi - lo) / bins
+    bounds = [lo + step * (i + 1) for i in range(bins)]
+    counts = [0] * bins
+    for v in finite:
+        idx = min(int((v - lo) / step), bins - 1)
+        counts[idx] += 1
+    return ascii_histogram(bounds, counts, width)
 
 
 def sparkline(values: Sequence[float]) -> str:

@@ -146,3 +146,57 @@ class TestRegistryAndCLI:
         assert cli_main(["fig7", "--trials", "3"]) == 0
         out = capsys.readouterr().out
         assert "3 perturb-and-recover trials" in out
+
+
+class TestReportSubcommandValidation:
+    """Argument validation for the trace-consuming subcommands."""
+
+    @pytest.mark.parametrize(
+        "subcommand", ["trace-report", "metrics-report", "causal-report"]
+    )
+    def test_missing_path_is_an_argparse_error(self, subcommand, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main([subcommand])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "requires a JSONL trace path" in err
+        assert "usage:" in err
+
+    def test_unknown_subcommand_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["fig99"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_format_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["metrics-report", "x.jsonl", "--format", "yaml"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        from repro.obs import Tracer
+        from repro.obs.jsonl import write_jsonl
+
+        t = Tracer()
+        t.phase_start(0.0, 0)
+        t.fault(0.5, 1)
+        t.recovery(1.0, 1)
+        t.phase_end(2.0, 0, True, duration=2.0)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(t.events, path)
+        return str(path)
+
+    def test_trace_report_happy_path(self, trace_path, capsys):
+        assert cli_main(["trace-report", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+
+    def test_metrics_report_happy_path(self, trace_path, capsys):
+        assert cli_main(["metrics-report", trace_path]) == 0
+        assert "barrier_events_total" in capsys.readouterr().out
+
+    def test_causal_report_happy_path(self, trace_path, capsys):
+        assert cli_main(["causal-report", trace_path]) == 0
+        assert "1 fault chains" in capsys.readouterr().out

@@ -107,6 +107,47 @@ class TestTracer:
         with pytest.raises(ObsError, match="before its start"):
             t.timer_stop("x", 0.5)
 
+    def test_open_timers_view(self):
+        t = Tracer()
+        t.timer_start("wave", 1.0)
+        t.timer_start("phase", 2.0)
+        t.timer_stop("phase", 3.0)
+        assert t.open_timers == {"wave": 1.0}
+        # The view is a copy: mutating it must not touch the tracer.
+        t.open_timers.clear()
+        assert t.open_timers == {"wave": 1.0}
+        assert NULL_TRACER.open_timers == {}
+
+    def test_timer_cancel_discards_without_recording(self):
+        t = Tracer()
+        t.timer_start("wave", 1.0)
+        assert t.timer_cancel("wave") is True
+        assert t.timer_cancel("wave") is False
+        assert t.open_timers == {} and t.timers == {}
+        t.timer_start("wave", 5.0)  # no "already running"
+        assert t.timer_stop("wave", 6.0) == pytest.approx(1.0)
+
+    def test_open_timers_surface_in_summary_render(self):
+        t = Tracer()
+        t.phase_start(0.0, 0)
+        t.timer_start("recovery.window", 0.5)
+        s = summarize(t.events, open_timers=t.open_timers)
+        assert s.open_timers == ("recovery.window",)
+        assert "open timers (leaked)  : recovery.window" in s.render()
+        # And absent when everything was stopped.
+        assert "open timers" not in summarize(t.events).render()
+
+    def test_subscribe_sees_every_event_live(self):
+        t = Tracer()
+        seen = []
+        t.subscribe(seen.append)
+        t.phase_start(0.0, 0)
+        t.fault(0.5, 2)
+        assert [e.kind for e in seen] == ["phase_start", "fault"]
+        t.unsubscribe(seen.append)
+        t.detect(0.6)
+        assert len(seen) == 2
+
     def test_from_events(self):
         evs = [ObsEvent(PHASE_START, 0.0, 0, {"phase": 0})]
         t = Tracer.from_events(evs)
@@ -178,6 +219,46 @@ class TestJsonl:
         with pytest.raises(ValueError, match="line 2"):
             read_jsonl(buf)
 
+    def test_nonfinite_payloads_round_trip_as_valid_json(self):
+        import json
+
+        t = Tracer()
+        t.recovery(1.0, 0, latency=math.inf)
+        t.recovery(2.0, 0, latency=-math.inf)
+        t.recovery(3.0, 0, latency=math.nan)
+        buf = io.StringIO()
+        write_jsonl(t.events, buf)
+        text = buf.getvalue()
+        # Strict JSON: a parser that rejects Infinity/NaN must accept it.
+        def no_constants(name):
+            raise AssertionError(f"bare non-finite token {name!r} in output")
+
+        for line in text.splitlines():
+            json.loads(line, parse_constant=no_constants)
+        events = read_jsonl(io.StringIO(text))
+        assert events[0].data["latency"] == math.inf
+        assert events[1].data["latency"] == -math.inf
+        assert math.isnan(events[2].data["latency"])
+
+    def test_summarize_and_metrics_survive_nonfinite_read_back(self):
+        from repro.obs import metrics_from_trace
+
+        t = Tracer()
+        t.fault(0.5, 1)
+        t.recovery(1.0, 1, latency=math.inf)
+        t.phase_start(1.0, 0)
+        t.phase_end(2.0, 0, True)
+        buf = io.StringIO()
+        write_jsonl(t.events, buf)
+        buf.seek(0)
+        events = read_jsonl(buf)
+        s = summarize(events)
+        assert s.recovery_latencies == [math.inf]
+        assert math.isinf(s.mean_recovery_latency)
+        registry = metrics_from_trace(events)  # inf latency is skipped
+        assert registry["barrier_recovery_latency"].count(klass="detectable") == 0
+        assert registry["barrier_phase_instances_total"].value(result="success") == 1
+
 
 class TestSummarize:
     def test_counts_and_ratios(self):
@@ -232,6 +313,38 @@ class TestSummarize:
         t.recovery(9.0, 0, latency=0.25)
         s = summarize(t.events)
         assert s.recovery_latencies == [0.25]
+
+    def test_overlapping_faults_attributed_per_pid(self):
+        # Regression: a single pending_fault scalar merged overlapping
+        # faults at different pids -- the second fault's latency was
+        # either wrong or dropped entirely.
+        t = Tracer()
+        t.fault(1.0, 2)
+        t.fault(1.2, 3)  # overlaps the pid-2 fault
+        t.recovery(1.5, 2)  # pid 2 recovers: pairs its own fault only
+        t.recovery(1.9, 3)  # pid 3 recovers its own, not pid 2's leftovers
+        s = summarize(t.events)
+        assert s.recovery_latencies == pytest.approx([0.5, 0.7])
+
+    def test_per_pid_fifo_within_one_pid(self):
+        t = Tracer()
+        t.fault(1.0, 2)
+        t.fault(2.0, 2)
+        t.recovery(2.5, 2)
+        t.recovery(3.0, 2)
+        s = summarize(t.events)
+        assert s.recovery_latencies == pytest.approx([1.5, 1.0])
+
+    def test_pidless_fault_resolved_by_global_recovery(self):
+        t = Tracer()
+        t.fault(1.0, None, detectable=False)  # whole-system perturbation
+        t.fault(1.5, 4)
+        t.recovery(2.0, 0)  # root recovery: earliest fault globally
+        s = summarize(t.events)
+        assert s.recovery_latencies == pytest.approx([1.0])
+        # ...and the episode cleared: a later recovery has nothing to pair.
+        t.recovery(9.0, 0)
+        assert summarize(t.events).recovery_latencies == pytest.approx([1.0])
 
     def test_render_mentions_the_paper_quantities(self):
         out = summarize([]).render()
@@ -437,8 +550,12 @@ class TestTraceReportCli:
             derived.instances_per_phase, abs=1e-9
         )
 
-    def test_missing_path_is_an_error(self, capsys):
+    def test_missing_path_is_an_argparse_error(self, capsys):
         from repro.experiments.cli import main as cli_main
 
-        assert cli_main(["trace-report"]) == 2
-        assert "requires" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["trace-report"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "requires a JSONL trace path" in err
+        assert "usage:" in err  # argparse usage, not a bare traceback

@@ -1,0 +1,178 @@
+"""The perf-regression harness: report structure, the baseline gate on
+an unmodified tree, and the NullTracer <5% overhead budget."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import regress
+from repro.obs.regress import (
+    BASELINE_PATH,
+    CountingNullTracer,
+    compare,
+    load_json,
+    measure,
+    run_kernel,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return measure(repeats=1, quick=True)
+
+
+class TestCountingNullTracer:
+    def test_stays_disabled_but_counts(self):
+        t = CountingNullTracer()
+        assert not t.enabled
+        t.emit("fault", 0.0, 1)
+        t.phase_start(0.0, 0)
+        t.incr("x")
+        assert t.timer_stop("t", 1.0) == 0.0
+        assert t.calls == 4
+
+    def test_kernel_makes_no_unguarded_calls(self):
+        t = CountingNullTracer()
+        result = run_kernel(t)
+        assert result["steps"] > 0
+        # Every hot-path recording call is guarded by tracer.enabled,
+        # so a disabled tracer must see (essentially) zero calls.
+        assert t.calls / result["steps"] <= regress.NULL_CALLS_PER_STEP_TOL
+
+
+class TestMeasure:
+    def test_report_structure(self, report):
+        assert report["version"] == 1
+        assert set(report["workloads"]) == {"kernel", "fig5", "fig7"}
+        for name, wl in report["workloads"].items():
+            assert wl["wall"]["median_s"] > 0
+            assert wl["deterministic"]["events"] > 0, name
+        for name in ("kernel", "fig5"):
+            assert report["workloads"][name]["deterministic"]["instances"] > 0
+        assert report["workloads"]["fig5"]["deterministic"][
+            "instances_per_phase"
+        ] >= 1.0
+        assert report["workloads"]["fig7"]["deterministic"]["recoveries"] > 0
+        gate = report["null_tracer_gate"]
+        assert gate["calls_per_step"] <= regress.NULL_CALLS_PER_STEP_TOL
+
+    def test_deterministic_sections_reproduce(self, report):
+        again = measure(repeats=1, quick=True)
+        for name in report["workloads"]:
+            assert (
+                again["workloads"][name]["deterministic"]
+                == report["workloads"][name]["deterministic"]
+            ), name
+            assert (
+                again["workloads"][name]["quantiles"]
+                == report["workloads"][name]["quantiles"]
+            ), name
+
+    def test_fig5_quantiles_present(self, report):
+        q = report["workloads"]["fig5"]["quantiles"]
+        assert "instance_duration_success_p50" in q
+        assert q["instance_duration_success_p50"] > 0
+
+    def test_report_round_trips_as_json(self, report, tmp_path):
+        path = write_report(report, tmp_path / "bench.json")
+        assert load_json(path) == json.loads(
+            json.dumps(report)
+        )
+
+
+class TestCompare:
+    def test_self_comparison_passes(self, report):
+        result = compare(report, copy.deepcopy(report))
+        assert result.ok, result.render()
+
+    def test_gate_passes_against_committed_baseline(self, report):
+        # The acceptance criterion: an unmodified tree passes the gate
+        # against the baseline committed in benchmarks/.
+        assert BASELINE_PATH.exists(), "benchmarks/BASELINE_obs.json missing"
+        result = compare(report, load_json(BASELINE_PATH))
+        assert result.ok, result.render()
+
+    def test_semantic_drift_trips_the_gate(self, report):
+        drifted = copy.deepcopy(report)
+        det = drifted["workloads"]["fig5"]["deterministic"]
+        det["instances_per_phase"] *= 1.10  # 10% drift >> 1% tolerance
+        result = compare(drifted, report)
+        assert not result.ok
+        assert any(
+            "fig5.instances_per_phase" in c.name for c in result.failures
+        )
+
+    def test_drift_within_tolerance_passes(self, report):
+        drifted = copy.deepcopy(report)
+        det = drifted["workloads"]["fig5"]["deterministic"]
+        det["instances_per_phase"] *= 1.001
+        assert compare(drifted, report, rel_tol=0.01).ok
+
+    def test_null_tracer_budget_trips(self, report):
+        noisy = copy.deepcopy(report)
+        noisy["null_tracer_gate"]["calls_per_step"] = 0.5
+        result = compare(noisy, report)
+        assert not result.ok
+        assert result.failures[-1].name == "null_tracer.calls_per_step"
+
+    def test_missing_workload_fails(self, report):
+        partial = copy.deepcopy(report)
+        del partial["workloads"]["fig7"]
+        result = compare(partial, report)
+        assert any(c.name == "fig7" and not c.ok for c in result.checks)
+
+    def test_wall_ratio_check_is_optional_and_self_relative(self, report):
+        # Disabled by default...
+        names = [c.name for c in compare(report, report).checks]
+        assert not any("tracing_off_vs_on" in n for n in names)
+        # ...and very permissive limits always pass (off should never be
+        # slower than on by orders of magnitude).
+        result = compare(report, report, wall_ratio_limit=100.0)
+        assert all(
+            c.ok for c in result.checks if "tracing_off_vs_on" in c.name
+        )
+
+    def test_render_lists_every_check(self, report):
+        result = compare(report, report)
+        text = result.render()
+        assert "0 failing" in text
+        assert "null_tracer.calls_per_step" in text
+
+
+class TestMain:
+    def test_update_baseline_then_gate(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_obs.json"
+        base = tmp_path / "BASELINE.json"
+        code = regress.main(
+            [
+                "--quick", "--repeats", "1",
+                "--out", str(out), "--baseline", str(base),
+                "--update-baseline",
+            ]
+        )
+        assert code == 0 and out.exists() and base.exists()
+        capsys.readouterr()
+        # A second identical run gates clean against that baseline
+        # (wall check disabled: single-repeat timings are too noisy).
+        code = regress.main(
+            [
+                "--quick", "--repeats", "1",
+                "--out", str(out), "--baseline", str(base),
+                "--wall-ratio-limit", "0",
+            ]
+        )
+        assert code == 0
+        assert "0 failing" in capsys.readouterr().out
+
+    def test_missing_baseline_is_an_error(self, tmp_path, capsys):
+        code = regress.main(
+            [
+                "--quick", "--repeats", "1",
+                "--out", str(tmp_path / "b.json"),
+                "--baseline", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 1
+        assert "--update-baseline" in capsys.readouterr().out

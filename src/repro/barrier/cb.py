@@ -142,6 +142,11 @@ def make_cb(nprocs: int, nphases: int = 2) -> Program:
         VariableDecl("cp", CB_CP_DOMAIN, CP.READY),
         VariableDecl("ph", IntRange(0, nphases - 1), 0),
     ]
+    # Every CB guard quantifies over all control positions (that is the
+    # coarse-grain barrier's deliberately strong atomicity), so each
+    # guard's read-set is the full cp vector -- the incremental daemons
+    # gain little on CB, but the declaration keeps it correct.
+    all_cp = frozenset(("cp", k) for k in range(nprocs))
     processes = []
     for j in range(nprocs):
         actions = (
@@ -149,10 +154,22 @@ def make_cb(nprocs: int, nphases: int = 2) -> Program:
             # between entering execute and completing the transition to
             # success, so the timed simulator charges the unit phase time
             # to the execute->success action.
-            Action("CB1", j, _cb1_guard, _cb1_stmt, kind="local"),
-            Action("CB2", j, _cb2_guard, _cb2_stmt, kind="compute"),
-            Action("CB3", j, _cb3_guard, _make_cb3_stmt(nphases), kind="local"),
-            Action("CB4", j, _cb4_guard, _make_cb4_stmt(nphases), kind="local"),
+            Action(
+                "CB1", j, _cb1_guard, _cb1_stmt, kind="local",
+                reads=all_cp, writes=frozenset(("cp",)),
+            ),
+            Action(
+                "CB2", j, _cb2_guard, _cb2_stmt, kind="compute",
+                reads=all_cp, writes=frozenset(("cp",)),
+            ),
+            Action(
+                "CB3", j, _cb3_guard, _make_cb3_stmt(nphases), kind="local",
+                reads=all_cp, writes=frozenset(("cp", "ph")),
+            ),
+            Action(
+                "CB4", j, _cb4_guard, _make_cb4_stmt(nphases), kind="local",
+                reads=all_cp, writes=frozenset(("cp", "ph")),
+            ),
         )
         processes.append(Process(j, actions))
 

@@ -203,21 +203,67 @@ def make_mb(nprocs: int, nphases: int = 2, l_domain: int | None = None) -> Progr
         pred = (j - 1) % nprocs
         succ = (j + 1) % nprocs
         actions: list[Action] = []
+        # MB's guards each touch at most two cells -- its own sn plus one
+        # local copy, or one neighbour's sn -- exactly the message-passing
+        # locality Section 5 refines towards; the declarations make MB
+        # the best case for incremental evaluation.
         if j == 0:
             g, s = _make_t1(domain, nphases)
-            actions.append(Action("T1", j, g, s, kind="local"))
-            actions.append(Action("T5", j, _t5_guard, _t5_stmt, kind="local"))
+            actions.append(
+                Action(
+                    "T1", j, g, s, kind="local",
+                    reads=frozenset([("lsn_prev", j), ("sn", j)]),
+                    writes=frozenset(("sn", "cp", "ph")),
+                )
+            )
+            actions.append(
+                Action(
+                    "T5", j, _t5_guard, _t5_stmt, kind="local",
+                    reads=frozenset([("sn", j)]),
+                    writes=frozenset(("sn",)),
+                )
+            )
         else:
             g, s = _make_t2()
-            actions.append(Action("T2", j, g, s, kind="local"))
+            actions.append(
+                Action(
+                    "T2", j, g, s, kind="local",
+                    reads=frozenset([("lsn_prev", j), ("sn", j)]),
+                    writes=frozenset(("sn", "cp", "ph")),
+                )
+            )
         if j == last:
-            actions.append(Action("T3", j, _t3_guard, _t3_stmt, kind="local"))
+            actions.append(
+                Action(
+                    "T3", j, _t3_guard, _t3_stmt, kind="local",
+                    reads=frozenset([("sn", j)]),
+                    writes=frozenset(("sn",)),
+                )
+            )
         else:
-            actions.append(Action("T4", j, _t4_guard, _t4_stmt, kind="local"))
+            actions.append(
+                Action(
+                    "T4", j, _t4_guard, _t4_stmt, kind="local",
+                    reads=frozenset([("sn", j), ("lsn_next", j)]),
+                    writes=frozenset(("sn",)),
+                )
+            )
             g, s = _make_cnext(succ)
-            actions.append(Action("CNEXT", j, g, s, kind="comm"))
+            actions.append(
+                Action(
+                    "CNEXT", j, g, s, kind="comm",
+                    reads=frozenset([("sn", succ), ("lsn_next", j)]),
+                    writes=frozenset(("lsn_next",)),
+                )
+            )
         g, s = _make_cprev(pred)
-        actions.append(Action("CPREV", j, g, s, kind="comm"))
+        actions.append(
+            Action(
+                "CPREV", j, g, s, kind="comm",
+                reads=frozenset([("sn", pred), ("lsn_prev", j)]),
+                writes=frozenset(("lsn_prev", "lph_prev", "lcp_prev")),
+            )
+        )
         processes.append(Process(j, tuple(actions)))
 
     def initial(program: Program) -> State:

@@ -151,13 +151,24 @@ def build_token_actions(
     t2_extra=None,
 ) -> list[Action]:
     """The token actions of process ``pid``, optionally with superposed
-    statements executed in parallel with T1/T2 (how RB is built)."""
+    statements executed in parallel with T1/T2 (how RB is built).
+
+    Every guard reads only sequence numbers, so the declared read-sets
+    stay valid under superposition: the extra statements write ``cp``
+    and ``ph``, which no token guard inspects.  The declarations are
+    what lets the incremental daemons skip guard re-evaluation for
+    processes far from the circulating token.
+    """
     actions: list[Action] = []
     is_final = pid in topology.finals
+    #: Superposed statements write the barrier variables as well.
+    extra_writes = frozenset(("cp", "ph"))
     if pid == 0:
         sn_stmt = make_t1_sn_stmt(topology, domain)
+        t1_writes = frozenset(("sn",))
         if t1_extra is not None:
             extra = t1_extra
+            t1_writes |= extra_writes
 
             def t1_stmt(view: StateView, _sn=sn_stmt, _x=extra):
                 return list(_sn(view)) + list(_x(view) or [])
@@ -168,13 +179,35 @@ def build_token_actions(
                 return _sn(view)
 
         actions.append(
-            Action("T1", 0, make_t1_guard(topology), t1_stmt, kind="comm")
+            Action(
+                "T1",
+                0,
+                make_t1_guard(topology),
+                t1_stmt,
+                kind="comm",
+                reads=frozenset(
+                    [("sn", 0)] + [("sn", f) for f in topology.finals]
+                ),
+                writes=t1_writes,
+            )
         )
-        actions.append(Action("T5", 0, _t5_guard, _t5_stmt, kind="local"))
+        actions.append(
+            Action(
+                "T5",
+                0,
+                _t5_guard,
+                _t5_stmt,
+                kind="local",
+                reads=frozenset([("sn", 0)]),
+                writes=frozenset(("sn",)),
+            )
+        )
     else:
         sn_stmt = make_t2_sn_stmt(topology, pid)
+        t2_writes = frozenset(("sn",))
         if t2_extra is not None:
             extra = t2_extra
+            t2_writes |= extra_writes
 
             def t2_stmt(view: StateView, _sn=sn_stmt, _x=extra):
                 return list(_sn(view)) + list(_x(view) or [])
@@ -185,13 +218,41 @@ def build_token_actions(
                 return _sn(view)
 
         actions.append(
-            Action("T2", pid, make_t2_guard(topology, pid), t2_stmt, kind="comm")
+            Action(
+                "T2",
+                pid,
+                make_t2_guard(topology, pid),
+                t2_stmt,
+                kind="comm",
+                reads=frozenset([("sn", pid), ("sn", topology.parent[pid])]),
+                writes=t2_writes,
+            )
         )
     if is_final:
-        actions.append(Action("T3", pid, _t3_guard, _t3_stmt, kind="local"))
+        actions.append(
+            Action(
+                "T3",
+                pid,
+                _t3_guard,
+                _t3_stmt,
+                kind="local",
+                reads=frozenset([("sn", pid)]),
+                writes=frozenset(("sn",)),
+            )
+        )
     else:
         actions.append(
-            Action("T4", pid, make_t4_guard(topology, pid), _t4_stmt, kind="comm")
+            Action(
+                "T4",
+                pid,
+                make_t4_guard(topology, pid),
+                _t4_stmt,
+                kind="comm",
+                reads=frozenset(
+                    [("sn", pid)] + [("sn", c) for c in topology.children[pid]]
+                ),
+                writes=frozenset(("sn",)),
+            )
         )
     return actions
 

@@ -23,15 +23,29 @@ from repro.obs.tracer import ensure_tracer
 
 @dataclass(order=True)
 class Event:
-    """One scheduled callback."""
+    """One scheduled callback.
+
+    ``cancel()`` is idempotent and safe at any point in the event's
+    life: before it runs (the event is skipped and stops counting as
+    pending), after it ran, or after it was already cancelled (both
+    no-ops).  Cancelled entries stay in the owning simulation's heap --
+    removal from the middle of a heap is O(n) -- and are skipped on pop;
+    the simulation compacts the heap once they outnumber live entries.
+    """
 
     time: float
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _sim: Any = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel(self)
+            self._sim = None
 
 
 class Simulation:
@@ -52,6 +66,14 @@ class Simulation:
         )
         self._streams: dict[str, np.random.Generator] = {}
         self.events_processed = 0
+        #: Cancelled events still sitting in the heap.  Tracked so
+        #: :attr:`pending` is O(1) (``len(heap) - cancelled``) instead
+        #: of an O(n) heap scan -- simulations poll it in stop
+        #: conditions, which made the old scan quadratic over a run.
+        #: Counting cancellations rather than live events keeps the
+        #: bookkeeping entirely on the (rare) cancel path; the hot
+        #: schedule/pop path pays nothing.
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     @property
@@ -80,7 +102,7 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule at {time} < now ({self._now})"
             )
-        event = Event(time, next(self._seq), callback)
+        event = Event(time, next(self._seq), callback, False, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -91,12 +113,27 @@ class Simulation:
         return self.at(self._now + delay, callback)
 
     # ------------------------------------------------------------------
+    def _note_cancel(self, event: Event) -> None:
+        """Called (once) by :meth:`Event.cancel` while still scheduled."""
+        self._cancelled += 1
+        # Compact once cancelled entries dominate: sift the survivors
+        # into a fresh heap (O(live)) instead of popping each corpse
+        # (O(n log n) spread over future steps, plus held memory).
+        if len(self._heap) > 64 and 2 * self._cancelled > len(self._heap):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
     def step(self) -> bool:
         """Process one event; return False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            # Detach before running: a late cancel() must not count
+            # toward the heap's cancelled entries once the event left it.
+            event._sim = None
             self._now = event.time
             event.callback()
             self.events_processed += 1
@@ -124,4 +161,5 @@ class Simulation:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Scheduled, not-yet-cancelled events (O(1))."""
+        return len(self._heap) - self._cancelled

@@ -68,7 +68,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render an ASCII chart of each figure's series",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation sweeps "
+        "(fig5/fig6/fig7/sensitivity); 1 = in-process serial. Results "
+        "are bit-identical at any job count",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed sweep-point cache directory; points "
+        "already present are loaded instead of re-simulated",
+    )
     return parser
+
+
+#: Experiments whose runners accept a SweepExecutor.
+SWEPT = ("fig5", "fig6", "fig7", "sensitivity")
 
 
 def _kwargs_for(exp_id: str, args: argparse.Namespace) -> dict:
@@ -79,6 +98,12 @@ def _kwargs_for(exp_id: str, args: argparse.Namespace) -> dict:
         kwargs["phases"] = args.phases
     if exp_id == "fig7" and args.trials is not None:
         kwargs["trials"] = args.trials
+    if exp_id in SWEPT and (args.jobs != 1 or args.cache_dir is not None):
+        from repro.experiments.sweep import SweepExecutor
+
+        kwargs["executor"] = SweepExecutor(
+            jobs=args.jobs, cache_dir=args.cache_dir
+        )
     return kwargs
 
 

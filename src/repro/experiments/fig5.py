@@ -11,10 +11,14 @@ from typing import Sequence
 
 from repro.analysis.model import expected_instances
 from repro.experiments.report import ExperimentResult
+from repro.experiments.sweep import SweepExecutor, run_grid
 from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
 
 DEFAULT_F = (0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1)
 DEFAULT_C = (0.0, 0.01, 0.05)
+
+#: Sweep-point reference for :class:`~repro.experiments.sweep.SweepExecutor`.
+POINT_FN = "repro.experiments.fig5:simulate_instances_per_phase"
 
 
 def simulate_instances_per_phase(
@@ -34,6 +38,7 @@ def run(
     c_values: Sequence[float] = DEFAULT_C,
     phases: int = 300,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig5",
@@ -46,12 +51,16 @@ def run(
         ],
         notes=[f"{phases} successful phases per point, seed={seed}"],
     )
-    for f in f_values:
-        sims = [
-            simulate_instances_per_phase(h, c, f, phases, seed) for c in c_values
-        ]
+    grid = [
+        dict(h=h, c=c, f=f, phases=phases, seed=seed)
+        for f in f_values
+        for c in c_values
+    ]
+    sims = run_grid(POINT_FN, grid, executor)
+    nc = len(c_values)
+    for i, f in enumerate(f_values):
         analytics = [expected_instances(h, c, f) for c in c_values]
-        result.add(f, *sims, *analytics)
+        result.add(f, *sims[i * nc : (i + 1) * nc], *analytics)
     from repro.analysis.model import instances_ci
 
     lo, hi = instances_ci(h, max(c_values), max(f_values), phases)

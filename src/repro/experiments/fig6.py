@@ -14,12 +14,15 @@ from typing import Sequence
 
 from repro.analysis.model import overhead as analytic_overhead
 from repro.experiments.report import ExperimentResult
+from repro.experiments.sweep import SweepExecutor, run_grid
 from repro.protosim.intolerant import IntolerantTreeBarrierSim
 from repro.protosim.metrics import overhead_vs_baseline
 from repro.protosim.treebarrier import FTTreeBarrierSim, SimConfig
 
 DEFAULT_C = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
 DEFAULT_F = (0.0, 0.01, 0.05)
+
+POINT_FN = "repro.experiments.fig6:simulate_overhead"
 
 
 def simulate_overhead(h: int, c: float, f: float, phases: int, seed: int) -> float:
@@ -41,6 +44,7 @@ def run(
     f_values: Sequence[float] = DEFAULT_F,
     phases: int = 300,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig6",
@@ -54,8 +58,14 @@ def run(
         ],
         notes=[f"{phases} successful phases per point, seed={seed}"],
     )
-    for c in c_values:
-        sims = [simulate_overhead(h, c, f, phases, seed) for f in f_values]
+    grid = [
+        dict(h=h, c=c, f=f, phases=phases, seed=seed)
+        for c in c_values
+        for f in f_values
+    ]
+    sims = run_grid(POINT_FN, grid, executor)
+    nf = len(f_values)
+    for i, c in enumerate(c_values):
         analytics = [analytic_overhead(h, c, f) for f in f_values]
-        result.add(c, *sims, *analytics)
+        result.add(c, *sims[i * nf : (i + 1) * nf], *analytics)
     return result

@@ -14,10 +14,17 @@ from typing import Sequence
 
 from repro.analysis.model import recovery_time_bound
 from repro.experiments.report import ExperimentResult
+from repro.experiments.sweep import SweepExecutor, run_grid
 from repro.protosim.recovery import RecoveryExperiment
 
 DEFAULT_C = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
 DEFAULT_H = (1, 2, 3, 4, 5, 6, 7)
+
+POINT_FN = "repro.experiments.fig7:simulate_recovery_mean"
+
+
+def simulate_recovery_mean(h: int, c: float, trials: int, seed: int) -> float:
+    return RecoveryExperiment(h=h, c=c, seed=seed).run(trials=trials).mean_time
 
 
 def run(
@@ -25,6 +32,7 @@ def run(
     c_values: Sequence[float] = DEFAULT_C,
     trials: int = 30,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig7",
@@ -40,12 +48,15 @@ def run(
             "analytical envelope: 5hc + work in progress",
         ],
     )
-    for c in c_values:
-        means = []
-        for h in h_values:
-            exp = RecoveryExperiment(h=h, c=c, seed=seed)
-            means.append(exp.run(trials=trials).mean_time)
-        result.add(c, *means)
+    grid = [
+        dict(h=h, c=c, trials=trials, seed=seed)
+        for c in c_values
+        for h in h_values
+    ]
+    means = run_grid(POINT_FN, grid, executor)
+    nh = len(h_values)
+    for i, c in enumerate(c_values):
+        result.add(c, *means[i * nh : (i + 1) * nh])
     result.notes.append(
         "5hc bounds at c=0.05: "
         + ", ".join(f"h={h}:{recovery_time_bound(h, 0.05):.2f}" for h in h_values)

@@ -94,6 +94,18 @@ class Action:
     the communication latency, "compute" actions cost the phase-execution
     time, "local" actions are free); ``duration`` optionally overrides the
     kind-based cost with a fixed value.
+
+    ``reads`` optionally declares the guard's read-set as a frozenset of
+    ``(variable, pid)`` cells.  Declaring it is a *purity contract*: the
+    guard's boolean value must be a deterministic function of exactly
+    those cells (no RNG draws, no reads outside the set).  The
+    incremental daemons use the declaration to skip re-evaluating guards
+    whose cells were untouched by the last step; an action with
+    ``reads=None`` is re-evaluated every step, which is always correct.
+    ``writes`` optionally declares the set of *variable names* the
+    statement may write (always at the owning pid, per the locality
+    discipline); it is advisory -- used by diagnostics and tests, not by
+    the daemons, which track the writes actually applied.
     """
 
     name: str
@@ -102,6 +114,8 @@ class Action:
     statement: Statement
     kind: str = field(default="local")
     duration: float | None = field(default=None)
+    reads: frozenset[tuple[str, int]] | None = field(default=None)
+    writes: frozenset[str] | None = field(default=None)
 
     def enabled(self, state: Any, rng: Any = None) -> bool:
         return bool(self.guard(StateView(state, self.pid, rng)))

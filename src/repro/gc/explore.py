@@ -16,33 +16,137 @@ and checking:
   - fairness-dependent convergence is sampled via
     :func:`repro.gc.properties.stabilization_profile` since weak fairness
     cannot be decided from the plain transition graph.
+
+Performance options (all off by default, all result-preserving):
+
+* ``compact_keys`` -- intern states as per-cell domain-index byte
+  strings (:class:`KeyCodec`) instead of nested tuples.  Byte keys hash
+  and compare several times faster and occupy a fraction of the memory,
+  which matters once graphs reach the 10^5..10^6 range.  The result's
+  key *type* changes (``bytes`` instead of ``tuple``), so it is opt-in;
+  ``ExplorationResult.state_of`` handles either.
+* successor memoization -- ``Explorer`` caches each expanded key's
+  successor keys, so repeated explorations over overlapping regions
+  (convergence checks from many fault-perturbed roots) skip
+  re-expansion.  Bounded by ``max_states`` entries; cleared with
+  :meth:`Explorer.clear_cache`.
+* ``workers`` -- expand each BFS level's frontier in a thread pool.
+  Successor lists are merged sequentially in frontier order afterwards,
+  so the resulting graph -- and the BFS layer order -- is identical to
+  the serial run.  Guard evaluation is pure Python, so this only pays
+  off when guards release the GIL; it is provided for completeness and
+  for larger deployments, not as the default path.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Callable, Iterable
+from typing import Callable, Hashable, Iterable
 
 from repro.gc.program import Program
 from repro.gc.state import State
 
 StatePredicate = Callable[[State], bool]
 
-Key = tuple
+#: A state key: ``State.key()`` tuples by default, ``bytes`` under
+#: ``compact_keys``.  Both are hashable and order-stable.
+Key = Hashable
+
+
+class KeyCodec:
+    """Bijective encoding of program states as compact byte strings.
+
+    Each ``(variable, pid)`` cell stores the *index* of its value within
+    the variable's declared domain, one byte per cell (two bytes for
+    domains larger than 256 values), variables in sorted-name order to
+    match :meth:`State.key`.  Encoding requires every variable's domain
+    to be enumerable and every reachable value to be in it -- which holds
+    for all programs built by this package, since domains validate
+    writes.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.nprocs = program.nprocs
+        self._names: list[str] = sorted(
+            decl.name for decl in program.declarations
+        )
+        by_name = {decl.name: decl for decl in program.declarations}
+        self._tables: list[dict] = []
+        self._values: list[tuple] = []
+        self.wide = False
+        for name in self._names:
+            values = tuple(by_name[name].domain.values())
+            if len(values) > 256:
+                self.wide = True
+            self._values.append(values)
+            self._tables.append({v: i for i, v in enumerate(values)})
+
+    def encode(self, state: State) -> bytes:
+        """Compact key of ``state`` (inverse of :meth:`decode`)."""
+        out = bytearray()
+        for name, table in zip(self._names, self._tables):
+            if self.wide:
+                for v in state.vector(name):
+                    out += table[v].to_bytes(2, "big")
+            else:
+                out += bytes(table[v] for v in state.vector(name))
+        return bytes(out)
+
+    def decode(self, key: bytes) -> State:
+        """Rebuild the :class:`State` a compact key encodes."""
+        n = self.nprocs
+        width = 2 if self.wide else 1
+        vectors: dict[str, list] = {}
+        offset = 0
+        for name, values in zip(self._names, self._values):
+            cells = []
+            for _ in range(n):
+                idx = int.from_bytes(key[offset : offset + width], "big")
+                cells.append(values[idx])
+                offset += width
+            vectors[name] = cells
+        return State(vectors, n)
 
 
 @dataclass
 class ExplorationResult:
-    """The transition graph over reachable states."""
+    """The transition graph over reachable states.
+
+    Semantics (identical whether or not the search was truncated):
+
+    * ``transitions`` has exactly one entry per key in :attr:`states`,
+      and that entry is the state's *complete* successor set -- an empty
+      set always means a genuinely silent state.
+    * Under truncation, successor sets may mention keys that are *not*
+      in :attr:`states`: states discovered after the ``max_states``
+      budget was exhausted.  Those dropped keys are collected in
+      :attr:`unexpanded` (empty iff not :attr:`truncated`); they are
+      decodable via :meth:`state_of` but have no successor information.
+      Closure checks therefore remain exact on truncated graphs, while
+      algorithms needing full reachability must refuse them (the
+      convergence checks below do).
+    """
 
     program: Program
     states: set[Key]
     transitions: dict[Key, set[Key]]
     truncated: bool = False
     initial: set[Key] = field(default_factory=set)
+    #: Keys discovered but dropped by the budget (empty unless
+    #: ``truncated``); never overlaps ``states``.
+    unexpanded: set[Key] = field(default_factory=set)
+    #: Codec used for ``bytes`` keys; ``None`` for tuple keys.
+    codec: KeyCodec | None = None
 
     def state_of(self, key: Key) -> State:
+        if isinstance(key, bytes):
+            if self.codec is None:
+                raise ValueError("bytes key but no codec on this result")
+            return self.codec.decode(key)
         return State.from_key(key, self.program.nprocs)
 
     def __len__(self) -> int:
@@ -50,11 +154,36 @@ class ExplorationResult:
 
 
 class Explorer:
-    """BFS exploration of a program's state space."""
+    """Breadth-first exploration of a program's state space.
 
-    def __init__(self, program: Program, max_states: int = 200_000) -> None:
+    ``compact_keys`` switches result keys from ``State.key()`` tuples to
+    interned :class:`KeyCodec` byte strings (see module docstring);
+    ``workers`` > 1 expands each BFS level in a thread pool.  Both
+    options produce the identical graph, modulo key representation.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_states: int = 200_000,
+        compact_keys: bool = False,
+        workers: int | None = None,
+    ) -> None:
         self.program = program
         self.max_states = max_states
+        self.compact_keys = compact_keys
+        self.workers = workers
+        self.codec = KeyCodec(program) if compact_keys else None
+        #: key -> tuple of (succ_key, succ_state-or-None); states are
+        #: kept only until first use to avoid holding the whole graph.
+        self._succ_memo: dict[Key, tuple[Key, ...]] = {}
+
+    def clear_cache(self) -> None:
+        """Drop the successor memo (after mutating the program, say)."""
+        self._succ_memo.clear()
+
+    def _key(self, state: State) -> Key:
+        return self.codec.encode(state) if self.codec else state.key()
 
     # ------------------------------------------------------------------
     def successors(self, state: State) -> list[State]:
@@ -77,32 +206,100 @@ class Explorer:
                 out.append(succ)
         return out
 
+    def _expand(self, state: State, key: Key) -> tuple[tuple[Key, State], ...]:
+        """Successors of ``key`` as (key, state) pairs, memoized.
+
+        On a memo hit the states are rebuilt from their keys only when
+        the caller actually needs them (i.e. when the key is new), which
+        the BFS below exploits.
+        """
+        cached = self._succ_memo.get(key)
+        if cached is not None:
+            return tuple((sk, None) for sk in cached)  # type: ignore[misc]
+        pairs = tuple((self._key(s), s) for s in self.successors(state))
+        if len(self._succ_memo) < self.max_states:
+            self._succ_memo[key] = tuple(sk for sk, _ in pairs)
+        return pairs
+
     # ------------------------------------------------------------------
     def reachable(self, roots: Iterable[State]) -> ExplorationResult:
-        """BFS from ``roots``; truncates at ``max_states``."""
-        frontier: list[State] = [s.snapshot() for s in roots]
-        initial = {s.key() for s in frontier}
+        """Breadth-first search from ``roots``.
+
+        States are expanded strictly in BFS layer order (all roots, then
+        all depth-1 states in discovery order, ...), so ``max_states``
+        truncation keeps a distance-bounded ball around the roots rather
+        than a depth-first sliver.  Runs with the same roots and budget
+        produce the identical graph regardless of ``workers``.
+        """
+        frontier: deque[tuple[Key, State]] = deque()
+        initial: set[Key] = set()
+        for s in roots:
+            snap = s.snapshot()
+            k = self._key(snap)
+            if k not in initial:
+                initial.add(k)
+                frontier.append((k, snap))
         seen: set[Key] = set(initial)
         transitions: dict[Key, set[Key]] = {}
         truncated = False
-        while frontier:
-            state = frontier.pop()
-            key = state.key()
-            succs = self.successors(state)
-            transitions[key] = {s.key() for s in succs}
-            for succ in succs:
-                skey = succ.key()
-                if skey not in seen:
-                    if len(seen) >= self.max_states:
-                        truncated = True
-                        continue
-                    seen.add(skey)
-                    frontier.append(succ)
-        # States that were enqueued but never expanded due to truncation
-        # still need a transitions entry for graph algorithms.
+        pool = (
+            ThreadPoolExecutor(max_workers=self.workers)
+            if self.workers and self.workers > 1
+            else None
+        )
+        try:
+            while frontier:
+                if pool is not None:
+                    level = list(frontier)
+                    frontier.clear()
+                    expanded = pool.map(
+                        lambda kv: self._expand(kv[1], kv[0]), level
+                    )
+                    batches = list(zip(level, expanded))
+                else:
+                    key, state = frontier.popleft()
+                    batches = [((key, state), self._expand(state, key))]
+                # Sequential merge in frontier order: determinism does
+                # not depend on thread completion order.
+                for (key, _state), pairs in batches:
+                    succs = set()
+                    for skey, sstate in pairs:
+                        succs.add(skey)
+                        if skey in seen:
+                            continue
+                        if len(seen) >= self.max_states:
+                            truncated = True
+                            continue
+                        seen.add(skey)
+                        if sstate is None:  # memo hit: rebuild lazily
+                            sstate = self.state_of(skey)
+                        frontier.append((skey, sstate))
+                    transitions[key] = succs
+        finally:
+            if pool is not None:
+                pool.shutdown()
         for key in seen:
             transitions.setdefault(key, set())
-        return ExplorationResult(self.program, seen, transitions, truncated, initial)
+        unexpanded: set[Key] = set()
+        if truncated:
+            for succs in transitions.values():
+                unexpanded.update(succs - seen)
+        return ExplorationResult(
+            self.program,
+            seen,
+            transitions,
+            truncated,
+            initial,
+            unexpanded,
+            self.codec,
+        )
+
+    def state_of(self, key: Key) -> State:
+        """Decode a key produced by this explorer."""
+        if isinstance(key, bytes):
+            assert self.codec is not None
+            return self.codec.decode(key)
+        return State.from_key(key, self.program.nprocs)
 
     def full_state_space(self) -> list[State]:
         """Every syntactically possible state (product of domains).

@@ -1,0 +1,258 @@
+"""Incremental guard evaluation.
+
+Every daemon step of the naive kind re-evaluates every guard of every
+process against the full state, although a step writes only a handful of
+cells.  When actions declare their guard read-sets
+(:attr:`repro.gc.actions.Action.reads`), enabledness can instead be
+maintained *incrementally*: keep a cached enabled/disabled flag per
+action, track the set of ``(variable, pid)`` cells written by the last
+step, and re-evaluate only the guards whose declared read-set intersects
+that dirty set.  Undeclared actions are re-evaluated every step, so the
+scheme is correctness-preserving by construction: declaring nothing
+degenerates to full evaluation.
+
+Writes made behind the daemon's back (fault injectors, tests poking the
+state) are detected through :attr:`repro.gc.state.State.version`: when
+the observed mutation count does not match what the index recorded after
+its own writes, the cache is discarded and every guard is re-evaluated.
+
+The declaration is a purity contract (see :class:`Action`): a declared
+guard must be a deterministic function of exactly its declared cells.
+:func:`observed_guard_reads` evaluates a guard under a recording view so
+tests can check declarations against actual behaviour.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Any
+
+from repro.gc.actions import Action, StateView
+from repro.gc.program import Program
+from repro.gc.state import State
+
+
+class EnabledIndex:
+    """Cached per-action enabledness with dirty-cell invalidation.
+
+    Protocol (driven by the daemons)::
+
+        flags = index.refresh(state, rng)   # start of step
+        ... fire actions, apply updates ...
+        index.note_writes(pid, updates)     # once per fired action
+        index.commit(state)                 # end of step
+
+    ``refresh`` returns a list of booleans aligned with
+    :attr:`actions` (the program's actions in declaration order).
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.actions: tuple[Action, ...] = tuple(program.actions())
+        n = len(self.actions)
+        # Per-process slices into the flat action list (declaration order).
+        by_pid: list[tuple[int, ...]] = []
+        i = 0
+        for proc in program.processes:
+            by_pid.append(tuple(range(i, i + len(proc.actions))))
+            i += len(proc.actions)
+        self.by_pid: tuple[tuple[int, ...], ...] = tuple(by_pid)
+        self.pid_of: tuple[int, ...] = tuple(
+            a.pid for a in self.actions
+        )
+        watchers: dict[tuple[str, int], list[int]] = {}
+        untracked: list[int] = []
+        for idx, action in enumerate(self.actions):
+            if action.reads is None:
+                untracked.append(idx)
+                continue
+            for cell in action.reads:
+                watchers.setdefault(cell, []).append(idx)
+        self.watchers: dict[tuple[str, int], tuple[int, ...]] = {
+            cell: tuple(ix) for cell, ix in watchers.items()
+        }
+        self.untracked: tuple[int, ...] = tuple(untracked)
+        #: True when at least one action declares a read-set -- without
+        #: any declarations the cache is pure overhead and daemons fall
+        #: back to plain full evaluation.
+        self.has_tracked = len(untracked) < n
+        self.flags: list[bool] = [False] * n
+        self._stale = bytearray(b"\x01" * n)
+        self._lazy_used = True
+        self._state: State | None = None
+        self._expected_version = -1
+        self._dirty: set[tuple[str, int]] = set()
+        #: Sorted indices of enabled actions, maintained across the
+        #: eager :meth:`refresh` fast path so daemons read the (small)
+        #: enabled set in O(#enabled) instead of scanning every flag.
+        #: ``None`` means "recompute on demand" (after rebuilds or lazy
+        #: :meth:`is_enabled` use, which mutate flags behind its back).
+        self._enabled: list[int] | None = None
+
+    def refresh(self, state: State, rng: Any = None) -> list[bool]:
+        """Bring the enabledness flags up to date with ``state``.
+
+        Guards are (re-)evaluated in declaration order, so any RNG
+        consumption by *undeclared* guards happens in the same order as
+        under full evaluation (declared guards must not draw).
+        """
+        actions = self.actions
+        flags = self.flags
+        stale_bits = self._stale
+        if state is not self._state or state.version != self._expected_version:
+            # First use, a different state object, or external writes:
+            # rebuild from scratch.
+            for idx, action in enumerate(actions):
+                flags[idx] = action.enabled(state, rng)
+            self._state = state
+            self._enabled = None
+        else:
+            stale = set(self.untracked)
+            watchers = self.watchers
+            for cell in self._dirty:
+                hit = watchers.get(cell)
+                if hit is not None:
+                    stale.update(hit)
+            if self._lazy_used:
+                # Entries left stale by earlier mark_stale()/is_enabled().
+                stale.update(
+                    idx for idx in range(len(stale_bits)) if stale_bits[idx]
+                )
+            enabled = self._enabled
+            for idx in sorted(stale):
+                new = actions[idx].enabled(state, rng)
+                if new != flags[idx]:
+                    flags[idx] = new
+                    if enabled is not None:
+                        if new:
+                            insort(enabled, idx)
+                        else:
+                            enabled.remove(idx)
+        if self._lazy_used:
+            stale_bits[:] = bytes(len(stale_bits))
+            self._lazy_used = False
+        self._dirty.clear()
+        self._expected_version = state.version
+        return flags
+
+    def mark_stale(self, state: State) -> None:
+        """Lazy counterpart of :meth:`refresh`: *mark* what the dirty set
+        invalidates instead of re-evaluating it, and let the caller pull
+        individual flags through :meth:`is_enabled`.
+
+        This is the right shape for scan-based daemons (round-robin)
+        that normally touch only one or two guards per step: eagerly
+        re-evaluating every watcher of a write would cost more than the
+        scan itself.  Entries never visited simply stay stale until a
+        scan reaches them.
+        """
+        stale = self._stale
+        self._lazy_used = True
+        if state is not self._state or state.version != self._expected_version:
+            for idx in range(len(stale)):
+                stale[idx] = 1
+            self._state = state
+        else:
+            for idx in self.untracked:
+                stale[idx] = 1
+            watchers = self.watchers
+            for cell in self._dirty:
+                hit = watchers.get(cell)
+                if hit is not None:
+                    for idx in hit:
+                        stale[idx] = 1
+        self._dirty.clear()
+        self._expected_version = state.version
+
+    def is_enabled(self, idx: int, state: State, rng: Any = None) -> bool:
+        """Cached enabledness of one action, re-evaluating iff stale."""
+        if self._stale[idx]:
+            self.flags[idx] = self.actions[idx].enabled(state, rng)
+            self._stale[idx] = 0
+            self._enabled = None
+        return self.flags[idx]
+
+    def enabled_slots(self) -> list[int]:
+        """Indices of enabled actions, in declaration order.
+
+        Valid only right after an eager :meth:`refresh`.  Maintained
+        incrementally across refreshes (a step typically toggles one or
+        two flags), recomputed in full only after rebuilds or lazy use.
+        The caller must not mutate the returned list.
+        """
+        enabled = self._enabled
+        if enabled is None:
+            self._enabled = enabled = [
+                idx for idx, on in enumerate(self.flags) if on
+            ]
+        return enabled
+
+    def note_writes(self, pid: int, updates: Any) -> None:
+        """Record the cells a fired action wrote (its dirty set)."""
+        dirty = self._dirty
+        for var, _value in updates:
+            dirty.add((var, pid))
+
+    def commit(self, state: State) -> None:
+        """Record the post-step version so own writes don't invalidate."""
+        self._expected_version = state.version
+
+
+class RecordingStateView(StateView):
+    """A :class:`StateView` that records every cell a guard reads.
+
+    ``vector`` and ``any_with`` touch the whole per-process vector, so
+    they record every pid's cell.  Used by tests to verify that declared
+    read-sets cover actual guard behaviour.
+    """
+
+    __slots__ = ("observed",)
+
+    def __init__(self, state: Any, pid: int, rng: Any = None) -> None:
+        super().__init__(state, pid, rng)
+        self.observed: set[tuple[str, int]] = set()
+
+    def my(self, var: str) -> Any:
+        self.observed.add((var, self.pid))
+        return super().my(var)
+
+    def of(self, var: str, pid: int) -> Any:
+        self.observed.add((var, pid))
+        return super().of(var, pid)
+
+    def vector(self, var: str) -> tuple:
+        self.observed.update((var, pid) for pid in range(self.nprocs))
+        return super().vector(var)
+
+    def any_with(self, var: str, value: Any) -> int | None:
+        self.observed.update((var, pid) for pid in range(self.nprocs))
+        return super().any_with(var, value)
+
+
+def observed_guard_reads(
+    action: Action, state: State, rng: Any = None
+) -> set[tuple[str, int]]:
+    """The cells ``action``'s guard actually reads in ``state``."""
+    view = RecordingStateView(state, action.pid, rng)
+    action.guard(view)
+    return view.observed
+
+
+def check_declared_reads(
+    program: Program, state: State
+) -> list[tuple[Action, set[tuple[str, int]]]]:
+    """Return actions whose guard read cells outside their declaration.
+
+    Each offending entry carries the undeclared cells observed in
+    ``state``.  An empty list means every declared read-set covered its
+    guard's behaviour *in this state* (run over many states for
+    confidence; guards may read data-dependently).
+    """
+    offenders: list[tuple[Action, set[tuple[str, int]]]] = []
+    for action in program.actions():
+        if action.reads is None:
+            continue
+        extra = observed_guard_reads(action, state) - set(action.reads)
+        if extra:
+            offenders.append((action, extra))
+    return offenders

@@ -16,13 +16,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class State:
-    """A mutable assignment of values to every ``(variable, pid)`` pair."""
+    """A mutable assignment of values to every ``(variable, pid)`` pair.
 
-    __slots__ = ("_vectors", "_nprocs")
+    Every mutation (``set`` or ``restore``) bumps :attr:`version`, a
+    monotonically increasing counter.  Consumers that cache derived
+    facts about a state (the incremental daemons cache guard
+    enabledness) compare versions to detect writes made behind their
+    back -- fault injectors, test harnesses poking variables -- and fall
+    back to full re-evaluation when the count does not match what they
+    last observed.
+    """
+
+    __slots__ = ("_vectors", "_nprocs", "_version")
 
     def __init__(self, vectors: Mapping[str, list], nprocs: int) -> None:
         self._vectors: dict[str, list] = {k: list(v) for k, v in vectors.items()}
         self._nprocs = nprocs
+        self._version = 0
         for name, vec in self._vectors.items():
             if len(vec) != nprocs:
                 raise ValueError(
@@ -40,6 +50,11 @@ class State:
     def variables(self) -> tuple[str, ...]:
         return tuple(self._vectors)
 
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every :meth:`set`/:meth:`restore`."""
+        return self._version
+
     def get(self, var: str, pid: int) -> Any:
         return self._vectors[var][pid]
 
@@ -50,6 +65,7 @@ class State:
         if not 0 <= pid < self._nprocs:
             raise IndexError(f"pid {pid} out of range 0..{self._nprocs - 1}")
         vec[pid] = value
+        self._version += 1
 
     def vector(self, var: str) -> tuple:
         """Return the whole per-process vector of ``var`` (as a tuple)."""
@@ -79,6 +95,7 @@ class State:
             raise ValueError("state shape mismatch in restore()")
         for name in self._vectors:
             self._vectors[name][:] = other._vectors[name]
+        self._version += 1
 
     def key(self) -> tuple:
         """A hashable, order-stable encoding of the full state."""

@@ -1,0 +1,435 @@
+"""Perf-regression harness for the computation layers.
+
+Three workload families, mirroring the three optimization layers:
+
+* **kernel** -- daemon stepping throughput on RB (ring of 8) and MB
+  (ring of 8), each daemon run twice: full guard evaluation
+  (``incremental=False``) and incremental.  Both runs must visit the
+  *identical* trace (checked via a digest of the final state), and the
+  within-run throughput ratio incremental/full is the speedup the
+  dirty-set machinery buys.
+* **explorer** -- exhaustive reachability over CB's full state product,
+  with tuple keys vs ``compact_keys``; both must agree on the state and
+  edge counts.
+* **sweep** -- a small Figure 5 grid through
+  :class:`~repro.experiments.sweep.SweepExecutor`: serial, parallel
+  (``jobs=4``) and warm-cache runs must merge to bit-identical rows,
+  and the warm-cache rerun must beat the cold run by the gated factor.
+
+Gating philosophy (same as :mod:`repro.obs.regress`): wall-clock
+numbers are *recorded* but never compared against the committed
+baseline -- machines differ.  What is gated:
+
+* every deterministic quantity (step/fired counts, state digests,
+  state-space sizes, merged-row digests) must match the baseline
+  exactly -- the optimizations must not change semantics;
+* within-run ratios, which are machine-independent because both sides
+  ran in this process:
+
+  - the best incremental daemon on the RB n=8 kernel is >=
+    :data:`RB8_HEADLINE_SPEEDUP` x full evaluation;
+  - eager incremental daemons (randomfair, maxpar) are never slower
+    than full evaluation (ratio >= :data:`EAGER_MIN_RATIO`);
+  - the adaptive round-robin daemon costs at most a bounded counting
+    overhead on scan-friendly programs (ratio >=
+    :data:`ADAPTIVE_MIN_RATIO`) and must win on MB where it engages;
+  - the warm sweep cache is >= :data:`WARM_CACHE_SPEEDUP` x faster
+    than the cold run, and serial/parallel/cached merges are
+    bit-identical.
+
+CLI: ``python -m repro.perf.bench [--quick] [--update-baseline]``.
+``--quick`` only reduces timing repeats -- deterministic quantities are
+computed from fixed step counts, so quick and full reports gate against
+the same baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.regress import (
+    GateCheck,
+    GateResult,
+    load_json,
+    write_report,
+)
+
+BENCH_PATH = Path("BENCH_perf.json")
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "BASELINE_perf.json"
+)
+
+#: Within-run ratio gates (see module docstring).
+RB8_HEADLINE_SPEEDUP = 1.5
+EAGER_MIN_RATIO = 1.0
+ADAPTIVE_MIN_RATIO = 0.7
+MB8_ROUNDROBIN_MIN_RATIO = 1.2
+WARM_CACHE_SPEEDUP = 2.0
+
+#: Kernel steps per measured run (identical in --quick mode: the
+#: deterministic quantities must not depend on the mode).
+KERNEL_STEPS = 12_000
+
+
+# ---------------------------------------------------------------------------
+# Workload definitions
+# ---------------------------------------------------------------------------
+
+def _make_rb8():
+    from repro.barrier.rb import make_rb
+
+    return make_rb(8, nphases=4)
+
+
+def _make_mb8():
+    from repro.barrier.mb import make_mb
+
+    return make_mb(8)
+
+
+KERNEL_PROGRAMS: dict[str, Callable[[], Any]] = {
+    "rb8": _make_rb8,
+    "mb8": _make_mb8,
+}
+
+
+def _make_daemon(name: str, incremental: bool):
+    from repro.gc.scheduler import (
+        MaximalParallelDaemon,
+        RandomFairDaemon,
+        RoundRobinDaemon,
+    )
+
+    if name == "roundrobin":
+        return RoundRobinDaemon(incremental=incremental)
+    if name == "randomfair":
+        return RandomFairDaemon(seed=11, incremental=incremental)
+    if name == "maxpar":
+        return MaximalParallelDaemon(
+            seed=11, random_choice=True, incremental=incremental
+        )
+    raise ValueError(name)
+
+
+KERNEL_DAEMONS = ("roundrobin", "randomfair", "maxpar")
+
+
+def _state_digest(state: Any) -> str:
+    """Stable cross-process digest of a state (``hash()`` is not)."""
+    return hashlib.sha256(repr(state.key()).encode()).hexdigest()[:16]
+
+
+def _run_kernel_once(
+    prog_name: str, daemon_name: str, incremental: bool
+) -> tuple[float, dict[str, Any]]:
+    program = KERNEL_PROGRAMS[prog_name]()
+    state = program.initial_state()
+    daemon = _make_daemon(daemon_name, incremental)
+    fired = 0
+    start = time.perf_counter()
+    for _ in range(KERNEL_STEPS):
+        fired += len(daemon.step(program, state))
+    elapsed = time.perf_counter() - start
+    facts = {
+        "steps": KERNEL_STEPS,
+        "fired": fired,
+        "state_digest": _state_digest(state),
+    }
+    return elapsed, facts
+
+
+def bench_kernel(repeats: int) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for prog_name in KERNEL_PROGRAMS:
+        for daemon_name in KERNEL_DAEMONS:
+            times: dict[bool, float] = {}
+            facts: dict[bool, dict[str, Any]] = {}
+            for incremental in (False, True):
+                best = float("inf")
+                for _ in range(repeats):
+                    elapsed, f = _run_kernel_once(
+                        prog_name, daemon_name, incremental
+                    )
+                    best = min(best, elapsed)
+                    facts[incremental] = f
+                times[incremental] = best
+            ratio = times[False] / times[True] if times[True] else 0.0
+            out[f"{prog_name}/{daemon_name}"] = {
+                "deterministic": {
+                    **facts[True],
+                    "trace_identical": facts[False] == facts[True],
+                },
+                "wall": {
+                    "full_s": times[False],
+                    "incremental_s": times[True],
+                    "steps_per_s_incremental": KERNEL_STEPS / times[True],
+                },
+                "ratio": ratio,
+            }
+    return out
+
+
+def bench_explorer(repeats: int) -> dict[str, Any]:
+    from repro.barrier.cb import make_cb
+    from repro.gc.explore import Explorer
+
+    program = make_cb(4)
+    results: dict[str, Any] = {}
+    walls: dict[bool, float] = {}
+    counts: dict[bool, tuple[int, int]] = {}
+    for compact in (False, True):
+        best = float("inf")
+        for _ in range(repeats):
+            explorer = Explorer(program, compact_keys=compact)
+            roots = explorer.full_state_space()
+            start = time.perf_counter()
+            result = explorer.reachable(roots)
+            best = min(best, time.perf_counter() - start)
+            counts[compact] = (
+                len(result.states),
+                sum(len(s) for s in result.transitions.values()),
+            )
+        walls[compact] = best
+    results["cb4-full-space"] = {
+        "deterministic": {
+            "states": counts[True][0],
+            "edges": counts[True][1],
+            "representation_identical": counts[False] == counts[True],
+        },
+        "wall": {"tuple_s": walls[False], "compact_s": walls[True]},
+        "ratio": walls[False] / walls[True] if walls[True] else 0.0,
+    }
+    return results
+
+
+#: The fig5 grid used by the sweep benchmark (small but not trivial).
+SWEEP_KWARGS = dict(
+    h=3,
+    f_values=(0.0, 0.01, 0.05),
+    c_values=(0.0, 0.01),
+    phases=60,
+    seed=0,
+)
+
+
+def bench_sweep() -> dict[str, Any]:
+    from repro.experiments import fig5
+    from repro.experiments.sweep import SweepExecutor
+
+    def rows_of(executor):
+        result = fig5.run(executor=executor, **SWEEP_KWARGS)
+        return result.rows
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        serial_rows = rows_of(SweepExecutor(jobs=1, cache_dir=cache_dir))
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_rows = rows_of(SweepExecutor(jobs=4))
+        parallel_s = time.perf_counter() - start
+
+        warm_executor = SweepExecutor(jobs=4, cache_dir=cache_dir)
+        start = time.perf_counter()
+        warm_rows = rows_of(warm_executor)
+        warm_s = time.perf_counter() - start
+        hits = warm_executor.last_stats["hits"]
+
+    digest = hashlib.sha256(
+        json.dumps(serial_rows, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    return {
+        "fig5-small": {
+            "deterministic": {
+                "rows_digest": digest,
+                "identical_serial_parallel": serial_rows == parallel_rows,
+                "identical_serial_cached": serial_rows == warm_rows,
+                "cache_hits": hits,
+            },
+            "wall": {
+                "cold_serial_s": cold_s,
+                "cold_jobs4_s": parallel_s,
+                "warm_jobs4_s": warm_s,
+            },
+            "warm_speedup": cold_s / warm_s if warm_s else 0.0,
+        }
+    }
+
+
+def measure(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
+    """Run every workload; build the BENCH_perf report dict."""
+    if quick:
+        repeats = max(1, min(repeats, 2))
+    return {
+        "version": 1,
+        "repeats": repeats,
+        "kernel": bench_kernel(repeats),
+        "explorer": bench_explorer(repeats),
+        "sweep": bench_sweep(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gating
+# ---------------------------------------------------------------------------
+
+def _ratio_checks(report: dict[str, Any]) -> list[GateCheck]:
+    checks: list[GateCheck] = []
+    kernel = report.get("kernel", {})
+
+    rb8_best = max(
+        (kernel.get(f"rb8/{d}", {}).get("ratio", 0.0) for d in KERNEL_DAEMONS),
+        default=0.0,
+    )
+    checks.append(
+        GateCheck(
+            "kernel.rb8.headline_speedup",
+            rb8_best >= RB8_HEADLINE_SPEEDUP,
+            f"best incremental/full ratio {rb8_best:.2f} "
+            f"(gate >= {RB8_HEADLINE_SPEEDUP})",
+        )
+    )
+    for name, entry in kernel.items():
+        ratio = entry.get("ratio", 0.0)
+        daemon = name.split("/", 1)[1]
+        if daemon == "roundrobin":
+            floor = (
+                MB8_ROUNDROBIN_MIN_RATIO
+                if name.startswith("mb8")
+                else ADAPTIVE_MIN_RATIO
+            )
+        else:
+            floor = EAGER_MIN_RATIO
+        checks.append(
+            GateCheck(
+                f"kernel.{name}.ratio",
+                ratio >= floor,
+                f"incremental/full {ratio:.2f} (gate >= {floor})",
+            )
+        )
+        checks.append(
+            GateCheck(
+                f"kernel.{name}.trace_identical",
+                bool(entry.get("deterministic", {}).get("trace_identical")),
+                "full and incremental runs produced identical traces",
+            )
+        )
+    for name, entry in report.get("explorer", {}).items():
+        checks.append(
+            GateCheck(
+                f"explorer.{name}.representation_identical",
+                bool(
+                    entry.get("deterministic", {}).get(
+                        "representation_identical"
+                    )
+                ),
+                "tuple and compact explorations agree on states/edges",
+            )
+        )
+    for name, entry in report.get("sweep", {}).items():
+        det = entry.get("deterministic", {})
+        checks.append(
+            GateCheck(
+                f"sweep.{name}.bit_identical",
+                bool(det.get("identical_serial_parallel"))
+                and bool(det.get("identical_serial_cached")),
+                "serial == jobs=4 == warm-cache merged rows",
+            )
+        )
+        speedup = entry.get("warm_speedup", 0.0)
+        checks.append(
+            GateCheck(
+                f"sweep.{name}.warm_cache_speedup",
+                speedup >= WARM_CACHE_SPEEDUP,
+                f"warm/cold speedup {speedup:.1f}x "
+                f"(gate >= {WARM_CACHE_SPEEDUP}x)",
+            )
+        )
+    return checks
+
+
+def _baseline_checks(
+    current: dict[str, Any], baseline: dict[str, Any]
+) -> list[GateCheck]:
+    checks: list[GateCheck] = []
+    for family in ("kernel", "explorer", "sweep"):
+        for name, base_entry in baseline.get(family, {}).items():
+            cur_entry = current.get(family, {}).get(name)
+            if cur_entry is None:
+                checks.append(
+                    GateCheck(f"{family}.{name}", False, "workload missing")
+                )
+                continue
+            for key, base_value in base_entry.get("deterministic", {}).items():
+                cur_value = cur_entry.get("deterministic", {}).get(key)
+                checks.append(
+                    GateCheck(
+                        f"{family}.{name}.{key}",
+                        cur_value == base_value,
+                        f"current={cur_value!r} baseline={base_value!r} "
+                        "(exact)",
+                    )
+                )
+    return checks
+
+
+def compare_reports(
+    current: dict[str, Any], baseline: dict[str, Any] | None = None
+) -> GateResult:
+    """Gate a report: within-run ratios always, baseline facts if given."""
+    checks = _ratio_checks(current)
+    if baseline is not None:
+        checks.extend(_baseline_checks(current, baseline))
+    return GateResult(checks)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="computation-layer perf-regression harness",
+    )
+    parser.add_argument("--out", default=str(BENCH_PATH), help="report path")
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="committed baseline"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer timing repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=args.repeats, quick=args.quick)
+    out = write_report(report, args.out)
+    print(f"wrote {out}")
+    if args.update_baseline:
+        base = write_report(report, args.baseline)
+        print(f"baseline updated: {base}")
+        gate = compare_reports(report)
+    else:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; run --update-baseline first")
+            return 1
+        gate = compare_reports(report, load_json(baseline_path))
+    print(gate.render())
+    return 0 if gate.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -160,3 +160,66 @@ class TestNetwork:
         sim.run()
         assert net.messages_sent == 200
         assert 50 < net.messages_lost < 150
+
+
+class TestPendingCounter:
+    """The O(1) pending counter and heap compaction."""
+
+    def test_pending_counts_live_events(self):
+        sim = Simulation(seed=0)
+        events = [sim.at(float(i), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        events[0].cancel()
+        events[1].cancel()
+        assert sim.pending == 8
+        sim.run()
+        assert sim.pending == 0 and sim.events_processed == 8
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulation(seed=0)
+        ev = sim.at(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = Simulation(seed=0)
+        ev = sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        sim.run(until=1.5)
+        ev.cancel()  # already ran: must not corrupt the counter
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_from_callback(self):
+        sim = Simulation(seed=0)
+        fired = []
+        later = sim.at(5.0, lambda: fired.append("later"))
+        sim.at(1.0, later.cancel)
+        sim.run()
+        assert fired == [] and sim.pending == 0
+        assert sim.events_processed == 1
+
+    def test_heap_compaction_bounds_memory(self):
+        sim = Simulation(seed=0)
+        events = [sim.at(float(i), lambda: None) for i in range(1000)]
+        for ev in events[:900]:
+            ev.cancel()
+        assert sim.pending == 100
+        # Cancelled entries exceeded half the queue: the heap has been
+        # compacted down to (close to) the live set.
+        assert len(sim._heap) < 300
+        sim.run()
+        assert sim.events_processed == 100
+
+    def test_compaction_preserves_order(self):
+        sim = Simulation(seed=0)
+        order = []
+        events = {}
+        for i in range(200):
+            events[i] = sim.at(float(i), lambda i=i: order.append(i))
+        for i in range(0, 200, 2):
+            events[i].cancel()
+        sim.run()
+        assert order == list(range(1, 200, 2))

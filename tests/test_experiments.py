@@ -200,3 +200,54 @@ class TestReportSubcommandValidation:
     def test_causal_report_happy_path(self, trace_path, capsys):
         assert cli_main(["causal-report", trace_path]) == 0
         assert "1 fault chains" in capsys.readouterr().out
+
+
+class TestSweepCliOptions:
+    """The --jobs / --cache-dir sweep plumbing on the CLI."""
+
+    def test_help_documents_jobs_and_cache_dir(self, capsys):
+        from repro.experiments.cli import build_parser
+
+        help_text = build_parser().format_help()
+        assert "--jobs" in help_text
+        assert "--cache-dir" in help_text
+        assert "bit-identical" in help_text
+
+    def test_jobs_passes_executor(self):
+        from repro.experiments.cli import _kwargs_for, build_parser
+        from repro.experiments.sweep import SweepExecutor
+
+        args = build_parser().parse_args(["fig5", "--jobs", "4"])
+        kwargs = _kwargs_for("fig5", args)
+        assert isinstance(kwargs["executor"], SweepExecutor)
+        assert kwargs["executor"].jobs == 4
+
+    def test_cache_dir_passes_executor(self, tmp_path):
+        from repro.experiments.cli import _kwargs_for, build_parser
+
+        args = build_parser().parse_args(
+            ["fig7", "--cache-dir", str(tmp_path)]
+        )
+        kwargs = _kwargs_for("fig7", args)
+        assert kwargs["executor"].cache_dir == str(tmp_path)
+
+    def test_default_is_plain_serial(self):
+        from repro.experiments.cli import _kwargs_for, build_parser
+
+        args = build_parser().parse_args(["fig5"])
+        assert "executor" not in _kwargs_for("fig5", args)
+        # Non-swept experiments never receive an executor.
+        args = build_parser().parse_args(["fig3", "--jobs", "4"])
+        assert "executor" not in _kwargs_for("fig3", args)
+
+    def test_cli_end_to_end_with_jobs_and_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "fig7", "--trials", "2", "--jobs", "2", "--cache-dir", cache,
+        ]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().out
+        # Second run hits the cache and reproduces the table exactly.
+        assert cli_main(argv) == 0
+        second = capsys.readouterr().out
+        assert first.split("regenerated")[0] == second.split("regenerated")[0]

@@ -1,0 +1,186 @@
+"""Incremental guard evaluation: equivalence, declarations, adaptation.
+
+The central contract of :mod:`repro.gc.incremental` is that switching a
+daemon between ``incremental=True`` and ``incremental=False`` changes
+*nothing observable*: the same actions fire in the same order with the
+same updates, the RNG streams advance identically, and external writes
+(fault injection) are detected and invalidate the cache.  These tests
+run both modes lock-step over every barrier program family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.barrier.cb import make_cb
+from repro.barrier.mb import make_mb
+from repro.barrier.rb import make_rb, rb_detectable_fault
+from repro.barrier.tokenring import make_token_ring
+from repro.gc.faults import BernoulliSchedule, FaultInjector
+from repro.gc.incremental import (
+    EnabledIndex,
+    check_declared_reads,
+    observed_guard_reads,
+)
+from repro.gc.scheduler import (
+    ROUND_ROBIN_ADAPT_WINDOW,
+    MaximalParallelDaemon,
+    RandomFairDaemon,
+    RoundRobinDaemon,
+)
+from repro.topology.graphs import kary_tree
+
+PROGRAMS = {
+    "cb4": lambda: make_cb(4),
+    "tokenring6": lambda: make_token_ring(6),
+    "rb6-ring": lambda: make_rb(6),
+    "rb7-tree": lambda: make_rb(7, topology=kary_tree(7, 2)),
+    "mb5": lambda: make_mb(5),
+}
+
+DAEMONS = {
+    "roundrobin": lambda seed, inc: RoundRobinDaemon(incremental=inc),
+    "randomfair": lambda seed, inc: RandomFairDaemon(seed=seed, incremental=inc),
+    "maxpar": lambda seed, inc: MaximalParallelDaemon(
+        seed=seed, random_choice=True, incremental=inc
+    ),
+}
+
+
+def _trace(make_prog, daemon, steps=400, fault_spec=None, fault_seed=None):
+    program = make_prog()
+    state = program.initial_state()
+    injector = None
+    if fault_spec is not None:
+        injector = FaultInjector(
+            program, fault_spec, BernoulliSchedule(0.02), seed=fault_seed
+        )
+    out = []
+    for t in range(steps):
+        fired = daemon.step(program, state)
+        out.append(tuple((a.name, a.pid, tuple(ups)) for a, ups in fired))
+        if injector is not None:
+            injector.maybe_inject(state, t)
+    out.append(state.key())
+    return out
+
+
+@pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+@pytest.mark.parametrize("daemon_name", sorted(DAEMONS))
+@pytest.mark.parametrize("seed", [0, 7, 123])
+def test_incremental_matches_full_trace(prog_name, daemon_name, seed):
+    make_prog = PROGRAMS[prog_name]
+    make_daemon = DAEMONS[daemon_name]
+    full = _trace(make_prog, make_daemon(seed, False))
+    incr = _trace(make_prog, make_daemon(seed, True))
+    assert full == incr
+
+
+@pytest.mark.parametrize("daemon_name", sorted(DAEMONS))
+def test_incremental_matches_full_under_faults(daemon_name):
+    """External writes (fault injection) invalidate the cache exactly."""
+    make_daemon = DAEMONS[daemon_name]
+    spec = rb_detectable_fault()
+    full = _trace(
+        lambda: make_rb(6), make_daemon(3, False), fault_spec=spec, fault_seed=9
+    )
+    incr = _trace(
+        lambda: make_rb(6), make_daemon(3, True), fault_spec=spec, fault_seed=9
+    )
+    assert full == incr
+
+
+@pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+def test_declared_read_sets_cover_guards(prog_name):
+    """Declared read-sets are sound: no guard reads an undeclared cell.
+
+    Checked on the initial state and along a random-fair run, since
+    guards may branch data-dependently.
+    """
+    program = PROGRAMS[prog_name]()
+    state = program.initial_state()
+    daemon = RandomFairDaemon(seed=1, incremental=False)
+    for _ in range(60):
+        offenders = check_declared_reads(program, state)
+        assert not offenders, [
+            (a.name, a.pid, sorted(extra)) for a, extra in offenders
+        ]
+        daemon.step(program, state)
+
+
+def test_observed_reads_recording():
+    program = make_token_ring(4)
+    state = program.initial_state()
+    t5 = next(
+        a for a in program.actions() if a.name == "T5"
+    )  # guard: sn.0 is TOP
+    assert observed_guard_reads(t5, state) == {("sn", 0)}
+
+
+def test_index_detects_external_writes():
+    program = make_token_ring(4)
+    state = program.initial_state()
+    index = EnabledIndex(program)
+    rng = None
+    flags = list(index.refresh(state, rng))
+    # Poke the state behind the index's back: T3's guard flips.
+    from repro.gc.domains import BOT
+
+    state.set("sn", 3, BOT)
+    new_flags = list(index.refresh(state, rng))
+    full = [a.enabled(state) for a in index.actions]
+    assert new_flags == full
+    assert flags != new_flags
+
+
+def test_roundrobin_adapts_on_mb_only():
+    """The adaptive round-robin engages the index on MB (many guard
+    evaluations per scan) but stays on the plain scan for the RB ring
+    (the token follows the scan, ~1 evaluation/step)."""
+    steps = ROUND_ROBIN_ADAPT_WINDOW * 4
+
+    mb = make_mb(6)
+    state = mb.initial_state()
+    daemon = RoundRobinDaemon(incremental=True)
+    for _ in range(steps):
+        daemon.step(mb, state)
+    assert daemon._engaged
+
+    rb = make_rb(6)
+    state = rb.initial_state()
+    daemon = RoundRobinDaemon(incremental=True)
+    for _ in range(steps):
+        daemon.step(rb, state)
+    assert not daemon._engaged
+
+
+def test_undeclared_actions_fall_back():
+    """A program with no declared read-sets gets no index at all."""
+    from dataclasses import replace
+
+    from repro.gc.program import Process, Program
+
+    program = make_cb(3)
+    stripped_procs = []
+
+    for proc in program.processes:
+        stripped_procs.append(
+            Process(
+                proc.pid,
+                tuple(
+                    replace(a, reads=None, writes=None) for a in proc.actions
+                ),
+            )
+        )
+    stripped = Program(
+        program.name,
+        program.declarations,
+        stripped_procs,
+        initial_state=lambda p: make_cb(3).initial_state(),
+        metadata=program.metadata,
+    )
+    daemon = RandomFairDaemon(seed=2, incremental=True)
+    state = stripped.initial_state()
+    for _ in range(50):
+        daemon.step(stripped, state)
+    assert daemon._index is not None and not daemon._index.has_tracked

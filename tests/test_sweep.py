@@ -1,0 +1,127 @@
+"""SweepExecutor: determinism, caching, parallel/serial identity."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import fig5, fig7
+from repro.experiments.sweep import (
+    SweepExecutor,
+    SweepPoint,
+    point,
+    run_grid,
+)
+
+#: A tiny but non-trivial fig5 grid shared by the identity tests.
+GRID_KWARGS = dict(
+    h=2, f_values=(0.0, 0.02), c_values=(0.0, 0.01), phases=20, seed=0
+)
+
+
+def test_point_digest_is_canonical():
+    a = point("m:f", x=1, y=2.5)
+    b = SweepPoint.make("m:f", y=2.5, x=1)
+    assert a == b and a.digest() == b.digest()
+    assert a.digest() != point("m:f", x=1, y=2.6).digest()
+    assert a.digest() != point("m:g", x=1, y=2.5).digest()
+
+
+def test_point_requires_module_colon_function():
+    with pytest.raises(ValueError):
+        point("not_a_ref", x=1)
+
+
+def test_results_in_input_order():
+    pts = [
+        point("repro.experiments.fig7:simulate_recovery_mean",
+              h=1, c=0.01, trials=2, seed=s)
+        for s in (3, 1, 2)
+    ]
+    got = SweepExecutor(jobs=1).run(pts)
+    expected = [
+        fig7.simulate_recovery_mean(h=1, c=0.01, trials=2, seed=s)
+        for s in (3, 1, 2)
+    ]
+    assert got == expected
+
+
+def test_serial_equals_parallel_exactly():
+    serial = fig5.run(executor=SweepExecutor(jobs=1), **GRID_KWARGS)
+    parallel = fig5.run(executor=SweepExecutor(jobs=4), **GRID_KWARGS)
+    assert serial.rows == parallel.rows
+    assert serial.columns == parallel.columns
+
+
+def test_default_executor_equals_explicit():
+    implicit = fig5.run(**GRID_KWARGS)
+    explicit = fig5.run(executor=SweepExecutor(jobs=1), **GRID_KWARGS)
+    assert implicit.rows == explicit.rows
+
+
+def test_cache_roundtrip(tmp_path):
+    ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+    cold = fig5.run(executor=ex, **GRID_KWARGS)
+    assert ex.last_stats["computed"] == 4 and ex.last_stats["hits"] == 0
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 4
+
+    warm_ex = SweepExecutor(jobs=4, cache_dir=tmp_path)
+    warm = fig5.run(executor=warm_ex, **GRID_KWARGS)
+    assert warm_ex.last_stats["hits"] == 4
+    assert warm_ex.last_stats["computed"] == 0
+    assert warm.rows == cold.rows
+
+
+def test_cache_entries_are_self_describing(tmp_path):
+    ex = SweepExecutor(cache_dir=tmp_path)
+    pt = point(
+        "repro.experiments.fig7:simulate_recovery_mean",
+        h=1, c=0.0, trials=1, seed=0,
+    )
+    (value,) = ex.run([pt])
+    path = tmp_path / (pt.digest() + ".json")
+    entry = json.loads(path.read_text())
+    assert entry["fn"] == pt.fn
+    assert entry["kwargs"] == dict(pt.kwargs)
+    assert entry["value"] == value
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    ex = SweepExecutor(cache_dir=tmp_path)
+    pt = point(
+        "repro.experiments.fig7:simulate_recovery_mean",
+        h=1, c=0.0, trials=1, seed=0,
+    )
+    (value,) = ex.run([pt])
+    path = tmp_path / (pt.digest() + ".json")
+    path.write_text("{ not json")
+    (again,) = ex.run([pt])
+    assert again == value
+    assert ex.last_stats["computed"] == 1
+
+
+def test_foreign_cache_file_is_a_miss(tmp_path):
+    ex = SweepExecutor(cache_dir=tmp_path)
+    pt = point(
+        "repro.experiments.fig7:simulate_recovery_mean",
+        h=1, c=0.0, trials=1, seed=0,
+    )
+    path = tmp_path / (pt.digest() + ".json")
+    path.write_text(json.dumps({"fn": "other:fn", "kwargs": {}, "value": 99}))
+    (value,) = ex.run([pt])
+    assert value != 99
+    assert ex.last_stats["computed"] == 1
+
+
+def test_run_grid_without_executor():
+    grid = [dict(h=1, c=0.0, trials=1, seed=s) for s in (0, 1)]
+    values = run_grid("repro.experiments.fig7:simulate_recovery_mean", grid)
+    assert len(values) == 2
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        SweepExecutor(jobs=0)

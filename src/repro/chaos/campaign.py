@@ -1,0 +1,263 @@
+"""Seeded adversarial campaigns across every engine.
+
+A campaign is ``runs`` independent engine executions: run *i* targets
+``config.targets[i % len(targets)]`` with a fault plan derived
+deterministically from ``(config.seed, i)`` -- same config, same
+campaign, bit for bit.  Each run executes under the online guarantee
+monitors; any violation is shrunk (delta debugging, per target, first
+failure wins) to a minimal reproducer that serializes next to the
+report and replays via ``repro-experiments chaos replay <file>``.
+
+Execution fans out through :class:`repro.experiments.sweep.SweepExecutor`
+-- points are plain ``(function, JSON kwargs)`` pairs -- so campaigns
+inherit the pool's caching, parallelism, and hardening (per-point
+timeouts, retries, crash quarantine).  A run the pool gives up on is an
+*infrastructure* failure and is reported separately from guarantee
+violations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.chaos.adapters import ADAPTERS, RunOutcome, get_adapter
+from repro.chaos.monitors import GuaranteeViolation
+from repro.chaos.plan import CampaignConfig, FaultPlan
+from repro.chaos.shrink import Reproducer, ShrinkResult, shrink_plan
+from repro.experiments.sweep import SweepExecutor, SweepPoint
+
+
+def derive_seed(seed: int, index: int) -> int:
+    """Portable per-run seed: a SHA-256 slice of ``"{seed}:{index}"``
+    (stable across platforms and Python hash randomization)."""
+    digest = hashlib.sha256(f"{seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def plan_for_run(config: CampaignConfig, index: int) -> tuple[str, FaultPlan]:
+    """The (target, plan) of campaign run ``index`` -- pure function of
+    the config, so campaigns are replayable from their config alone."""
+    target = config.targets[index % len(config.targets)]
+    adapter = get_adapter(target)
+    detectable, undetectable = config.detectable, config.undetectable
+    if undetectable and not adapter.supports_undetectable:
+        # The engine cannot express a scramble; keep the pressure as
+        # extra detectable strikes rather than silently dropping it.
+        detectable += undetectable
+        undetectable = 0
+    start, stop = adapter.window if adapter.steps is False else config.window
+    plan = FaultPlan.generate(
+        derive_seed(config.seed, index),
+        config.nprocs,
+        detectable=detectable,
+        undetectable=undetectable,
+        start=start,
+        stop=stop,
+        steps=adapter.steps,
+        link=config.link if adapter.supports_link else None,
+    )
+    return target, plan
+
+
+def campaign_point(target: str, plan: dict, config: dict) -> dict:
+    """One campaign run as a sweep-pool point (module-level, picklable,
+    JSON in / JSON out)."""
+    adapter = get_adapter(target)
+    outcome = adapter.run(
+        FaultPlan.from_json(plan), CampaignConfig.from_json(config)
+    )
+    return outcome.to_json()
+
+
+#: The sweep-point function reference for campaign runs.
+POINT_FN = "repro.chaos.campaign:campaign_point"
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign established."""
+
+    config: CampaignConfig
+    #: Per-run outcome JSON (:meth:`RunOutcome.to_json`), input order;
+    #: None where the pool gave the run up (crash/timeout after retries).
+    outcomes: list[dict | None] = field(default_factory=list)
+    reproducers: list[Reproducer] = field(default_factory=list)
+    #: Run indices the executor could not complete.
+    infrastructure_failures: list[int] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def violations(self) -> list[dict]:
+        out = []
+        for outcome in self.outcomes:
+            if outcome:
+                out.extend(outcome["violations"])
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.infrastructure_failures
+
+    def by_target(self) -> dict[str, dict[str, int]]:
+        """Per-target tallies: runs, violations, faults fired."""
+        tally: dict[str, dict[str, int]] = {}
+        for i, outcome in enumerate(self.outcomes):
+            target = self.config.targets[i % len(self.config.targets)]
+            row = tally.setdefault(
+                target, {"runs": 0, "violations": 0, "faults": 0, "lost": 0}
+            )
+            row["runs"] += 1
+            if outcome is None:
+                row["lost"] += 1
+            else:
+                row["violations"] += len(outcome["violations"])
+                row["faults"] += outcome["faults_fired"]
+        return tally
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "config": self.config.to_json(),
+            "outcomes": self.outcomes,
+            "reproducers": [r.to_json() for r in self.reproducers],
+            "infrastructure_failures": list(self.infrastructure_failures),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos campaign: {self.runs} runs over "
+            f"{len(self.config.targets)} targets (seed {self.config.seed})"
+        ]
+        for target, row in sorted(self.by_target().items()):
+            status = "ok" if not (row["violations"] or row["lost"]) else "FAIL"
+            lines.append(
+                f"  {target:<16} runs={row['runs']:<4} "
+                f"faults={row['faults']:<5} violations={row['violations']:<3} "
+                f"lost={row['lost']:<2} {status}"
+            )
+        violations = self.violations
+        if violations:
+            lines.append(f"violations: {len(violations)}")
+            for v in violations[:5]:
+                lines.append(
+                    f"  [{v['guarantee']}/{v['kind']}] {v['message']}"
+                )
+            if len(violations) > 5:
+                lines.append(f"  ... and {len(violations) - 5} more")
+        for r in self.reproducers:
+            lines.append(
+                f"reproducer: {r.target} {r.plan.count}/{r.original_count} "
+                f"events [{r.violation.guarantee}/{r.violation.kind}]"
+            )
+        if self.infrastructure_failures:
+            lines.append(
+                f"runs lost to the pool: {self.infrastructure_failures}"
+            )
+        lines.append("RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+    def save(self, out_dir: str | Path) -> list[Path]:
+        """Write ``report.json`` plus one replay file per reproducer;
+        returns the written paths (reproducers first)."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths: list[Path] = []
+        for n, repro in enumerate(self.reproducers):
+            name = f"repro-{repro.target.replace(':', '-')}-{n}.json"
+            paths.append(repro.save(out / name))
+        report = out / "report.json"
+        report.write_text(
+            json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+        )
+        paths.append(report)
+        return paths
+
+
+def run_campaign(
+    config: CampaignConfig,
+    executor: SweepExecutor | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Execute a full campaign and shrink whatever fails.
+
+    With no ``executor`` the runs execute serially in-process; passing a
+    hardened :class:`SweepExecutor` adds parallelism, caching, and
+    crash/hang containment without changing any result (runs are pure
+    functions of their point kwargs).
+    """
+    unknown = [t for t in config.targets if t not in ADAPTERS]
+    if unknown:
+        raise KeyError(f"unknown chaos targets {unknown}; known: {sorted(ADAPTERS)}")
+    say = progress or (lambda _msg: None)
+    config_json = config.to_json()
+    assignments = [plan_for_run(config, i) for i in range(config.runs)]
+    points = [
+        SweepPoint.make(
+            POINT_FN, target=target, plan=plan.to_json(), config=config_json
+        )
+        for target, plan in assignments
+    ]
+    say(f"dispatching {len(points)} runs over {len(config.targets)} targets")
+    ex = executor if executor is not None else SweepExecutor()
+    outcomes = ex.run(points)
+
+    report = CampaignReport(config=config, outcomes=list(outcomes))
+    report.infrastructure_failures = [
+        i for i, outcome in enumerate(outcomes) if outcome is None
+    ]
+
+    if config.shrink:
+        shrunk_targets: set[str] = set()
+        for i, outcome in enumerate(outcomes):
+            if not outcome or not outcome["violations"]:
+                continue
+            target, plan = assignments[i]
+            if target in shrunk_targets:
+                continue  # one minimal reproducer per failing target
+            shrunk_targets.add(target)
+            say(
+                f"run {i} ({target}) violated a guarantee; "
+                f"shrinking {plan.count} events"
+            )
+            report.reproducers.append(
+                shrink_run(target, plan, config, outcome["violations"][0])
+            )
+    return report
+
+
+def shrink_run(
+    target: str,
+    plan: FaultPlan,
+    config: CampaignConfig,
+    violation: Mapping[str, Any] | GuaranteeViolation,
+    max_tests: int = 200,
+) -> Reproducer:
+    """Minimize one failing run into a saved-file-ready reproducer."""
+    if not isinstance(violation, GuaranteeViolation):
+        violation = GuaranteeViolation.from_json(dict(violation))
+    adapter = get_adapter(target)
+
+    def oracle(candidate: FaultPlan) -> list[GuaranteeViolation]:
+        return adapter.run(candidate, config).violations
+
+    result: ShrinkResult = shrink_plan(plan, oracle, violation, max_tests=max_tests)
+    return Reproducer(
+        target=target,
+        config=config,
+        plan=result.plan,
+        violation=result.violation,
+        original_count=result.original_count,
+        shrink_tests=result.tests,
+    )
+
+
+def replay_file(path: str | Path) -> tuple[Reproducer, RunOutcome]:
+    """Load a reproducer file and re-run it (the ``chaos replay`` verb)."""
+    reproducer = Reproducer.load(path)
+    return reproducer, reproducer.replay()

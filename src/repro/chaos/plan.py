@@ -1,0 +1,266 @@
+"""Serializable fault schedules and campaign configuration.
+
+One :class:`FaultPlan` is the unit of adversity: a seeded, sorted,
+engine-agnostic list of fault events (``when``, ``pid``, fault class)
+plus optional message-fault rates for the network layer.  The *same*
+plan drives every engine through its adapter -- the untimed
+guarded-command simulator reads ``when`` as a step number, the timed
+engines as virtual time -- which is what lets a campaign replay one
+schedule against CB, RB, RB-on-trees and MB and compare their behaviour,
+and what lets the shrinker hand back a minimal reproducer as a file.
+
+Everything here round-trips through plain JSON (``to_json`` /
+``from_json``): plans are content, not processes.  Generation is fully
+determined by ``(seed, counts, window, nprocs)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Format tag written into every serialized plan/reproducer.
+PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: strike ``pid`` at ``when``.
+
+    ``when`` is interpreted by the target engine -- a daemon step for
+    the untimed guarded-command runs (adapters floor it), virtual time
+    for the timed ones.  ``detectable`` selects the fault class: True is
+    the paper's reset fault (``cp := error``), False the undetectable
+    arbitrary-state scramble.
+    """
+
+    when: float
+    pid: int
+    detectable: bool = True
+
+    def to_json(self) -> dict[str, Any]:
+        return {"when": self.when, "pid": self.pid, "detectable": self.detectable}
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            when=float(record["when"]),
+            pid=int(record["pid"]),
+            detectable=bool(record.get("detectable", True)),
+        )
+
+
+@dataclass(frozen=True)
+class LinkPlan:
+    """Message-fault pressure for engines with a real network layer
+    (loss/duplication/corruption/reorder rates, independent per
+    message -- the :class:`repro.des.network.LinkFaults` vocabulary)."""
+
+    loss: float = 0.0
+    duplication: float = 0.0
+    corruption: float = 0.0
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplication", "corruption", "reorder"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} rate out of [0, 1]: {v}")
+
+    @property
+    def any(self) -> bool:
+        return bool(self.loss or self.duplication or self.corruption or self.reorder)
+
+    def to_json(self) -> dict[str, float]:
+        return {
+            "loss": self.loss,
+            "duplication": self.duplication,
+            "corruption": self.corruption,
+            "reorder": self.reorder,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "LinkPlan":
+        return cls(**{k: float(record.get(k, 0.0)) for k in
+                      ("loss", "duplication", "corruption", "reorder")})
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, replayable fault schedule for one run.
+
+    ``seed`` feeds the target engine's remaining nondeterminism (the
+    ``?``-randomized variable draws, scramble values), so a plan pins
+    the *entire* adversary, not just the strike times.
+    """
+
+    nprocs: int
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    link: LinkPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("plan needs at least one process")
+        for e in self.events:
+            if not 0 <= e.pid < self.nprocs:
+                raise ValueError(f"event pid {e.pid} out of range for n={self.nprocs}")
+            if e.when < 0:
+                raise ValueError(f"negative event time {e.when}")
+        ordered = tuple(sorted(self.events, key=lambda e: (e.when, e.pid)))
+        object.__setattr__(self, "events", ordered)
+
+    # -- derived views --------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.events)
+
+    @property
+    def detectable_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.detectable)
+
+    @property
+    def undetectable_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if not e.detectable)
+
+    def with_events(self, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """The same plan (seed, link, nprocs) over a different event
+        subset -- the shrinker's step."""
+        return replace(self, events=tuple(events))
+
+    # -- generation -----------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        nprocs: int,
+        *,
+        detectable: int = 0,
+        undetectable: int = 0,
+        start: float = 1.0,
+        stop: float = 30.0,
+        steps: bool = False,
+        link: LinkPlan | None = None,
+    ) -> "FaultPlan":
+        """Draw a seeded random schedule inside ``[start, stop)``.
+
+        ``steps=True`` floors strike times to integers (the untimed
+        engines' step clock).  The same arguments always produce the
+        same plan.
+        """
+        if detectable < 0 or undetectable < 0:
+            raise ValueError("fault counts must be >= 0")
+        rng = np.random.default_rng(seed)
+        events = []
+        for is_detectable, n in ((True, detectable), (False, undetectable)):
+            for _ in range(n):
+                when = float(rng.uniform(start, stop))
+                if steps:
+                    when = float(int(when))
+                events.append(
+                    FaultEvent(
+                        when=when,
+                        pid=int(rng.integers(0, nprocs)),
+                        detectable=is_detectable,
+                    )
+                )
+        return cls(nprocs=nprocs, events=tuple(events), seed=seed, link=link)
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "version": PLAN_VERSION,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "events": [e.to_json() for e in self.events],
+        }
+        if self.link is not None:
+            record["link"] = self.link.to_json()
+        return record
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "FaultPlan":
+        version = record.get("version", PLAN_VERSION)
+        if version != PLAN_VERSION:
+            raise ValueError(f"unsupported plan version {version!r}")
+        return cls(
+            nprocs=int(record["nprocs"]),
+            events=tuple(FaultEvent.from_json(e) for e in record.get("events", ())),
+            seed=int(record.get("seed", 0)),
+            link=(
+                LinkPlan.from_json(record["link"])
+                if record.get("link") is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """What a campaign hammers and how hard.
+
+    ``targets`` name engine adapters (see
+    :data:`repro.chaos.adapters.ADAPTERS`); ``runs`` are distributed
+    over them round-robin, each with a plan derived deterministically
+    from ``seed`` and the run index.  ``target_phases`` is the number of
+    successful barrier phases every run must reach -- failing to reach
+    it *is* a guarantee violation (masking means the protocol always
+    completes).
+    """
+
+    targets: tuple[str, ...] = ("gc:cb", "gc:rb-ring", "gc:rb-tree", "gc:mb")
+    runs: int = 8
+    seed: int = 0
+    nprocs: int = 4
+    nphases: int = 3
+    target_phases: int = 5
+    detectable: int = 2
+    undetectable: int = 0
+    window: tuple[float, float] = (1.0, 30.0)
+    link: LinkPlan | None = None
+    #: Engine budget: max daemon steps (untimed) / virtual time (timed).
+    max_steps: int = 20_000
+    max_time: float = 500.0
+    shrink: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("campaign needs at least one target")
+        if self.runs < 1:
+            raise ValueError("campaign needs at least one run")
+        if self.window[0] < 0 or self.window[1] <= self.window[0]:
+            raise ValueError(f"bad fault window {self.window}")
+
+    def to_json(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "version": PLAN_VERSION,
+            "targets": list(self.targets),
+            "runs": self.runs,
+            "seed": self.seed,
+            "nprocs": self.nprocs,
+            "nphases": self.nphases,
+            "target_phases": self.target_phases,
+            "detectable": self.detectable,
+            "undetectable": self.undetectable,
+            "window": list(self.window),
+            "max_steps": self.max_steps,
+            "max_time": self.max_time,
+            "shrink": self.shrink,
+        }
+        if self.link is not None:
+            record["link"] = self.link.to_json()
+        return record
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "CampaignConfig":
+        kwargs: dict[str, Any] = dict(record)
+        kwargs.pop("version", None)
+        if "targets" in kwargs:
+            kwargs["targets"] = tuple(kwargs["targets"])
+        if "window" in kwargs:
+            kwargs["window"] = tuple(kwargs["window"])
+        if kwargs.get("link") is not None:
+            kwargs["link"] = LinkPlan.from_json(kwargs["link"])
+        return cls(**kwargs)

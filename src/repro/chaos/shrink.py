@@ -1,0 +1,186 @@
+"""Minimal-reproducer shrinking for failing fault schedules.
+
+When a campaign run violates a guarantee, the schedule that provoked it
+is usually bigger than it needs to be.  :func:`shrink_plan` runs the
+classic delta-debugging minimization (ddmin, Zeller & Hildebrandt) over
+the plan's event list: try removing chunks at decreasing granularity,
+keep any subset that still violates, stop at a 1-minimal schedule --
+removing *any single remaining event* makes the failure disappear.
+
+Every candidate is evaluated by re-running the target engine, which is
+deterministic given ``(plan, config)``; the shrink is therefore itself
+deterministic, and the result serializes to a :class:`Reproducer` file
+that ``repro-experiments chaos replay <file>`` re-runs bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.chaos.monitors import GuaranteeViolation
+from repro.chaos.plan import PLAN_VERSION, CampaignConfig, FaultPlan
+
+
+@dataclass
+class ShrinkResult:
+    """The minimization outcome: what survived and how hard we tried."""
+
+    plan: FaultPlan
+    violation: GuaranteeViolation
+    original_count: int
+    tests: int  # engine runs spent shrinking
+
+    @property
+    def shrunk_count(self) -> int:
+        return self.plan.count
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of fault events removed (0.0 when nothing shrank)."""
+        if self.original_count == 0:
+            return 0.0
+        return 1.0 - self.shrunk_count / self.original_count
+
+
+def _matches(violation: GuaranteeViolation, reference: GuaranteeViolation) -> bool:
+    """Same guarantee broken: the shrink preserves *which* property
+    fails, not the exact event times (those legitimately move as the
+    schedule thins)."""
+    return violation.guarantee == reference.guarantee
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    oracle: Callable[[FaultPlan], list[GuaranteeViolation]],
+    reference: GuaranteeViolation,
+    max_tests: int = 200,
+) -> ShrinkResult:
+    """ddmin over ``plan.events``; ``oracle`` re-runs the engine.
+
+    ``reference`` is the violation observed on the full plan; a candidate
+    subset counts as failing iff it still breaks the same guarantee.
+    ``max_tests`` bounds the engine runs (the partially shrunk plan is
+    returned if the budget runs out -- still a valid reproducer).
+    """
+    events = list(plan.events)
+    best_violation = reference
+    tests = 0
+
+    def failing(candidate: list) -> GuaranteeViolation | None:
+        nonlocal tests
+        tests += 1
+        for v in oracle(plan.with_events(candidate)):
+            if _matches(v, reference):
+                return v
+        return None
+
+    n = 2
+    while len(events) >= 2 and tests < max_tests:
+        chunk = max(1, len(events) // n)
+        reduced = False
+        # Try each complement (drop one chunk, keep the rest) in order:
+        # deterministic iteration = deterministic minimization.
+        for start in range(0, len(events), chunk):
+            if tests >= max_tests:
+                break
+            candidate = events[:start] + events[start + chunk :]
+            if not candidate:
+                continue
+            violation = failing(candidate)
+            if violation is not None:
+                events = candidate
+                best_violation = violation
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(events):
+                break
+            n = min(len(events), 2 * n)
+
+    # Final pass: can the empty schedule already fail?  (The intolerant
+    # baseline never does -- it only breaks when struck -- but a buggy
+    # protocol might, and then the minimal reproducer is "no faults".)
+    if events and tests < max_tests:
+        violation = failing([])
+        if violation is not None:
+            events = []
+            best_violation = violation
+
+    return ShrinkResult(
+        plan=plan.with_events(events),
+        violation=best_violation,
+        original_count=plan.count,
+        tests=tests,
+    )
+
+
+@dataclass
+class Reproducer:
+    """A self-contained, replayable failure: target + config + minimal
+    plan + the violation it provokes."""
+
+    target: str
+    config: CampaignConfig
+    plan: FaultPlan
+    violation: GuaranteeViolation
+    original_count: int = 0
+    shrink_tests: int = 0
+    note: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": PLAN_VERSION,
+            "kind": "chaos-reproducer",
+            "target": self.target,
+            "config": self.config.to_json(),
+            "plan": self.plan.to_json(),
+            "violation": self.violation.to_json(),
+            "original_count": self.original_count,
+            "shrink_tests": self.shrink_tests,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "Reproducer":
+        if record.get("kind") != "chaos-reproducer":
+            raise ValueError("not a chaos reproducer file")
+        version = record.get("version", PLAN_VERSION)
+        if version != PLAN_VERSION:
+            raise ValueError(f"unsupported reproducer version {version!r}")
+        return cls(
+            target=record["target"],
+            config=CampaignConfig.from_json(record["config"]),
+            plan=FaultPlan.from_json(record["plan"]),
+            violation=GuaranteeViolation.from_json(record["violation"]),
+            original_count=int(record.get("original_count", 0)),
+            shrink_tests=int(record.get("shrink_tests", 0)),
+            note=str(record.get("note", "")),
+        )
+
+    # -- file form ------------------------------------------------------
+    def dumps(self) -> str:
+        """Canonical serialization: sorted keys, fixed indentation --
+        the same reproducer always produces byte-identical files."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Reproducer":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+    def replay(self):
+        """Re-run the minimal plan against its target; returns the
+        :class:`~repro.chaos.adapters.RunOutcome` (deterministic: the
+        saved violation reappears)."""
+        from repro.chaos.adapters import get_adapter
+
+        return get_adapter(self.target).run(self.plan, self.config)

@@ -1,0 +1,58 @@
+"""Deliberately misbehaving sweep points for hardening tests.
+
+The hardened :class:`~repro.experiments.sweep.SweepExecutor` promises to
+survive workers that crash, hang, or fail transiently.  Those behaviours
+cannot be expressed by the real experiment points (they are pure
+simulations), so this module provides minimal, picklable stand-ins the
+tests aim the pool at.  Nothing here is imported by production code.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def ok(value: int = 0) -> dict:
+    """A well-behaved point."""
+    return {"value": value, "pid": os.getpid()}
+
+
+def crash(value: int = 0) -> dict:
+    """Kill the worker process outright (no exception to catch)."""
+    os._exit(13)
+
+
+def crash_once(marker: str, value: int = 0) -> dict:
+    """Crash on the first call, succeed on retries.
+
+    ``marker`` is a filesystem path used as the has-crashed flag, so the
+    behaviour spans processes: the first worker to run the point creates
+    the marker and dies; the retry sees it and completes.
+    """
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed\n")
+        os._exit(13)
+    return {"value": value, "retried": True}
+
+
+def fail_once(marker: str, value: int = 0) -> dict:
+    """Raise (cleanly) on the first call, succeed on retries."""
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("failed\n")
+        raise RuntimeError("transient failure (first attempt)")
+    return {"value": value, "retried": True}
+
+
+def hang(value: int = 0, sleep_s: float = 3600.0) -> dict:
+    """Never return within any reasonable timeout."""
+    time.sleep(sleep_s)
+    return {"value": value}
+
+
+def slow(value: int = 0, sleep_s: float = 0.2) -> dict:
+    """Finish, but only after ``sleep_s`` of wall-clock time."""
+    time.sleep(sleep_s)
+    return {"value": value}

@@ -8,6 +8,8 @@
     python -m repro.experiments trace-report runs/trace.jsonl
     python -m repro.experiments metrics-report runs/trace.jsonl --format prom
     python -m repro.experiments causal-report runs/trace.jsonl
+    python -m repro.experiments chaos run --runs 16 --out runs/chaos
+    python -m repro.experiments chaos replay runs/chaos/repro-gc-cb-0.json
 """
 
 from __future__ import annotations
@@ -32,16 +34,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", *REPORT_COMMANDS],
-        help="which table/figure to regenerate, or one of the trace "
+        choices=sorted(EXPERIMENTS) + ["all", *REPORT_COMMANDS, "chaos"],
+        help="which table/figure to regenerate, one of the trace "
         "reports (trace-report: summary; metrics-report: aggregated "
-        "metrics; causal-report: per-fault chains) over a JSONL trace",
+        "metrics; causal-report: per-fault chains) over a JSONL trace, "
+        "or the chaos campaign engine (chaos run | chaos replay <file>)",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
-        help="JSONL trace file (the *-report subcommands)",
+        help="JSONL trace file (the *-report subcommands), or the "
+        "chaos action: 'run' (default) or 'replay'",
+    )
+    parser.add_argument(
+        "arg",
+        nargs="?",
+        default=None,
+        help="reproducer file for 'chaos replay'",
     )
     parser.add_argument(
         "--format",
@@ -83,6 +93,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed sweep-point cache directory; points "
         "already present are loaded instead of re-simulated",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point wall-clock deadline in seconds; a point that "
+        "hangs is terminated (and retried, see --retries) instead of "
+        "stalling the sweep",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="attempts beyond the first per sweep point (exponential "
+        "backoff); points still failing are reported and skipped",
+    )
+    chaos = parser.add_argument_group("chaos campaigns")
+    chaos.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="campaign runs (distributed round-robin over the targets)",
+    )
+    chaos.add_argument(
+        "--engines",
+        default=None,
+        metavar="T1,T2,...",
+        help="comma-separated campaign targets (default: the four "
+        "guarded-command barriers; see repro.chaos.ADAPTERS)",
+    )
+    chaos.add_argument(
+        "--detectable",
+        type=int,
+        default=None,
+        help="detectable faults per campaign run",
+    )
+    chaos.add_argument(
+        "--undetectable",
+        type=int,
+        default=None,
+        help="undetectable faults per campaign run",
+    )
+    chaos.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="campaign config JSON (flag options override its fields)",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write report.json and reproducer files here",
+    )
+    chaos.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging minimization of failing schedules",
+    )
     return parser
 
 
@@ -98,13 +168,25 @@ def _kwargs_for(exp_id: str, args: argparse.Namespace) -> dict:
         kwargs["phases"] = args.phases
     if exp_id == "fig7" and args.trials is not None:
         kwargs["trials"] = args.trials
-    if exp_id in SWEPT and (args.jobs != 1 or args.cache_dir is not None):
-        from repro.experiments.sweep import SweepExecutor
-
-        kwargs["executor"] = SweepExecutor(
-            jobs=args.jobs, cache_dir=args.cache_dir
-        )
+    if exp_id in SWEPT and (
+        args.jobs != 1
+        or args.cache_dir is not None
+        or args.timeout is not None
+        or args.retries
+    ):
+        kwargs["executor"] = _executor_from(args)
     return kwargs
+
+
+def _executor_from(args: argparse.Namespace):
+    from repro.experiments.sweep import SweepExecutor
+
+    return SweepExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
 
 
 def trace_report(path: str) -> int:
@@ -149,9 +231,82 @@ def causal_report_cmd(path: str, fmt: str = "text") -> int:
     return 0
 
 
+def chaos_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The campaign engine: ``chaos run`` / ``chaos replay <file>``.
+
+    ``run`` exits non-zero when any guarantee was violated (the shrunk
+    reproducers, if --out was given, tell you how); ``replay`` exits
+    non-zero when the saved violation does *not* reappear.
+    """
+    import json as _json
+
+    from repro.chaos import CampaignConfig, replay_file, run_campaign
+
+    action = args.path or "run"
+    if action == "replay":
+        if args.arg is None:
+            parser.error(
+                "chaos replay requires a reproducer file "
+                f"(usage: {parser.prog} chaos replay <file>)"
+            )
+        reproducer, outcome = replay_file(args.arg)
+        saved = reproducer.violation
+        print(
+            f"replaying {reproducer.target}: {reproducer.plan.count} fault "
+            f"event(s), expecting [{saved.guarantee}/{saved.kind}]"
+        )
+        for violation in outcome.violations:
+            print(f"  observed: {violation}")
+        reproduced = any(
+            v.guarantee == saved.guarantee for v in outcome.violations
+        )
+        print("REPRODUCED" if reproduced else "NOT REPRODUCED")
+        return 0 if reproduced else 1
+    if action != "run":
+        parser.error(f"unknown chaos action {action!r} (use: run | replay)")
+
+    overrides: dict = {}
+    if args.config is not None:
+        with open(args.config, encoding="utf-8") as fh:
+            overrides = CampaignConfig.from_json(_json.load(fh)).to_json()
+        overrides.pop("version", None)
+    if args.runs is not None:
+        overrides["runs"] = args.runs
+    if args.engines is not None:
+        overrides["targets"] = tuple(
+            t.strip() for t in args.engines.split(",") if t.strip()
+        )
+    if args.detectable is not None:
+        overrides["detectable"] = args.detectable
+    if args.undetectable is not None:
+        overrides["undetectable"] = args.undetectable
+    if args.seed:
+        overrides["seed"] = args.seed
+    if args.no_shrink:
+        overrides["shrink"] = False
+    config = CampaignConfig.from_json(overrides) if overrides else CampaignConfig()
+
+    executor = None
+    if (
+        args.jobs != 1
+        or args.cache_dir is not None
+        or args.timeout is not None
+        or args.retries
+    ):
+        executor = _executor_from(args)
+    report = run_campaign(config, executor=executor, progress=print)
+    print(report.render())
+    if args.out is not None:
+        for path in report.save(args.out):
+            print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "chaos":
+        return chaos_cmd(args, parser)
     if args.experiment in REPORT_COMMANDS:
         if args.path is None:
             # A proper argparse error (usage + message, exit status 2)

@@ -16,6 +16,16 @@ function.  :class:`SweepExecutor` runs such grids:
   therefore its cached value -- is independent of process, interpreter
   session, and worker assignment.
 
+* **containment** -- with ``timeout_s`` and/or ``retries`` set, each
+  point runs in its *own* worker process with a wall-clock deadline:
+  a point that hangs is terminated, one whose worker crashes (segfault,
+  ``os._exit``) is detected through the exit code, and either is
+  retried with exponential backoff before being given up.  Given-up
+  points land in :attr:`SweepExecutor.failed` (details in
+  :attr:`~SweepExecutor.failures`) with ``None`` in the result slot;
+  every completed point's result is still returned -- a chaos campaign
+  or figure sweep survives its own infrastructure.
+
 Values are normalized through a JSON round-trip *in both the compute
 and the cache-hit path*, which is what makes "parallel + cache" runs
 bit-identical to serial ones: every result the caller sees has passed
@@ -29,9 +39,13 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import logging
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -87,6 +101,27 @@ def _run_point(spec: tuple[str, tuple[tuple[str, Any], ...]]) -> Any:
     return _normalize(_resolve(ref)(**dict(items)))
 
 
+def _contained_point(
+    conn: Any, ref: str, items: tuple[tuple[str, Any], ...]
+) -> None:
+    """Hardened-path worker: one point per process, result over a pipe.
+
+    A clean exception travels back as ``("err", message)``; a worker
+    that dies without sending anything (crash, kill, timeout-terminate)
+    is detected by the parent through EOF + exit code.
+    """
+    try:
+        value = _normalize(_resolve(ref)(**dict(items)))
+    except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", value))
+    conn.close()
+
+
 class SweepExecutor:
     """Run sweep points, optionally in parallel and/or cached.
 
@@ -97,6 +132,17 @@ class SweepExecutor:
     misses are computed and written back atomically, so concurrent
     sweeps sharing a cache directory are safe (last write wins with
     identical content).
+
+    Setting ``timeout_s`` (per-point wall-clock deadline) or
+    ``retries`` (attempts beyond the first per point) switches misses to
+    the hardened process-per-point path: a hang is terminated at the
+    deadline, a dead worker is detected via its exit code, and the
+    point is retried up to ``retries`` times with exponential backoff
+    (``backoff_s * 2**attempt`` between attempts).  Points still failing
+    after the last attempt are reported in :attr:`failed` /
+    :attr:`failures` and leave ``None`` in their result slot; everything
+    that completed is salvaged.  The hardened path applies with
+    ``jobs=1`` too -- crash containment requires the process boundary.
     """
 
     def __init__(
@@ -104,14 +150,36 @@ class SweepExecutor:
         jobs: int = 1,
         cache_dir: str | os.PathLike | None = None,
         chunk_size: int | None = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.1,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
         self.jobs = jobs
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         self.chunk_size = chunk_size
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        #: Points the last :meth:`run` gave up on (after all retries).
+        self.failed: list[SweepPoint] = []
+        #: Failure detail per given-up point: ``{"index", "point",
+        #: "error", "attempts"}`` in input order.
+        self.failures: list[dict[str, Any]] = []
         #: Statistics of the most recent :meth:`run` call.
         self.last_stats: dict[str, int] = {"points": 0, "hits": 0, "computed": 0}
+
+    @property
+    def hardened(self) -> bool:
+        """Whether misses run in contained per-point workers."""
+        return self.timeout_s is not None or self.retries > 0
 
     # -- cache ---------------------------------------------------------
     def _cache_path(self, pt: SweepPoint) -> str | None:
@@ -126,7 +194,16 @@ class SweepExecutor:
         try:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return False, None
+        except ValueError:
+            # Corrupt or truncated cache entry (killed writer, disk
+            # trouble): a miss -- recompute, and the fresh store
+            # overwrites the bad file.
+            logger.warning("discarding corrupt sweep cache entry %s", path)
+            return False, None
+        if not isinstance(entry, dict):
+            logger.warning("discarding corrupt sweep cache entry %s", path)
             return False, None
         if entry.get("fn") != pt.fn or entry.get("kwargs") != _normalize(
             dict(pt.kwargs)
@@ -148,9 +225,16 @@ class SweepExecutor:
 
     # -- execution -----------------------------------------------------
     def run(self, points: Sequence[SweepPoint] | Iterable[SweepPoint]) -> list[Any]:
-        """Evaluate ``points``; the result list matches input order."""
+        """Evaluate ``points``; the result list matches input order.
+
+        On the hardened path, a point that exhausted its retries leaves
+        ``None`` at its index (and appears in :attr:`failed`); the plain
+        path lets exceptions propagate unchanged.
+        """
         pts = list(points)
         results: list[Any] = [None] * len(pts)
+        self.failed = []
+        self.failures = []
         misses: list[int] = []
         hits = 0
         for i, pt in enumerate(pts):
@@ -160,19 +244,25 @@ class SweepExecutor:
                 hits += 1
             else:
                 misses.append(i)
+        retried = 0
         if misses:
-            specs = [(pts[i].fn, pts[i].kwargs) for i in misses]
-            if self.jobs > 1 and len(misses) > 1:
-                computed = self._run_pool(specs)
+            if self.hardened:
+                retried = self._run_contained(pts, misses, results)
             else:
-                computed = [_run_point(spec) for spec in specs]
-            for i, value in zip(misses, computed):
-                results[i] = value
-                self._cache_store(pts[i], value)
+                specs = [(pts[i].fn, pts[i].kwargs) for i in misses]
+                if self.jobs > 1 and len(misses) > 1:
+                    computed = self._run_pool(specs)
+                else:
+                    computed = [_run_point(spec) for spec in specs]
+                for i, value in zip(misses, computed):
+                    results[i] = value
+                    self._cache_store(pts[i], value)
         self.last_stats = {
             "points": len(pts),
             "hits": hits,
-            "computed": len(misses),
+            "computed": len(misses) - len(self.failed),
+            "failed": len(self.failed),
+            "retried": retried,
         }
         return results
 
@@ -185,6 +275,137 @@ class SweepExecutor:
         ctx = mp.get_context()
         with ctx.Pool(processes=min(self.jobs, len(specs))) as pool:
             return list(pool.imap(_run_point, specs, chunksize=chunk))
+
+    # -- hardened path -------------------------------------------------
+    def _run_contained(
+        self, pts: list[SweepPoint], misses: list[int], results: list[Any]
+    ) -> int:
+        """Process-per-point execution with deadlines and retries.
+
+        Up to ``jobs`` workers run at once.  Each attempt is a fresh
+        process (a crashed worker is never reused); the parent collects
+        results over pipes, enforces ``timeout_s`` per attempt, and
+        reschedules failures with backoff.  Returns the retry count.
+        """
+        import multiprocessing as mp
+        from multiprocessing.connection import wait as conn_wait
+
+        ctx = mp.get_context()
+        #: (point index, attempt, earliest start time)
+        pending: list[tuple[int, int, float]] = [
+            (i, 0, 0.0) for i in misses
+        ]
+        #: conn -> (point index, attempt, deadline or None, process)
+        active: dict[Any, tuple[int, int, float | None, Any]] = {}
+        #: (point index, failure record) -- sorted into input order last.
+        given_up: list[tuple[int, dict[str, Any]]] = []
+        retried = 0
+
+        def launch(index: int, attempt: int) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_contained_point,
+                args=(child_conn, pts[index].fn, pts[index].kwargs),
+            )
+            proc.start()
+            child_conn.close()
+            deadline = (
+                time.monotonic() + self.timeout_s
+                if self.timeout_s is not None
+                else None
+            )
+            active[parent_conn] = (index, attempt, deadline, proc)
+
+        def settle(index: int, attempt: int, error: str) -> None:
+            nonlocal retried
+            if attempt < self.retries:
+                retried += 1
+                delay = self.backoff_s * (2**attempt)
+                pending.append((index, attempt + 1, time.monotonic() + delay))
+            else:
+                given_up.append(
+                    (
+                        index,
+                        {
+                            "index": index,
+                            "point": {
+                                "fn": pts[index].fn,
+                                "kwargs": dict(pts[index].kwargs),
+                            },
+                            "error": error,
+                            "attempts": attempt + 1,
+                        },
+                    )
+                )
+                logger.warning(
+                    "sweep point %s gave up after %d attempt(s): %s",
+                    pts[index].fn,
+                    attempt + 1,
+                    error,
+                )
+
+        while pending or active:
+            now = time.monotonic()
+            # Fill free slots with whatever is eligible to (re)start.
+            launchable = [p for p in pending if p[2] <= now]
+            while launchable and len(active) < self.jobs:
+                entry = launchable.pop(0)
+                pending.remove(entry)
+                launch(entry[0], entry[1])
+            if not active:
+                # Everything left is backing off: sleep to the earliest.
+                wake = min(p[2] for p in pending)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+            # Wake on the first message, nearest deadline, or the next
+            # backoff expiry -- whichever comes first.
+            horizon: list[float] = [
+                d for (_i, _a, d, _p) in active.values() if d is not None
+            ]
+            horizon.extend(p[2] for p in pending)
+            timeout = None
+            if horizon:
+                timeout = max(0.0, min(horizon) - time.monotonic())
+            ready = conn_wait(list(active), timeout=timeout)
+            for conn in ready:
+                index, attempt, _deadline, proc = active.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    status, payload = (
+                        "crash",
+                        f"worker died (exit code {proc.exitcode})",
+                    )
+                conn.close()
+                proc.join()
+                if status == "ok":
+                    results[index] = payload
+                    self._cache_store(pts[index], payload)
+                elif status == "crash":
+                    # EOF races the exit code; re-read it after join.
+                    settle(
+                        index,
+                        attempt,
+                        f"worker died (exit code {proc.exitcode})",
+                    )
+                else:
+                    settle(index, attempt, payload)
+            now = time.monotonic()
+            expired = [
+                conn
+                for conn, (_i, _a, deadline, _p) in active.items()
+                if deadline is not None and deadline <= now
+            ]
+            for conn in expired:
+                index, attempt, _deadline, proc = active.pop(conn)
+                proc.terminate()
+                proc.join()
+                conn.close()
+                settle(index, attempt, f"timeout after {self.timeout_s}s")
+        given_up.sort(key=lambda item: item[0])
+        self.failed = [pts[index] for index, _record in given_up]
+        self.failures = [record for _index, record in given_up]
+        return retried
 
 
 def run_grid(

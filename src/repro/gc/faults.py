@@ -180,6 +180,7 @@ class FaultInjector:
             updates=tuple(writes),
             time=time,
             is_fault=True,
+            detectable=self.spec.detectable,
         )
 
 
@@ -234,6 +235,66 @@ class ScriptedInjector:
                 updates=tuple(writes),
                 time=time,
                 is_fault=True,
+                detectable=self.spec.detectable,
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.schedule)
+
+
+class PlanInjector:
+    """Deterministic injection with a *per-event* fault spec.
+
+    The chaos campaigns replay one serialized schedule that mixes fault
+    classes (detectable resets and undetectable scrambles) in a single
+    run, which :class:`ScriptedInjector` cannot express -- it carries one
+    spec for the whole schedule.  ``schedule`` here is a sequence of
+    ``(step, pid, spec)`` triples; each entry fires its own spec at the
+    first opportunity at or after ``step``, and the emitted trace event
+    is stamped with that spec's detectability.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        schedule: Sequence[tuple[int, int, FaultSpec]],
+        seed: Any = None,
+    ) -> None:
+        self.program = program
+        self.schedule = sorted(schedule, key=lambda e: (e[0], e[1]))
+        for step, pid, spec in self.schedule:
+            if not 0 <= pid < program.nprocs:
+                raise ValueError(f"scheduled fault at bad pid {pid}")
+            if step < 0:
+                raise ValueError(f"scheduled fault at negative step {step}")
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"schedule entry needs a FaultSpec, got {spec!r}")
+        self.rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self.count = 0
+        self._next = 0
+
+    def maybe_inject(
+        self, state: State, step: int, time: float = 0.0
+    ) -> Iterable[TraceEvent]:
+        """Fire every scheduled fault due at or before ``step``."""
+        while self._next < len(self.schedule) and self.schedule[self._next][0] <= step:
+            _due, pid, spec = self.schedule[self._next]
+            self._next += 1
+            writes = spec.apply(self.program, state, pid, self.rng)
+            self.count += 1
+            yield TraceEvent(
+                step=step,
+                pid=pid,
+                action=f"fault:{spec.name}",
+                updates=tuple(writes),
+                time=time,
+                is_fault=True,
+                detectable=spec.detectable,
             )
 
     @property

@@ -97,7 +97,11 @@ class Simulator:
                         self.tracer.fault(
                             float(step),
                             fault_event.pid,
-                            detectable=fault_detectable,
+                            detectable=(
+                                fault_event.detectable
+                                if fault_event.detectable is not None
+                                else fault_detectable
+                            ),
                             name=fault_event.action,
                         )
                         if phase_obs is not None:

@@ -14,7 +14,15 @@ from typing import Any, Callable, Iterator
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One action execution (or fault occurrence)."""
+    """One action execution (or fault occurrence).
+
+    ``detectable`` qualifies fault events only: injectors that mix fault
+    classes in one run (the chaos campaigns) stamp each fault event with
+    its own class, so downstream consumers (the structured tracer, the
+    guarantee monitors) never have to guess from a single injector-wide
+    spec.  ``None`` means "unspecified" -- callers fall back to the
+    injector's spec, preserving the pre-chaos behaviour.
+    """
 
     step: int
     pid: int
@@ -22,6 +30,7 @@ class TraceEvent:
     updates: tuple[tuple[str, Any], ...]
     time: float = 0.0
     is_fault: bool = False
+    detectable: bool | None = None
 
     def wrote(self, var: str) -> bool:
         return any(name == var for name, _ in self.updates)

@@ -37,11 +37,19 @@ class BarrierPhaseObserver:
         initial_ph: Iterable[int],
         cp_var: str = "cp",
         ph_var: str = "ph",
+        execute: Any = CP.EXECUTE,
+        success: Any = CP.SUCCESS,
     ) -> None:
         self.tracer = tracer
         self.nprocs = nprocs
         self.cp_var = cp_var
         self.ph_var = ph_var
+        # The control values marking "in the phase" / "left it having
+        # completed".  Defaults are the tolerant programs' CP positions;
+        # the intolerant baseline uses its own enum (execute/success/
+        # done), resolved by :meth:`from_state` from the cp domain.
+        self._execute = execute
+        self._success = success
         self._cp = list(initial_cp)
         self._ph = list(initial_ph)
         if len(self._cp) != nprocs or len(self._ph) != nprocs:
@@ -51,16 +59,40 @@ class BarrierPhaseObserver:
         self._executing: set[int] = set()
         self._participants: set[int] = set()
         self._completed: set[int] = set()
+        # Programs that *start* inside a phase (the intolerant baseline
+        # boots with every process in execute) have an instance open
+        # before any action fires; mirror it so its completion is
+        # counted rather than silently dropped.
+        starters = {p for p in range(nprocs) if self._cp[p] is execute}
+        if starters:
+            self._open_phase = self._ph[min(starters)]
+            self._executing = set(starters)
+            self._participants = set(starters)
+            self.tracer.phase_start(0.0, self._open_phase, pid=min(starters))
 
     @classmethod
     def from_state(cls, tracer: Any, program: Any, state: Any) -> "BarrierPhaseObserver":
-        """Build from a program's state (uses variables ``cp``/``ph``)."""
+        """Build from a program's state (uses variables ``cp``/``ph``).
+
+        The execute/success control values are resolved from the
+        program's ``cp`` domain by member name, so any control enum with
+        EXECUTE and SUCCESS positions (CP, the intolerant barrier's ICP)
+        gets instance semantics.
+        """
         n = program.nprocs
+        execute, success = CP.EXECUTE, CP.SUCCESS
+        domain = program.domains.get("cp")
+        members = domain.values() if hasattr(domain, "values") else ()
+        by_name = {getattr(m, "name", None): m for m in members}
+        if "EXECUTE" in by_name and "SUCCESS" in by_name:
+            execute, success = by_name["EXECUTE"], by_name["SUCCESS"]
         return cls(
             tracer,
             n,
             initial_cp=[state.get("cp", p) for p in range(n)],
             initial_ph=[state.get("ph", p) for p in range(n)],
+            execute=execute,
+            success=success,
         )
 
     # ------------------------------------------------------------------
@@ -80,7 +112,7 @@ class BarrierPhaseObserver:
         self._cp[pid] = new_cp
         if new_cp is old_cp:
             return
-        if new_cp is CP.EXECUTE:
+        if new_cp is self._execute:
             if self._open_phase is None:
                 self._open_phase = self._ph[pid]
                 self._open_since = time
@@ -89,9 +121,9 @@ class BarrierPhaseObserver:
                 self.tracer.phase_start(time, self._open_phase, pid=pid)
             self._participants.add(pid)
             self._executing.add(pid)
-        elif old_cp is CP.EXECUTE:
+        elif old_cp is self._execute:
             self._executing.discard(pid)
-            if new_cp is CP.SUCCESS:
+            if new_cp is self._success:
                 self._completed.add(pid)
             if self._open_phase is not None and not self._executing:
                 success = len(self._completed) == self.nprocs

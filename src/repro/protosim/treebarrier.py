@@ -186,6 +186,24 @@ class FTTreeBarrierSim:
     # ------------------------------------------------------------------
     # Fault environment
     # ------------------------------------------------------------------
+    def schedule_fault(self, time: float, pid: int) -> None:
+        """Deterministically strike ``pid`` with a detectable fault at
+        virtual ``time`` (adversarial fault-timing for the chaos
+        campaigns; composes with the random environments)."""
+        self._check_target(pid)
+        self.sim.at(time, lambda: self._apply_fault(pid))
+
+    def schedule_scramble(self, time: float, pid: int) -> None:
+        """Deterministically scramble ``pid`` (an undetectable fault) at
+        virtual ``time``; the arbitrary state still draws from the
+        simulation's seeded "scrambles" stream."""
+        self._check_target(pid)
+        self.sim.at(time, lambda: self._apply_scramble(pid))
+
+    def _check_target(self, pid: int) -> None:
+        if not 0 <= pid < len(self.nodes):
+            raise ValueError(f"bad fault target pid {pid}")
+
     def _schedule_next_fault(self) -> None:
         t = self._fault_env.next_arrival(self.sim.rng("faults"), self.sim.now)
         if t == inf:
@@ -194,6 +212,10 @@ class FTTreeBarrierSim:
 
     def _inject_fault(self) -> None:
         victim = self._fault_env.victim(self.sim.rng("faults"))
+        self._apply_fault(victim)
+        self._schedule_next_fault()
+
+    def _apply_fault(self, victim: int) -> None:
         node = self.nodes[victim]
         node.state = CP.ERROR
         node.work_end = -1.0  # in-progress work is lost
@@ -202,7 +224,6 @@ class FTTreeBarrierSim:
             self.tracer.fault(self.sim.now, victim)
             if self._fault_since is None:
                 self._fault_since = self.sim.now
-        self._schedule_next_fault()
 
     def _schedule_next_scramble(self) -> None:
         t = self._scramble_env.next_arrival(
@@ -215,9 +236,13 @@ class FTTreeBarrierSim:
     _SCRAMBLE_STATES = (CP.READY, CP.EXECUTE, CP.SUCCESS, CP.ERROR, CP.REPEAT)
 
     def _inject_scramble(self) -> None:
-        """An undetectable fault: arbitrary state at a random node."""
+        victim = self._scramble_env.victim(self.sim.rng("scrambles"))
+        self._apply_scramble(victim)
+        self._schedule_next_scramble()
+
+    def _apply_scramble(self, victim: int) -> None:
+        """An undetectable fault: arbitrary state at one node."""
         rng = self.sim.rng("scrambles")
-        victim = self._scramble_env.victim(rng)
         node = self.nodes[victim]
         node.state = self._SCRAMBLE_STATES[int(rng.integers(0, 5))]
         node.phase = int(rng.integers(0, min(self.config.nphases, 64)))
@@ -240,7 +265,6 @@ class FTTreeBarrierSim:
             self.sim.after(
                 self.height * self.config.latency, self._root_step
             )
-        self._schedule_next_scramble()
 
     # ------------------------------------------------------------------
     # Waves

@@ -24,6 +24,7 @@ from typing import Any, Generator, Mapping, Sequence
 
 from repro.barrier.control import CP
 from repro.gc.domains import BOT, TOP
+from repro.obs.tracer import ensure_tracer
 from repro.simmpi.runtime import Comm
 
 #: Message tag for neighbour state pushes.
@@ -200,11 +201,19 @@ def mb_barrier_program(
     push_interval: float = 0.05,
     fault_plan: Mapping[int, Sequence[float]] | None = None,
     max_time: float = 10_000.0,
+    tracer: Any = None,
 ) -> Generator[Any, Any, MBPhaseLog]:
     """The per-rank generator: run ``phases`` barrier phases via MB.
 
     ``fault_plan`` maps rank -> virtual times at which that rank suffers
     a detectable reset.  Returns the rank's :class:`MBPhaseLog`.
+
+    With a ``tracer``, every planned reset emits a ``fault`` event and
+    rank 0 narrates its phase instances (``phase_start`` on entering
+    execute; ``phase_end`` with the observed success on hand-over,
+    re-execution, or a reset striking mid-instance), so the chaos
+    guarantee monitors can watch a distributed MB job through the same
+    schema as every other engine.
 
     Rank 0's ``completed`` counts globally successful phases (its T1
     performs the increments) and *drives termination*: when it reaches
@@ -223,6 +232,8 @@ def mb_barrier_program(
         l_domain=2 * comm.size,
     )
     log = MBPhaseLog()
+    tracer = ensure_tracer(tracer)
+    open_phase: int | None = None  # rank 0's in-flight traced instance
     pending_faults = sorted(
         (fault_plan or {}).get(comm.rank, ()), reverse=True
     )
@@ -256,19 +267,35 @@ def mb_barrier_program(
             pending_faults.pop()
             machine.reset()
             log.faults_applied += 1
+            if tracer.enabled:
+                tracer.fault(now, comm.rank)
+                if open_phase is not None:
+                    # The reset killed rank 0's in-flight instance; the
+                    # protocol will re-execute it.
+                    tracer.phase_end(now, open_phase, False)
+                    open_phase = None
 
         changed = machine.run_enabled()
         while machine.events:
             event = machine.events.pop(0)
             if event == "enter-execute":
+                if tracer.enabled and comm.rank == 0 and open_phase is None:
+                    open_phase = machine.ph
+                    tracer.phase_start(now, open_phase)
                 machine.busy = True
                 yield comm.compute(work_time)
                 machine.busy = False
                 changed = True
             elif event == "phase-complete":
                 log.completed += 1
+                if tracer.enabled and comm.rank == 0 and open_phase is not None:
+                    tracer.phase_end(now, open_phase, True)
+                    open_phase = None
             elif event == "re-execute":
                 log.reexecutions += 1
+                if tracer.enabled and comm.rank == 0 and open_phase is not None:
+                    tracer.phase_end(now, open_phase, False)
+                    open_phase = None
 
         if comm.rank == 0 and log.completed >= phases and not machine.done:
             machine.done = True

@@ -1,0 +1,129 @@
+"""Fault-plan schema: validation, determinism, serialization."""
+
+import pytest
+
+from repro.chaos import (
+    CampaignConfig,
+    FaultEvent,
+    FaultPlan,
+    LinkPlan,
+    derive_seed,
+    plan_for_run,
+)
+
+
+class TestFaultPlan:
+    def test_events_sorted_on_construction(self):
+        plan = FaultPlan(
+            nprocs=4,
+            events=(
+                FaultEvent(9.0, 2),
+                FaultEvent(1.0, 3),
+                FaultEvent(1.0, 0, detectable=False),
+            ),
+        )
+        assert [(e.when, e.pid) for e in plan.events] == [
+            (1.0, 0),
+            (1.0, 3),
+            (9.0, 2),
+        ]
+        assert plan.count == 3
+        assert len(plan.detectable_events) == 2
+        assert len(plan.undetectable_events) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="pid"):
+            FaultPlan(nprocs=2, events=(FaultEvent(1.0, 5),))
+        with pytest.raises(ValueError, match="negative"):
+            FaultPlan(nprocs=2, events=(FaultEvent(-1.0, 0),))
+        with pytest.raises(ValueError, match="at least one process"):
+            FaultPlan(nprocs=0)
+        with pytest.raises(ValueError, match="rate"):
+            LinkPlan(loss=1.5)
+
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(42, 4, detectable=3, undetectable=2)
+        b = FaultPlan.generate(42, 4, detectable=3, undetectable=2)
+        assert a == b
+        assert a.count == 5
+        c = FaultPlan.generate(43, 4, detectable=3, undetectable=2)
+        assert a != c
+
+    def test_generate_steps_floors_times(self):
+        plan = FaultPlan.generate(7, 3, detectable=4, steps=True)
+        assert all(e.when == int(e.when) for e in plan.events)
+        assert all(1.0 <= e.when < 30.0 for e in plan.events)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.generate(
+            5, 4, detectable=2, undetectable=1, link=LinkPlan(loss=0.1)
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.link == plan.link
+
+    def test_rejects_unknown_version(self):
+        record = FaultPlan.generate(1, 2, detectable=1).to_json()
+        record["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_json(record)
+
+    def test_with_events_keeps_seed_and_link(self):
+        plan = FaultPlan.generate(5, 4, detectable=3, link=LinkPlan(loss=0.2))
+        sub = plan.with_events(plan.events[:1])
+        assert sub.count == 1
+        assert sub.seed == plan.seed
+        assert sub.link == plan.link
+
+
+class TestCampaignConfig:
+    def test_defaults_round_trip(self):
+        cfg = CampaignConfig()
+        assert CampaignConfig.from_json(cfg.to_json()) == cfg
+        assert cfg.targets == ("gc:cb", "gc:rb-ring", "gc:rb-tree", "gc:mb")
+
+    def test_partial_json_uses_defaults(self):
+        cfg = CampaignConfig.from_json({"runs": 3, "seed": 9})
+        assert cfg.runs == 3
+        assert cfg.seed == 9
+        assert cfg.targets == CampaignConfig().targets
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            CampaignConfig(targets=())
+        with pytest.raises(ValueError, match="run"):
+            CampaignConfig(runs=0)
+        with pytest.raises(ValueError, match="window"):
+            CampaignConfig(window=(5.0, 2.0))
+
+
+class TestRunDerivation:
+    def test_derive_seed_is_stable(self):
+        # Pinned values: the per-run seeds are part of the campaign
+        # replay contract and must not drift across platforms.
+        assert derive_seed(0, 0) == derive_seed(0, 0)
+        assert derive_seed(0, 0) != derive_seed(0, 1)
+        assert derive_seed(0, 0) != derive_seed(1, 0)
+        assert derive_seed(0, 0) == 12426054289685354689
+
+    def test_round_robin_targets_and_distinct_plans(self):
+        cfg = CampaignConfig(runs=8, detectable=2)
+        assignments = [plan_for_run(cfg, i) for i in range(8)]
+        assert [t for t, _ in assignments[:4]] == list(cfg.targets)
+        assert assignments[0][0] == assignments[4][0]
+        assert assignments[0][1] != assignments[4][1]
+
+    def test_capability_clamp_keeps_fault_pressure(self):
+        # simmpi cannot scramble: undetectable strikes become detectable
+        # rather than vanishing.
+        cfg = CampaignConfig(
+            targets=("simmpi:barrier",), runs=1, detectable=1, undetectable=2
+        )
+        _target, plan = plan_for_run(cfg, 0)
+        assert plan.count == 3
+        assert not plan.undetectable_events
+
+    def test_gc_plans_use_step_times(self):
+        cfg = CampaignConfig(runs=1, detectable=3)
+        _target, plan = plan_for_run(cfg, 0)
+        assert all(e.when == int(e.when) for e in plan.events)

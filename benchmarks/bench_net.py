@@ -1,0 +1,114 @@
+"""Distributed-runtime benchmarks: barrier round cost vs node count.
+
+Two roles (mirroring the other ``bench_*`` modules):
+
+* under pytest, asserts the runtime's CI contract cheaply -- a clean
+  in-memory run completes with zero violations, its replay digest is
+  stable across two runs, and per-round wall cost stays within a loose
+  sanity ceiling;
+* as a script (``python benchmarks/bench_net.py [--quick]``), sweeps
+  node counts for both protocols over the in-memory transport, records
+  round latency / throughput / message counts, and writes
+  ``BENCH_net.json``.  Wall-clock numbers are *recorded, not gated*:
+  the runtime burns real time, so absolute numbers are machine facts,
+  not regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.net import NetConfig, run_sync
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_net.json"
+
+#: (node counts, barriers) for the full and --quick sweeps.
+FULL = ((2, 4, 8, 16), 30)
+QUICK = ((2, 4), 8)
+
+
+def bench_point(protocol: str, nodes: int, barriers: int) -> dict:
+    """One clean run; returns the recorded quantities."""
+    start = time.perf_counter()
+    result = run_sync(
+        NetConfig(
+            nodes=nodes,
+            barriers=barriers,
+            protocol=protocol,
+            transport="mem",
+            timeout_s=120.0,
+        )
+    )
+    wall = time.perf_counter() - start
+    sent = sum(s.get("sent", 0) for s in result.node_stats.values())
+    return {
+        "protocol": protocol,
+        "nodes": nodes,
+        "barriers": barriers,
+        "ok": result.ok,
+        "wall_s": wall,
+        "round_latency_s": wall / barriers,
+        "rounds_per_s": barriers / wall if wall else 0.0,
+        "messages_sent": sent,
+        "messages_per_round": sent / barriers,
+        "digest": result.digest,
+    }
+
+
+def measure(quick: bool = False) -> dict:
+    node_counts, barriers = QUICK if quick else FULL
+    points = [
+        bench_point(protocol, nodes, barriers)
+        for protocol in ("tree", "mb")
+        for nodes in node_counts
+    ]
+    return {
+        "version": 1,
+        "quick": quick,
+        "transport": "mem",
+        "points": points,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest contract
+# ----------------------------------------------------------------------
+def test_clean_run_is_fast_and_replays():
+    """A small clean run passes, replays to the same digest, and stays
+    under a very loose per-round ceiling (sanity, not a perf gate)."""
+    a = bench_point("tree", 4, 8)
+    b = bench_point("tree", 4, 8)
+    assert a["ok"] and b["ok"]
+    assert a["digest"] == b["digest"]
+    assert a["round_latency_s"] < 1.0, a
+
+
+def test_mb_point_completes():
+    point = bench_point("mb", 3, 5)
+    assert point["ok"], point
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    report = measure(quick=quick)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for p in report["points"]:
+        print(
+            f"{p['protocol']:4s} n={p['nodes']:2d}: "
+            f"{p['round_latency_s'] * 1e3:7.2f} ms/round  "
+            f"{p['rounds_per_s']:7.1f} rounds/s  "
+            f"{p['messages_per_round']:6.1f} msg/round  "
+            f"{'ok' if p['ok'] else 'FAIL'}"
+        )
+    print(f"wrote {OUT_PATH}")
+    return 0 if all(p["ok"] for p in report["points"]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -34,6 +34,7 @@ from repro.chaos.plan import (
     FaultEvent,
     FaultPlan,
     LinkPlan,
+    PartitionWindow,
 )
 from repro.chaos.shrink import Reproducer, ShrinkResult, shrink_plan
 
@@ -51,6 +52,7 @@ __all__ = [
     "Monitor",
     "MonitorSet",
     "PLAN_VERSION",
+    "PartitionWindow",
     "Reproducer",
     "RunOutcome",
     "ShrinkResult",

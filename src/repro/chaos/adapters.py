@@ -444,6 +444,88 @@ class DesMBAdapter(Adapter):
 
 
 # ----------------------------------------------------------------------
+# Asyncio message-passing runtime (repro.net)
+# ----------------------------------------------------------------------
+class NetAdapter(Adapter):
+    """A protocol on the real asyncio runtime as a chaos target.
+
+    Unlike every other adapter, runs here burn wall clock: nodes are
+    asyncio tasks exchanging framed messages over an in-memory fabric,
+    link rates and partition windows are injected at the transport by
+    :class:`repro.net.faults.FaultyTransport`, and plan events become
+    crash-restarts.  The per-node Lamport-stamped traces are merged and
+    checked post-run by the same monitor battery
+    (:func:`repro.net.trace.check_merged` defers to
+    :func:`monitors_for`), so the :class:`RunOutcome` is built straight
+    from the :class:`repro.net.runtime.NetResult`.
+    """
+
+    steps = False
+    #: Tree strikes floor to a round number, MB strikes are
+    #: progress-or-time; both land inside a ``target_phases`` run.
+    window = (1.0, 4.0)
+    supports_undetectable = False
+    supports_link = True
+    protocol = "tree"
+    #: MB machine phase-counter wrap (None => unbounded tree rounds).
+    nphases: int | None = None
+    #: Wall-clock budget per run; generous next to the ~1s typical run.
+    timeout_s = 30.0
+    #: Extra barriers past the strike window so a strike landing in the
+    #: window's tail still has the clean phases the stabilization
+    #: monitor needs to declare convergence before the run ends.
+    cooldown = 2
+
+    def run(self, plan: FaultPlan, cfg: CampaignConfig) -> RunOutcome:
+        # Imported lazily: repro.net pulls in repro.chaos at import time.
+        import math
+
+        from repro.net.runtime import NetConfig, run_sync
+
+        # Enough rounds that the latest possible strike (window stop)
+        # is followed by >= cooldown clean barriers.
+        barriers = max(cfg.target_phases, math.ceil(self.window[1])) + self.cooldown
+        result = run_sync(
+            NetConfig(
+                nodes=plan.nprocs,
+                barriers=barriers,
+                protocol=self.protocol,
+                transport="mem",
+                nphases=self.nphases or 4,
+                seed=plan.seed,
+                plan=plan,
+                timeout_s=self.timeout_s,
+            )
+        )
+        return RunOutcome(
+            target=self.name,
+            plan=plan,
+            reached=result.reached,
+            end_time=result.end_time,
+            faults_fired=result.faults_fired,
+            successful_phases=result.successful_phases,
+            violations=list(result.violations),
+            spans=list(result.spans),
+        )
+
+
+class NetTreeAdapter(NetAdapter):
+    """The distributed tree barrier (arrive/release waves) under chaos."""
+
+    name = "net:tree"
+    protocol = "tree"
+    nphases = None
+
+
+class NetMBAdapter(NetAdapter):
+    """Program MB on the asyncio ring under chaos."""
+
+    name = "net:mb"
+    protocol = "mb"
+    nphases = 4
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 def _registry() -> dict[str, Adapter]:
@@ -456,6 +538,8 @@ def _registry() -> dict[str, Adapter]:
         ProtosimAdapter(),
         SimMPIAdapter(),
         DesMBAdapter(),
+        NetTreeAdapter(),
+        NetMBAdapter(),
     ]
     return {a.name: a for a in adapters}
 

@@ -16,8 +16,8 @@ determined by ``(seed, counts, window, nprocs)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
@@ -55,23 +55,39 @@ class FaultEvent:
 @dataclass(frozen=True)
 class LinkPlan:
     """Message-fault pressure for engines with a real network layer
-    (loss/duplication/corruption/reorder rates, independent per
-    message -- the :class:`repro.des.network.LinkFaults` vocabulary)."""
+    (loss/duplication/corruption/reorder/delay rates, independent per
+    message -- the :class:`repro.des.network.LinkFaults` vocabulary plus
+    the asyncio transport's extra-latency fault).
+
+    ``delay`` is the probability a message is held back for a seeded
+    extra latency before delivery; ``reorder`` is the probability it is
+    re-queued behind later traffic.  Engines without a matching fault
+    channel ignore the rates they cannot express.
+    """
 
     loss: float = 0.0
     duplication: float = 0.0
     corruption: float = 0.0
     reorder: float = 0.0
+    delay: float = 0.0
+
+    _RATES = ("loss", "duplication", "corruption", "reorder", "delay")
 
     def __post_init__(self) -> None:
-        for name in ("loss", "duplication", "corruption", "reorder"):
+        for name in self._RATES:
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ValueError(f"{name} rate out of [0, 1]: {v}")
 
     @property
     def any(self) -> bool:
-        return bool(self.loss or self.duplication or self.corruption or self.reorder)
+        return bool(
+            self.loss
+            or self.duplication
+            or self.corruption
+            or self.reorder
+            or self.delay
+        )
 
     def to_json(self) -> dict[str, float]:
         return {
@@ -79,12 +95,74 @@ class LinkPlan:
             "duplication": self.duplication,
             "corruption": self.corruption,
             "reorder": self.reorder,
+            "delay": self.delay,
         }
 
     @classmethod
     def from_json(cls, record: Mapping[str, Any]) -> "LinkPlan":
-        return cls(**{k: float(record.get(k, 0.0)) for k in
-                      ("loss", "duplication", "corruption", "reorder")})
+        return cls(**{k: float(record.get(k, 0.0)) for k in cls._RATES})
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A scheduled network partition: during ``[start, stop)`` messages
+    crossing ``groups`` are dropped wholesale.
+
+    ``groups`` is a tuple of disjoint pid tuples; a message is cut when
+    its endpoints fall in *different* groups (pids in no group
+    communicate freely -- the partition only separates the named
+    blocks).  Time is the transport's clock: seconds since run start
+    for the asyncio runtime.  Partitions heal at ``stop``; the
+    protocols' resend machinery is what makes the run complete anyway.
+    """
+
+    start: float
+    stop: float
+    groups: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(f"bad partition window [{self.start}, {self.stop})")
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        object.__setattr__(
+            self,
+            "groups",
+            tuple(tuple(int(p) for p in group) for group in self.groups),
+        )
+        seen: set[int] = set()
+        for group in self.groups:
+            for pid in group:
+                if pid in seen:
+                    raise ValueError(f"pid {pid} appears in two partition groups")
+                seen.add(pid)
+
+    def cuts(self, src: int, dst: int, at: float) -> bool:
+        """Whether a ``src -> dst`` message at time ``at`` is dropped."""
+        if not self.start <= at < self.stop:
+            return False
+        side_src = side_dst = None
+        for i, group in enumerate(self.groups):
+            if src in group:
+                side_src = i
+            if dst in group:
+                side_dst = i
+        return side_src is not None and side_dst is not None and side_src != side_dst
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "start": self.start,
+            "stop": self.stop,
+            "groups": [list(g) for g in self.groups],
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "PartitionWindow":
+        return cls(
+            start=float(record["start"]),
+            stop=float(record["stop"]),
+            groups=tuple(tuple(int(p) for p in g) for g in record["groups"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -100,6 +178,7 @@ class FaultPlan:
     events: tuple[FaultEvent, ...] = ()
     seed: int = 0
     link: LinkPlan | None = None
+    partitions: tuple[PartitionWindow, ...] = ()
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -111,6 +190,14 @@ class FaultPlan:
                 raise ValueError(f"negative event time {e.when}")
         ordered = tuple(sorted(self.events, key=lambda e: (e.when, e.pid)))
         object.__setattr__(self, "events", ordered)
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        for window in self.partitions:
+            for group in window.groups:
+                for pid in group:
+                    if not 0 <= pid < self.nprocs:
+                        raise ValueError(
+                            f"partition pid {pid} out of range for n={self.nprocs}"
+                        )
 
     # -- derived views --------------------------------------------------
     @property
@@ -178,6 +265,8 @@ class FaultPlan:
         }
         if self.link is not None:
             record["link"] = self.link.to_json()
+        if self.partitions:
+            record["partitions"] = [w.to_json() for w in self.partitions]
         return record
 
     @classmethod
@@ -193,6 +282,10 @@ class FaultPlan:
                 LinkPlan.from_json(record["link"])
                 if record.get("link") is not None
                 else None
+            ),
+            partitions=tuple(
+                PartitionWindow.from_json(w)
+                for w in record.get("partitions", ())
             ),
         )
 

@@ -16,7 +16,7 @@ that ``repro-experiments chaos replay <file>`` re-runs bit-for-bit.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
 

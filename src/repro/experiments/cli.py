@@ -10,6 +10,9 @@
     python -m repro.experiments causal-report runs/trace.jsonl
     python -m repro.experiments chaos run --runs 16 --out runs/chaos
     python -m repro.experiments chaos replay runs/chaos/repro-gc-cb-0.json
+    repro-experiments net run --nodes 5 --transport mem --drop 0.1
+    repro-experiments net run --nodes 8 --transport tcp \
+        --partition 0.5:1.5:0,1,2,3|4,5,6,7 --seed 42
 """
 
 from __future__ import annotations
@@ -34,18 +37,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", *REPORT_COMMANDS, "chaos"],
+        choices=sorted(EXPERIMENTS) + ["all", *REPORT_COMMANDS, "chaos", "net"],
         help="which table/figure to regenerate, one of the trace "
         "reports (trace-report: summary; metrics-report: aggregated "
         "metrics; causal-report: per-fault chains) over a JSONL trace, "
-        "or the chaos campaign engine (chaos run | chaos replay <file>)",
+        "the chaos campaign engine (chaos run | chaos replay <file>), "
+        "or the asyncio message-passing runtime (net run)",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
         help="JSONL trace file (the *-report subcommands), or the "
-        "chaos action: 'run' (default) or 'replay'",
+        "chaos/net action: 'run' (default) or 'replay' (chaos only)",
     )
     parser.add_argument(
         "arg",
@@ -152,6 +156,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="skip delta-debugging minimization of failing schedules",
+    )
+    net = parser.add_argument_group("net runtime (repro.net)")
+    net.add_argument(
+        "--nodes", type=int, default=5, help="distributed node count"
+    )
+    net.add_argument(
+        "--transport",
+        choices=("mem", "tcp"),
+        default="mem",
+        help="in-memory fabric (CI default) or real localhost TCP",
+    )
+    net.add_argument(
+        "--protocol",
+        choices=("tree", "mb"),
+        default="tree",
+        help="tree barrier (arrive/release waves) or the MB ring",
+    )
+    net.add_argument(
+        "--barriers", type=int, default=20, help="barrier rounds to complete"
+    )
+    net.add_argument(
+        "--arity", type=int, default=2, help="tree fan-out (tree protocol)"
+    )
+    net.add_argument(
+        "--drop", type=float, default=0.0, help="per-message drop rate"
+    )
+    net.add_argument(
+        "--dup", type=float, default=0.0, help="per-message duplication rate"
+    )
+    net.add_argument(
+        "--delay", type=float, default=0.0, help="per-message delay rate"
+    )
+    net.add_argument(
+        "--reorder", type=float, default=0.0, help="per-message reorder rate"
+    )
+    net.add_argument(
+        "--partition",
+        action="append",
+        default=None,
+        metavar="START:STOP:G1|G2[|...]",
+        help="partition window, e.g. 0.5:1.5:0,1,2|3,4 -- cross-group "
+        "messages drop for START<=t<STOP seconds (repeatable)",
+    )
+    net.add_argument(
+        "--crash",
+        action="append",
+        default=None,
+        metavar="PID:WHEN",
+        help="crash-restart node PID at round/strike-time WHEN (repeatable)",
+    )
+    net.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="FaultPlan JSON file (overrides the fault flags above)",
+    )
+    net.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="dump per-node and merged JSONL traces here",
     )
     return parser
 
@@ -302,11 +367,102 @@ def chaos_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_partition(spec: str):
+    """``START:STOP:G1|G2[|...]`` -> :class:`PartitionWindow`."""
+    from repro.chaos.plan import PartitionWindow
+
+    try:
+        start_s, stop_s, groups_s = spec.split(":", 2)
+        groups = tuple(
+            tuple(int(pid) for pid in group.split(","))
+            for group in groups_s.split("|")
+        )
+        return PartitionWindow(
+            start=float(start_s), stop=float(stop_s), groups=groups
+        )
+    except (ValueError, IndexError) as exc:
+        raise ValueError(
+            f"bad partition spec {spec!r} "
+            "(expected START:STOP:G1|G2, e.g. 0.5:1.5:0,1,2|3,4)"
+        ) from exc
+
+
+def _net_plan(args: argparse.Namespace):
+    """The FaultPlan a ``net run`` invocation asked for (None = clean)."""
+    import json as _json
+
+    from repro.chaos.plan import FaultEvent, FaultPlan, LinkPlan
+
+    if args.plan is not None:
+        with open(args.plan, encoding="utf-8") as fh:
+            return FaultPlan.from_json(_json.load(fh))
+    link = None
+    if args.drop or args.dup or args.delay or args.reorder:
+        link = LinkPlan(
+            loss=args.drop,
+            duplication=args.dup,
+            delay=args.delay,
+            reorder=args.reorder,
+        )
+    partitions = tuple(_parse_partition(s) for s in (args.partition or ()))
+    events = []
+    for spec in args.crash or ():
+        pid_s, _, when_s = spec.partition(":")
+        events.append(FaultEvent(pid=int(pid_s), when=float(when_s)))
+    if link is None and not partitions and not events:
+        return None
+    return FaultPlan(
+        nprocs=args.nodes,
+        events=tuple(events),
+        seed=args.seed,
+        link=link,
+        partitions=partitions,
+    )
+
+
+def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The asyncio runtime: ``net run``.
+
+    Runs the chosen protocol across ``--nodes`` asyncio tasks over the
+    chosen transport, injecting the requested faults at the transport,
+    and exits non-zero unless the run completed with zero guarantee
+    violations.  The printed digest is the replay identity: for the
+    tree protocol, the same seed and plan reproduce it exactly.
+    """
+    action = args.path or "run"
+    if action != "run":
+        parser.error(f"unknown net action {action!r} (use: run)")
+    from repro.net.runtime import NetConfig, run_sync
+
+    try:
+        plan = _net_plan(args)
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+    config = NetConfig(
+        nodes=args.nodes,
+        barriers=args.barriers,
+        protocol=args.protocol,
+        transport=args.transport,
+        arity=args.arity,
+        seed=args.seed,
+        plan=plan,
+        timeout_s=args.timeout if args.timeout is not None else 60.0,
+        trace_dir=args.trace_dir,
+    )
+    result = run_sync(config)
+    print(result.render())
+    for path in result.trace_paths:
+        print(f"wrote {path}")
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "chaos":
         return chaos_cmd(args, parser)
+    if args.experiment == "net":
+        return net_cmd(args, parser)
     if args.experiment in REPORT_COMMANDS:
         if args.path is None:
             # A proper argparse error (usage + message, exit status 2)

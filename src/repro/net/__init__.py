@@ -1,0 +1,85 @@
+"""repro.net -- the asyncio message-passing runtime.
+
+The deployment tier of the repo: the tree-barrier and MB protocols as
+real message protocols over length-prefixed JSON frames, running as N
+asyncio tasks (one per node) over an in-memory or TCP transport, with
+transport-level fault injection driven by the same
+:class:`~repro.chaos.plan.FaultPlan` schema the simulated engines use.
+See ``API.md`` ("repro.net") for the frame format and the guarantees.
+"""
+
+from repro.net.faults import MAX_DROP_ATTEMPTS, FaultyTransport
+from repro.net.frames import (
+    DedupIndex,
+    FrameDecoder,
+    FrameError,
+    LamportClock,
+    Message,
+    encode_frame,
+    frame_digest,
+)
+from repro.net.mbnode import MBRingNode
+from repro.net.node import NetNode, Timing
+from repro.net.runtime import (
+    PROTOCOLS,
+    TRANSPORTS,
+    NetConfig,
+    NetResult,
+    run_async,
+    run_sync,
+)
+from repro.net.trace import (
+    PROTOCOL_KINDS,
+    check_merged,
+    digest_projection,
+    merge_traces,
+    monitor_stream,
+    trace_digest,
+)
+from repro.net.transport import (
+    MemHub,
+    MemTransport,
+    TcpTransport,
+    Transport,
+    TransportClosed,
+    create_mem_transports,
+    create_tcp_transports,
+)
+from repro.net.tree import TreeBarrierNode, tree_children, tree_parent
+
+__all__ = [
+    "MAX_DROP_ATTEMPTS",
+    "FaultyTransport",
+    "DedupIndex",
+    "FrameDecoder",
+    "FrameError",
+    "LamportClock",
+    "Message",
+    "encode_frame",
+    "frame_digest",
+    "MBRingNode",
+    "NetNode",
+    "Timing",
+    "PROTOCOLS",
+    "TRANSPORTS",
+    "NetConfig",
+    "NetResult",
+    "run_async",
+    "run_sync",
+    "PROTOCOL_KINDS",
+    "check_merged",
+    "digest_projection",
+    "merge_traces",
+    "monitor_stream",
+    "trace_digest",
+    "MemHub",
+    "MemTransport",
+    "TcpTransport",
+    "Transport",
+    "TransportClosed",
+    "create_mem_transports",
+    "create_tcp_transports",
+    "TreeBarrierNode",
+    "tree_children",
+    "tree_parent",
+]

@@ -1,0 +1,156 @@
+"""Transport-level fault injection driven by a :class:`FaultPlan`.
+
+:class:`FaultyTransport` wraps any :class:`~repro.net.transport.Transport`
+and perturbs the send path with the plan's link rates -- drop,
+duplicate, delay, reorder -- plus wholesale partition windows
+(:class:`~repro.chaos.plan.PartitionWindow`).  Crash-restart faults are
+the *runtime's* job (they kill protocol state, not messages); the
+wrapper owns everything that can happen to a frame in flight.
+
+Determinism: every per-message decision is a pure function of
+``(plan.seed, src, dst, message identity, attempt)`` via SHA-256 -- no
+shared RNG stream whose consumption order could depend on task
+scheduling.  The message identity is the envelope's ``(kind,
+incarnation, seq)`` (falling back to the body digest for non-envelope
+frames), and ``attempt`` counts how often this transport has sent that
+identity, so a resend of a dropped message is a *new* coin flip and
+repeated resends get through with probability 1.  A hard cap
+(``max_drop_attempts``) makes that liveness guarantee unconditional.
+
+With an empty plan (no link rates, no partitions) the wrapper is
+byte-identical to the inner transport: the send path forwards the
+exact body with no decision, no hash, and no reordering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from typing import Callable
+
+from repro.chaos.plan import FaultPlan, LinkPlan
+from repro.net.frames import FrameError, Message, frame_digest
+from repro.net.transport import Transport
+
+#: After this many drops of one logical message, deliver unconditionally.
+MAX_DROP_ATTEMPTS = 6
+
+
+def _decision(seed: int, channel: str, key: tuple, attempt: int) -> float:
+    """A uniform [0, 1) draw fully determined by its arguments."""
+    material = repr((seed, channel, key, attempt)).encode()
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class FaultyTransport(Transport):
+    """A lossy, reordering, partitionable view of an inner transport."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        plan: FaultPlan | None = None,
+        clock: Callable[[], float] | None = None,
+        max_delay: float = 0.05,
+    ) -> None:
+        super().__init__(inner.node_id, inner.nprocs)
+        self.inner = inner
+        self.plan = plan
+        self.link: LinkPlan = (
+            plan.link if plan is not None and plan.link is not None else LinkPlan()
+        )
+        self.partitions = plan.partitions if plan is not None else ()
+        self.seed = plan.seed if plan is not None else 0
+        self.clock = clock or (lambda: 0.0)
+        self.max_delay = max_delay
+        self.active = bool(self.link.any or self.partitions)
+        #: message identity -> sends so far (the attempt counter).
+        self._attempts: dict[tuple, int] = {}
+        self._delay_tasks: set[asyncio.Task] = set()
+        self.stats = {
+            "sent": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "reordered": 0,
+            "partitioned": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _identity(self, dst: int, body: bytes) -> tuple:
+        try:
+            msg = Message.from_bytes(body)
+            return (msg.src, dst, msg.kind, msg.incarnation, msg.seq)
+        except FrameError:
+            return (self.node_id, dst, frame_digest(body))
+
+    def _partitioned(self, dst: int) -> bool:
+        now = self.clock()
+        return any(w.cuts(self.node_id, dst, now) for w in self.partitions)
+
+    async def send(self, dst: int, body: bytes) -> None:
+        if not self.active:
+            await self.inner.send(dst, body)
+            return
+        self.stats["sent"] += 1
+        if self._partitioned(dst):
+            self.stats["partitioned"] += 1
+            return
+        key = self._identity(dst, body)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+
+        link = self.link
+        if (
+            link.loss
+            and attempt < MAX_DROP_ATTEMPTS
+            and _decision(self.seed, "drop", key, attempt) < link.loss
+        ):
+            self.stats["dropped"] += 1
+            return
+        copies = 1
+        if link.duplication and _decision(self.seed, "dup", key, attempt) < (
+            link.duplication
+        ):
+            self.stats["duplicated"] += 1
+            copies = 2
+        hold = 0.0
+        if link.delay and _decision(self.seed, "delay?", key, attempt) < link.delay:
+            self.stats["delayed"] += 1
+            hold = self.max_delay * _decision(self.seed, "delay", key, attempt)
+        if link.reorder and _decision(self.seed, "reorder?", key, attempt) < (
+            link.reorder
+        ):
+            # Reordering is a short extra hold: later traffic overtakes.
+            self.stats["reordered"] += 1
+            hold += self.max_delay * _decision(self.seed, "reorder", key, attempt)
+        for _ in range(copies):
+            if hold > 0.0:
+                self._spawn_delayed(dst, body, hold)
+            else:
+                await self.inner.send(dst, body)
+
+    def _spawn_delayed(self, dst: int, body: bytes, hold: float) -> None:
+        async def deliver() -> None:
+            await asyncio.sleep(hold)
+            try:
+                await self.inner.send(dst, body)
+            except ConnectionError:
+                pass  # the run ended while this frame was in flight
+
+        task = asyncio.ensure_future(deliver())
+        self._delay_tasks.add(task)
+        task.add_done_callback(self._delay_tasks.discard)
+
+    # -- passthroughs --------------------------------------------------
+    async def recv(self, timeout: float | None = None) -> tuple[int, bytes] | None:
+        return await self.inner.recv(timeout)
+
+    def drain(self) -> int:
+        return self.inner.drain()
+
+    async def close(self) -> None:
+        for task in list(self._delay_tasks):
+            task.cancel()
+        self._delay_tasks.clear()
+        await self.inner.close()

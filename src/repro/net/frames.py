@@ -1,0 +1,183 @@
+"""Wire format of the asyncio runtime: length-prefixed JSON frames.
+
+One frame is ``<4-byte big-endian length><canonical JSON object>``.
+The JSON object is a :class:`Message` envelope: protocol kind, source,
+destination, per-link sequence number, sender incarnation, and a
+Lamport clock sample, plus a free-form payload dict.  Canonical
+encoding (sorted keys, no whitespace) means a message has exactly one
+byte representation, which the fault injector exploits to make
+per-message drop/delay decisions a pure function of content -- the
+root of the runtime's replay determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+#: Frame length prefix: 4-byte unsigned big-endian.
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a frame body; anything larger is a protocol error.
+MAX_FRAME = 1 << 20
+
+
+class FrameError(ValueError):
+    """Malformed frame or envelope."""
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Wrap ``body`` in the length prefix."""
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary byte chunks, get whole frames.
+
+    This is the stream side of the codec (TCP delivers bytes, not
+    frames); the in-memory transport hands frames around whole and
+    never needs it.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> Iterator[bytes]:
+        """Consume ``chunk``; yield every frame body it completes."""
+        self._buffer.extend(chunk)
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise FrameError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+            end = _LEN.size + length
+            if len(self._buffer) < end:
+                return
+            body = bytes(self._buffer[_LEN.size:end])
+            del self._buffer[:end]
+            yield body
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet framed."""
+        return len(self._buffer)
+
+
+@dataclass(frozen=True)
+class Message:
+    """The protocol envelope every frame carries.
+
+    ``seq`` is per ``(src, dst, incarnation)`` and monotone, which is
+    what receiver-side dedup keys on; ``lamport`` stamps the sender's
+    logical clock so merged traces have a causal order.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    seq: int
+    incarnation: int = 0
+    lamport: int = 0
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        """Canonical JSON body (stable byte representation)."""
+        record = {
+            "k": self.kind,
+            "s": self.src,
+            "d": self.dst,
+            "q": self.seq,
+            "i": self.incarnation,
+            "lc": self.lamport,
+            "p": dict(self.payload),
+        }
+        return json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, body: bytes) -> "Message":
+        try:
+            record = json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"undecodable frame body: {exc}") from exc
+        try:
+            return cls(
+                kind=record["k"],
+                src=int(record["s"]),
+                dst=int(record["d"]),
+                seq=int(record["q"]),
+                incarnation=int(record.get("i", 0)),
+                lamport=int(record.get("lc", 0)),
+                payload=record.get("p", {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FrameError(f"bad message envelope: {exc}") from exc
+
+    @property
+    def dedup_key(self) -> tuple[int, int, int]:
+        return (self.src, self.incarnation, self.seq)
+
+
+def frame_digest(body: bytes) -> bytes:
+    """Stable identity of a frame body (fault decisions hash this)."""
+    return hashlib.sha256(body).digest()
+
+
+class DedupIndex:
+    """Receiver-side exactly-once filter over ``(src, inc, seq)``.
+
+    Sequence numbers are monotone per sender incarnation, but loss and
+    reordering mean they arrive with gaps and out of order, so the
+    index keeps, per ``(src, inc)``, a low-water mark plus the sparse
+    set of seen sequence numbers above it -- O(1) amortized and bounded
+    by the reorder window rather than the run length.
+    """
+
+    def __init__(self) -> None:
+        #: (src, inc) -> [low-water mark, set of seen seqs > mark]
+        self._seen: dict[tuple[int, int], list[Any]] = {}
+
+    def accept(self, src: int, incarnation: int, seq: int) -> bool:
+        """True exactly once per (src, incarnation, seq)."""
+        key = (src, incarnation)
+        entry = self._seen.get(key)
+        if entry is None:
+            entry = self._seen[key] = [-1, set()]
+        mark, above = entry
+        if seq <= mark or seq in above:
+            return False
+        above.add(seq)
+        while mark + 1 in above:
+            mark += 1
+            above.discard(mark)
+        entry[0] = mark
+        return True
+
+    def forget_older_incarnations(self, src: int, incarnation: int) -> None:
+        """Drop state for a sender's previous lives (post-restart)."""
+        for key in [k for k in self._seen if k[0] == src and k[1] < incarnation]:
+            del self._seen[key]
+
+
+class LamportClock:
+    """The runtime's logical clock: one per node, ticked on every local
+    event and advanced past every received stamp, so the merged trace
+    of all nodes has a causality-respecting total order."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def tick(self) -> int:
+        self.value += 1
+        return self.value
+
+    def update(self, remote: int) -> int:
+        self.value = max(self.value, remote) + 1
+        return self.value

@@ -1,0 +1,254 @@
+"""Node plumbing shared by the message-level barrier protocols.
+
+:class:`NetNode` owns everything a protocol needs under it: the
+transport, per-destination sequence numbers, receiver-side exactly-once
+dedup, the Lamport clock that stamps every traced event, heartbeats,
+bounded-exponential-backoff reliable sends, and the crash-restart
+scaffolding (volatile-state wipe + inbox drain + incarnation bump).
+
+Protocols subclass it twice: :class:`repro.net.tree.TreeBarrierNode`
+(the RB-on-trees discipline as explicit arrive/release waves) and
+:class:`repro.net.mbnode.MBRingNode` (the MB machine over retransmitted
+state pushes).  Both narrate through a per-node
+:class:`repro.obs.tracer.Tracer` using the shared event schema, so the
+chaos monitors read a distributed run exactly like every simulated one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Coroutine, Mapping
+
+from repro.net.frames import DedupIndex, FrameError, LamportClock, Message
+from repro.net.transport import Transport, TransportClosed
+from repro.obs.tracer import NullTracer, Tracer, ensure_tracer
+
+#: Message kind -> the integer tag used for traced msg_send/msg_recv.
+KIND_TAGS: dict[str, int] = {
+    "arrive": 1,
+    "release": 2,
+    "rack": 3,
+    "resync": 4,
+    "sync": 5,
+    "hb": 6,
+    "push": 7,
+}
+
+
+@dataclass(frozen=True)
+class Timing:
+    """The runtime's knobs, all in wall-clock seconds.
+
+    ``resend`` grows by ``backoff`` per attempt up to ``resend_max``
+    (the paper's bounded exponential backoff); ``push_interval`` is the
+    MB ring's state-push cadence (its retransmission mechanism).
+    """
+
+    resend: float = 0.04
+    backoff: float = 2.0
+    resend_max: float = 0.4
+    hb_interval: float = 0.25
+    restart_delay: float = 0.03
+    push_interval: float = 0.02
+    work: float = 0.0
+    finish_timeout: float = 2.0
+
+
+class NetNode:
+    """One distributed process: transport + clocks + reliability."""
+
+    def __init__(
+        self,
+        node_id: int,
+        nprocs: int,
+        transport: Transport,
+        tracer: Tracer | NullTracer | None = None,
+        timing: Timing | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.nprocs = nprocs
+        self.transport = transport
+        self.tracer = ensure_tracer(tracer)
+        self.timing = timing or Timing()
+        self.clock = LamportClock()
+        self.dedup = DedupIndex()
+        self.incarnation = 0
+        self._seq: dict[int, int] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._wake = asyncio.Event()
+        self._running = True
+        #: Highest incarnation seen per peer (survives our own crash so
+        #: detect events stay exactly-once per restart).
+        self._peer_inc: dict[int, int] = {}
+        self.stats = {
+            "sent": 0,
+            "received": 0,
+            "dup_filtered": 0,
+            "resends": 0,
+            "hb_sent": 0,
+            "crashes": 0,
+        }
+
+    # -- task management -----------------------------------------------
+    def spawn(self, coro: Coroutine[Any, Any, Any]) -> asyncio.Task:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def stop(self) -> None:
+        """Cancel every helper task (end of run or crash)."""
+        self._running = False
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+
+    # -- sending -------------------------------------------------------
+    def _next_seq(self, dst: int) -> int:
+        seq = self._seq.get(dst, 0)
+        self._seq[dst] = seq + 1
+        return seq
+
+    async def send_msg(
+        self, dst: int, kind: str, payload: Mapping[str, Any] | None = None
+    ) -> None:
+        """One best-effort message (reliability is the caller's loop)."""
+        msg = Message(
+            kind=kind,
+            src=self.node_id,
+            dst=dst,
+            seq=self._next_seq(dst),
+            incarnation=self.incarnation,
+            lamport=self.clock.tick(),
+            payload=payload or {},
+        )
+        self.stats["sent"] += 1
+        if self.tracer.enabled and kind != "hb":
+            self.tracer.msg_send(
+                float(msg.lamport), self.node_id, dst, tag=KIND_TAGS.get(kind, 0)
+            )
+        try:
+            await self.transport.send(dst, msg.to_bytes())
+        except TransportClosed:
+            pass  # the run is tearing down
+
+    async def send_until(
+        self,
+        dst: int,
+        kind: str,
+        payload: Mapping[str, Any],
+        done: Callable[[], bool],
+    ) -> None:
+        """Resend ``kind`` to ``dst`` with bounded exponential backoff
+        until ``done()`` -- the runtime's only reliability primitive."""
+        delay = self.timing.resend
+        first = True
+        while self._running and not done():
+            await self.send_msg(dst, kind, payload)
+            if not first:
+                self.stats["resends"] += 1
+            first = False
+            await asyncio.sleep(delay)
+            delay = min(delay * self.timing.backoff, self.timing.resend_max)
+
+    # -- receiving -----------------------------------------------------
+    async def _recv_loop(self) -> None:
+        while self._running:
+            try:
+                item = await self.transport.recv(timeout=self.timing.hb_interval)
+            except TransportClosed:
+                return
+            if item is None:
+                continue
+            src, body = item
+            try:
+                msg = Message.from_bytes(body)
+            except FrameError:
+                continue  # corrupted or foreign frame: drop (loss-tolerant)
+            if not self.dedup.accept(msg.src, msg.incarnation, msg.seq):
+                self.stats["dup_filtered"] += 1
+                continue
+            self.stats["received"] += 1
+            stamp = self.clock.update(msg.lamport)
+            if self.tracer.enabled and msg.kind != "hb":
+                self.tracer.msg_recv(
+                    float(stamp),
+                    msg.src,
+                    self.node_id,
+                    tag=KIND_TAGS.get(msg.kind, 0),
+                )
+            self.handle(msg)
+            self._wake.set()
+
+    def handle(self, msg: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- heartbeats ----------------------------------------------------
+    def neighbors(self) -> list[int]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    async def _hb_loop(self) -> None:
+        while self._running:
+            await asyncio.sleep(self.timing.hb_interval)
+            for peer in self.neighbors():
+                self.stats["hb_sent"] += 1
+                await self.send_msg(peer, "hb")
+
+    def start_loops(self) -> None:
+        self.spawn(self._recv_loop())
+        self.spawn(self._hb_loop())
+
+    # -- waiting -------------------------------------------------------
+    async def wait_for(
+        self, cond: Callable[[], bool], poll: float = 0.25
+    ) -> None:
+        """Block until ``cond()`` holds; woken by message arrival, with
+        a poll fallback against lost wakeups."""
+        while not cond():
+            self._wake.clear()
+            if cond():
+                return
+            try:
+                await asyncio.wait_for(self._wake.wait(), poll)
+            except asyncio.TimeoutError:
+                pass
+
+    # -- crash-restart -------------------------------------------------
+    def reset_volatile(self) -> None:
+        """Protocol-specific state wipe; extended by subclasses."""
+        self.dedup = DedupIndex()
+        self._seq = {}
+
+    def _narrate_crash(self) -> None:
+        """Hook: close any narration the fault interrupts.  Runs right
+        after the ``fault`` event so monitors see fault-then-failure."""
+
+    async def crash_restart(self) -> None:
+        """A detectable fault: lose volatile state and in-flight input,
+        come back as a new incarnation after ``restart_delay``."""
+        self.stats["crashes"] += 1
+        self.tracer.fault(float(self.clock.tick()), self.node_id, detectable=True)
+        self._narrate_crash()
+        running = self._running
+        await self.stop()
+        self.transport.drain()
+        self.reset_volatile()
+        self.incarnation += 1
+        await asyncio.sleep(self.timing.restart_delay)
+        self._running = running
+        self.start_loops()
+
+    # -- resync narration ----------------------------------------------
+    def note_peer_incarnation(self, peer: int, incarnation: int) -> bool:
+        """Record a peer's restart; True (exactly once per restart) when
+        this is news -- the caller emits the ``detect`` event."""
+        if incarnation > self._peer_inc.get(peer, 0):
+            self._peer_inc[peer] = incarnation
+            return True
+        return False

@@ -1,0 +1,290 @@
+"""The distributed runtime: N nodes, one event loop, real faults.
+
+:func:`run_sync` (and its coroutine :func:`run_async`) is the single
+entry point everything above uses -- the ``repro-experiments net run``
+CLI, the ``net:tree`` / ``net:mb`` chaos adapters, the benchmark, and
+the tests.  It builds the transport fabric (in-memory or TCP over
+localhost), wraps it in :class:`~repro.net.faults.FaultyTransport` when
+the :class:`~repro.chaos.plan.FaultPlan` carries link rates or
+partition windows, schedules the plan's crash-restart faults, runs the
+chosen protocol to completion under a wall-clock deadline, then merges
+the per-node traces, computes the replay digest, and checks the
+guarantee monitors post-run.
+
+Nodes run as N asyncio tasks in one loop (the CI collapse of the
+paper's N processes); the TCP path still crosses real sockets, so the
+protocol code is deployment-shaped either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.chaos.plan import FaultPlan
+from repro.net.faults import FaultyTransport
+from repro.net.mbnode import MBRingNode
+from repro.net.node import Timing
+from repro.net.transport import (
+    Transport,
+    create_mem_transports,
+    create_tcp_transports,
+)
+from repro.net.tree import TreeBarrierNode
+from repro.net.trace import check_merged, merge_traces, trace_digest
+from repro.obs.events import FAULT, PHASE_END, ObsEvent
+from repro.obs.tracer import Tracer
+
+PROTOCOLS = ("tree", "mb")
+TRANSPORTS = ("mem", "tcp")
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """One distributed run, fully specified."""
+
+    nodes: int = 5
+    barriers: int = 20
+    protocol: str = "tree"
+    transport: str = "mem"
+    arity: int = 2
+    nphases: int = 4  # MB phase-counter wrap
+    seed: int = 0
+    plan: FaultPlan | None = None
+    timing: Timing = field(default_factory=Timing)
+    max_delay: float = 0.05
+    timeout_s: float = 60.0
+    trace_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError("a distributed run needs at least 2 nodes")
+        if self.barriers < 1:
+            raise ValueError("need at least one barrier round")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; use {PROTOCOLS}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; use {TRANSPORTS}"
+            )
+        if self.plan is not None and self.plan.nprocs != self.nodes:
+            raise ValueError(
+                f"plan is for {self.plan.nprocs} processes, run has {self.nodes}"
+            )
+
+
+@dataclass
+class NetResult:
+    """What one run did, monitors included."""
+
+    config: NetConfig
+    reached: bool
+    completed: int
+    successful_phases: int
+    faults_fired: int
+    digest: str
+    end_time: float
+    wall_s: float
+    violations: list[Any] = field(default_factory=list)
+    spans: list[float] = field(default_factory=list)
+    node_stats: dict[int, dict[str, int]] = field(default_factory=dict)
+    link_stats: dict[str, int] = field(default_factory=dict)
+    merged_events: list[ObsEvent] = field(default_factory=list)
+    trace_paths: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.reached and not self.violations
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "protocol": self.config.protocol,
+            "transport": self.config.transport,
+            "nodes": self.config.nodes,
+            "barriers": self.config.barriers,
+            "seed": self.config.seed,
+            "reached": self.reached,
+            "completed": self.completed,
+            "successful_phases": self.successful_phases,
+            "faults_fired": self.faults_fired,
+            "digest": self.digest,
+            "end_time": self.end_time,
+            "wall_s": self.wall_s,
+            "violations": [v.to_json() for v in self.violations],
+            "spans": list(self.spans),
+            "node_stats": {str(k): dict(v) for k, v in self.node_stats.items()},
+            "link_stats": dict(self.link_stats),
+            "trace_paths": list(self.trace_paths),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"net run: {self.config.protocol} x{self.config.nodes} over "
+            f"{self.config.transport}, {self.config.barriers} barriers "
+            f"(seed {self.config.seed})",
+            f"  completed={self.completed} reached={self.reached} "
+            f"faults={self.faults_fired} wall={self.wall_s:.2f}s",
+            f"  digest={self.digest}",
+        ]
+        if self.link_stats:
+            pretty = " ".join(f"{k}={v}" for k, v in sorted(self.link_stats.items()))
+            lines.append(f"  link: {pretty}")
+        resends = sum(s.get("resends", 0) for s in self.node_stats.values())
+        dups = sum(s.get("dup_filtered", 0) for s in self.node_stats.values())
+        lines.append(f"  reliability: resends={resends} dup_filtered={dups}")
+        for v in self.violations:
+            lines.append(f"  VIOLATION {v}")
+        lines.append("RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _crash_schedule(plan: FaultPlan | None) -> dict[int, list[float]]:
+    """Per-node strike times; every plan event is a crash-restart (the
+    runtime's only process-level fault class)."""
+    schedule: dict[int, list[float]] = {}
+    if plan is not None:
+        for event in plan.events:
+            schedule.setdefault(event.pid, []).append(event.when)
+    return schedule
+
+
+async def run_async(config: NetConfig) -> NetResult:
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    # -- fabric --------------------------------------------------------
+    raw: list[Transport]
+    if config.transport == "tcp":
+        raw = list(await create_tcp_transports(config.nodes))
+    else:
+        raw = list(create_mem_transports(config.nodes))
+    plan = config.plan
+    faulty = bool(
+        plan is not None and ((plan.link is not None and plan.link.any) or plan.partitions)
+    )
+    transports: list[Transport] = raw
+    if faulty:
+        clock = lambda: loop.time() - t0  # noqa: E731
+        transports = [
+            FaultyTransport(t, plan, clock=clock, max_delay=config.max_delay)
+            for t in raw
+        ]
+
+    # -- nodes ---------------------------------------------------------
+    crashes = _crash_schedule(plan)
+    tracers = {pid: Tracer() for pid in range(config.nodes)}
+    nodes: list[Any] = []
+    mains = []
+    for pid in range(config.nodes):
+        if config.protocol == "tree":
+            node = TreeBarrierNode(
+                pid,
+                config.nodes,
+                transports[pid],
+                barriers=config.barriers,
+                arity=config.arity,
+                crash_rounds=[max(0, int(w)) for w in crashes.get(pid, ())],
+                tracer=tracers[pid],
+                timing=config.timing,
+            )
+            mains.append(node.run_rounds())
+        else:
+            node = MBRingNode(
+                pid,
+                config.nodes,
+                transports[pid],
+                barriers=config.barriers,
+                nphases=config.nphases,
+                crash_times=crashes.get(pid, ()),
+                tracer=tracers[pid],
+                timing=config.timing,
+            )
+            mains.append(node.run_protocol())
+        nodes.append(node)
+
+    # -- run -----------------------------------------------------------
+    wall_start = _time.perf_counter()
+    gathered = asyncio.gather(*mains)
+    timed_out = False
+    try:
+        await asyncio.wait_for(gathered, config.timeout_s)
+    except asyncio.TimeoutError:
+        timed_out = True
+        gathered.cancel()
+        try:
+            await gathered
+        except (asyncio.CancelledError, Exception):
+            pass
+    finally:
+        for node in nodes:
+            await node.stop()
+        for transport in transports:
+            await transport.close()
+    wall_s = _time.perf_counter() - wall_start
+
+    # -- post-run ------------------------------------------------------
+    if config.protocol == "tree":
+        completed = min(node.round for node in nodes)
+        reached = all(node.round >= config.barriers for node in nodes)
+        nphases = None
+    else:
+        completed = nodes[0].completed
+        reached = nodes[0].completed >= config.barriers
+        nphases = config.nphases
+    reached = reached and not timed_out
+
+    streams = {pid: tracers[pid].events for pid in tracers}
+    merged = merge_traces(streams)
+    digest = trace_digest(streams)
+    check_plan = plan if plan is not None else FaultPlan(nprocs=config.nodes)
+    violations, spans = check_merged(merged, check_plan, nphases, reached)
+
+    successful = sum(
+        1
+        for e in streams[0]
+        if e.kind == PHASE_END and e.data.get("success")
+    )
+    faults_fired = sum(
+        1 for events in streams.values() for e in events if e.kind == FAULT
+    )
+    link_stats: dict[str, int] = {}
+    if faulty:
+        for transport in transports:
+            for key, value in transport.stats.items():  # type: ignore[attr-defined]
+                link_stats[key] = link_stats.get(key, 0) + value
+
+    trace_paths: list[str] = []
+    if config.trace_dir is not None:
+        out = Path(config.trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for pid, tracer in tracers.items():
+            path = out / f"trace-{pid}.jsonl"
+            tracer.dump_jsonl(path)
+            trace_paths.append(str(path))
+        merged_path = out / "merged.jsonl"
+        Tracer.from_events(merged).dump_jsonl(merged_path)
+        trace_paths.append(str(merged_path))
+
+    return NetResult(
+        config=config,
+        reached=reached,
+        completed=completed,
+        successful_phases=successful,
+        faults_fired=faults_fired,
+        digest=digest,
+        end_time=merged[-1].time if merged else 0.0,
+        wall_s=wall_s,
+        violations=list(violations),
+        spans=list(spans),
+        node_stats={node.node_id: dict(node.stats) for node in nodes},
+        link_stats=link_stats,
+        merged_events=merged,
+        trace_paths=trace_paths,
+    )
+
+
+def run_sync(config: NetConfig) -> NetResult:
+    """Run a distributed barrier job to completion (blocking)."""
+    return asyncio.run(run_async(config))

@@ -1,0 +1,126 @@
+"""Cross-node trace merging, replay digests, and post-run monitoring.
+
+Every node traces into its own :class:`~repro.obs.tracer.Tracer` with
+Lamport-clock timestamps.  After the run the per-node JSONL streams are
+merged into one causality-respecting sequence (:func:`merge_traces`)
+and fed through the PR-4 guarantee monitors (:func:`check_merged`) --
+the distributed runtime is checked by exactly the machinery that checks
+the simulated engines.
+
+:func:`trace_digest` is the replay identity: a SHA-256 over the
+*deterministic projection* of the per-node streams -- protocol events
+(phase/fault/detect/recovery) with their payload fields, in each node's
+own emission order, with pids sorted and timestamps excluded.  For the
+round-quantized tree protocol this projection is a pure function of
+``(plan, config)``, so two runs of the same seed produce the same
+digest even though wall-clock interleavings (and hence Lamport values)
+differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Mapping, Sequence
+
+from repro.chaos.plan import FaultPlan
+from repro.obs.events import (
+    DETECT,
+    FAULT,
+    PHASE_END,
+    PHASE_START,
+    RECOVERY,
+    ObsEvent,
+)
+from repro.obs.tracer import Tracer
+
+#: Event kinds that enter the digest projection and the monitor stream.
+PROTOCOL_KINDS = frozenset({PHASE_START, PHASE_END, FAULT, DETECT, RECOVERY})
+
+
+def merge_traces(
+    streams: Mapping[int, Sequence[ObsEvent]]
+) -> list[ObsEvent]:
+    """One total order over all nodes' events.
+
+    Sorted by ``(lamport time, pid, per-node index)`` -- Lamport stamps
+    make the order causality-respecting, the pid and index break ties
+    deterministically for any given set of streams.
+    """
+    keyed = []
+    for pid in sorted(streams):
+        for idx, event in enumerate(streams[pid]):
+            keyed.append((event.time, -1 if event.pid is None else event.pid, idx, event))
+    keyed.sort(key=lambda item: item[:3])
+    return [item[3] for item in keyed]
+
+
+def digest_projection(
+    streams: Mapping[int, Sequence[ObsEvent]]
+) -> list[list]:
+    """The deterministic view :func:`trace_digest` hashes."""
+    proj: list[list] = []
+    for pid in sorted(streams):
+        for event in streams[pid]:
+            if event.kind not in PROTOCOL_KINDS:
+                continue
+            proj.append(
+                [
+                    event.kind,
+                    pid,
+                    event.data.get("phase"),
+                    event.data.get("success"),
+                    event.data.get("detectable"),
+                    event.data.get("peer"),
+                ]
+            )
+    return proj
+
+
+def trace_digest(streams: Mapping[int, Sequence[ObsEvent]]) -> str:
+    """SHA-256 hex digest of the deterministic projection."""
+    body = json.dumps(
+        digest_projection(streams), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(body).hexdigest()
+
+
+def monitor_stream(merged: Iterable[ObsEvent]) -> list[ObsEvent]:
+    """What the guarantee monitors should see: node 0's phase narration
+    (one narrator, as in every simulated engine) plus everyone's
+    fault/detect/recovery events."""
+    out = []
+    for event in merged:
+        if event.kind in (PHASE_START, PHASE_END):
+            if event.pid == 0:
+                out.append(event)
+        elif event.kind in (FAULT, DETECT, RECOVERY):
+            out.append(event)
+    return out
+
+
+def check_merged(
+    merged: Sequence[ObsEvent],
+    plan: FaultPlan,
+    nphases: int | None,
+    reached: bool,
+):
+    """Run the chaos guarantee monitors over a merged trace post-run.
+
+    Returns ``(violations, spans)`` -- the stabilization spans are the
+    Figure 7 quantity measured over Lamport time.
+    """
+    from repro.chaos.adapters import monitors_for
+    from repro.chaos.monitors import MonitorSet
+
+    events = monitor_stream(merged)
+    tracer = Tracer()
+    monitor_set = MonitorSet(tracer, monitors_for(plan, nphases))
+    for event in events:
+        tracer.emit(event.kind, event.time, event.pid, **event.data)
+    end_time = events[-1].time if events else 0.0
+    monitor_set.finish(reached, end_time)
+    spans: list[float] = []
+    for m in monitor_set.monitors:
+        spans.extend(getattr(m, "spans", ()))
+    return monitor_set.violations, spans

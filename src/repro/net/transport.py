@@ -1,0 +1,264 @@
+"""Point-to-point transports behind one ABC.
+
+A :class:`Transport` moves opaque frame bodies between node ids.  Two
+implementations share it:
+
+* :class:`MemTransport` -- an in-process hub of asyncio queues, the CI
+  workhorse: zero sockets, microsecond latency, and a ``drain`` that
+  models in-flight loss on crash;
+* :class:`TcpTransport` -- real TCP on localhost: every node runs an
+  asyncio server on an ephemeral port, peers dial lazily on first send,
+  and the :mod:`repro.net.frames` codec turns the byte stream back into
+  frames.  A ``HELLO`` frame opens each connection so the receiver can
+  attribute the stream to a node id.
+
+Both are single-event-loop objects; the runtime runs N nodes as N
+tasks in one loop (the paper's N processes, collapsed for CI -- the
+protocol code cannot tell the difference, and the TCP path exercises
+real sockets either way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Mapping
+
+from repro.net.frames import FrameDecoder, encode_frame
+
+
+class TransportClosed(ConnectionError):
+    """Send/recv on a transport after ``close``."""
+
+
+class Transport:
+    """Frame-level point-to-point messaging for one node."""
+
+    def __init__(self, node_id: int, nprocs: int) -> None:
+        self.node_id = node_id
+        self.nprocs = nprocs
+
+    async def send(self, dst: int, body: bytes) -> None:
+        """Queue ``body`` for delivery to ``dst`` (best effort)."""
+        raise NotImplementedError
+
+    async def recv(self, timeout: float | None = None) -> tuple[int, bytes] | None:
+        """Next ``(src, body)``; None on timeout."""
+        raise NotImplementedError
+
+    def drain(self) -> int:
+        """Discard everything queued for this node (in-flight loss at a
+        crash); returns the number of frames dropped."""
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# In-memory
+# ----------------------------------------------------------------------
+class MemHub:
+    """The shared switch fabric of a set of :class:`MemTransport`."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self.queues: list[asyncio.Queue[tuple[int, bytes]]] = [
+            asyncio.Queue() for _ in range(nprocs)
+        ]
+
+    def transports(self) -> list["MemTransport"]:
+        return [MemTransport(i, self) for i in range(self.nprocs)]
+
+
+class MemTransport(Transport):
+    """One node's port on a :class:`MemHub`."""
+
+    def __init__(self, node_id: int, hub: MemHub) -> None:
+        super().__init__(node_id, hub.nprocs)
+        self._hub = hub
+        self._closed = False
+
+    async def send(self, dst: int, body: bytes) -> None:
+        if self._closed:
+            raise TransportClosed(f"node {self.node_id}: transport closed")
+        if not 0 <= dst < self.nprocs:
+            raise ValueError(f"destination {dst} out of range")
+        self._hub.queues[dst].put_nowait((self.node_id, body))
+
+    async def recv(self, timeout: float | None = None) -> tuple[int, bytes] | None:
+        if self._closed:
+            raise TransportClosed(f"node {self.node_id}: transport closed")
+        queue = self._hub.queues[self.node_id]
+        if timeout is None:
+            return await queue.get()
+        try:
+            return await asyncio.wait_for(queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    def drain(self) -> int:
+        queue = self._hub.queues[self.node_id]
+        dropped = 0
+        while not queue.empty():
+            queue.get_nowait()
+            dropped += 1
+        return dropped
+
+    async def close(self) -> None:
+        self._closed = True
+
+
+# ----------------------------------------------------------------------
+# TCP
+# ----------------------------------------------------------------------
+#: First frame on every TCP connection: identifies the dialing node.
+_HELLO_KIND = "__hello__"
+
+
+def _hello(node_id: int) -> bytes:
+    return json.dumps({"k": _HELLO_KIND, "node": node_id}).encode()
+
+
+class TcpTransport(Transport):
+    """Length-prefixed frames over real localhost sockets.
+
+    Create the full set via :func:`create_tcp_transports`, which starts
+    every node's server on an ephemeral port first and then shares the
+    address map, so tests never race on fixed port numbers.
+    """
+
+    def __init__(self, node_id: int, nprocs: int, host: str = "127.0.0.1") -> None:
+        super().__init__(node_id, nprocs)
+        self.host = host
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._addresses: Mapping[int, tuple[str, int]] = {}
+        self._inbox: asyncio.Queue[tuple[int, bytes]] = asyncio.Queue()
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._dial_locks: dict[int, asyncio.Lock] = {}
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the node's server; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return (self.host, self.port)
+
+    def set_addresses(self, addresses: Mapping[int, tuple[str, int]]) -> None:
+        self._addresses = dict(addresses)
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        src: int | None = None
+        decoder = FrameDecoder()
+        try:
+            while not self._closed:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for body in decoder.feed(chunk):
+                    if src is None:
+                        record = json.loads(body.decode())
+                        if record.get("k") != _HELLO_KIND:
+                            return  # not one of ours
+                        src = int(record["node"])
+                        continue
+                    self._inbox.put_nowait((src, body))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Teardown: close() cancels pending readers; finish quietly
+            # so the event loop doesn't log the cancellation.
+            pass
+        finally:
+            writer.close()
+
+    # -- sending -------------------------------------------------------
+    async def _writer_for(self, dst: int) -> asyncio.StreamWriter:
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        lock = self._dial_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(dst)
+            if writer is not None and not writer.is_closing():
+                return writer
+            host, port = self._addresses[dst]
+            _reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(_hello(self.node_id)))
+            await writer.drain()
+            self._writers[dst] = writer
+            return writer
+
+    async def send(self, dst: int, body: bytes) -> None:
+        if self._closed:
+            raise TransportClosed(f"node {self.node_id}: transport closed")
+        try:
+            writer = await self._writer_for(dst)
+            writer.write(encode_frame(body))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # The peer is down or restarting: TCP loss is exactly the
+            # fault class the protocols' resend machinery masks.
+            self._writers.pop(dst, None)
+
+    async def recv(self, timeout: float | None = None) -> tuple[int, bytes] | None:
+        if self._closed:
+            raise TransportClosed(f"node {self.node_id}: transport closed")
+        if timeout is None:
+            return await self._inbox.get()
+        try:
+            return await asyncio.wait_for(self._inbox.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    def drain(self) -> int:
+        dropped = 0
+        while not self._inbox.empty():
+            self._inbox.get_nowait()
+            dropped += 1
+        return dropped
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = list(self._reader_tasks)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+
+async def create_tcp_transports(
+    nprocs: int, host: str = "127.0.0.1"
+) -> list[TcpTransport]:
+    """Start ``nprocs`` TCP transports and share the address map."""
+    transports = [TcpTransport(i, nprocs, host) for i in range(nprocs)]
+    addresses: dict[int, tuple[str, int]] = {}
+    for t in transports:
+        addresses[t.node_id] = await t.start()
+    for t in transports:
+        t.set_addresses(addresses)
+    return transports
+
+
+def create_mem_transports(nprocs: int) -> list[MemTransport]:
+    """An in-memory fabric for ``nprocs`` nodes (one shared hub)."""
+    return MemHub(nprocs).transports()

@@ -1,0 +1,233 @@
+"""The tree barrier as an explicit message protocol.
+
+This is the deployment of the paper's RB-on-trees discipline over real
+(lossy, reordering, partitionable) channels: each barrier round *r* is
+an arrive wave up the tree and a release wave down it.
+
+* a node reliably resends ``arrive(r)`` to its parent until it sees a
+  ``release(r')`` with ``r' >= r``;
+* a parent answers a *stale* arrive (``r`` < its round) with a direct
+  one-shot ``release(r)`` -- the idempotent reply that heals any loss
+  or crash on the downstream path;
+* releases are resent until the child acks (``rack``), and both waves
+  are monotone (tracked as per-peer high-water marks), so duplicates
+  and reordering are harmless by construction.
+
+Crash-restart is the paper's detectable-fault reset path: the node
+loses every volatile table (arrivals, acks, dedup, pending resends, the
+inbox), keeps only its durable round counter -- the stable phase
+counter of Herman-style phase clocks -- and comes back as a new
+incarnation announcing itself with reliable ``resync`` messages.
+Neighbours answer ``sync`` (emitting one ``detect`` per restart), the
+restarted node emits ``recovery``, and the round it was executing is
+simply re-run.  Crash points are quantized to round entry, which is
+what makes a seeded run replay to an identical trace digest: every
+narrated event is a function of the node's own round sequence, never of
+message timing.
+
+Only the root narrates phase instances (``phase_start`` /
+``phase_end``), mirroring how the simulated engines are monitored; a
+root crash mid-instance closes the instance as failed and re-executes
+it -- masking made visible in the trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from repro.net.frames import Message
+from repro.net.node import NetNode, Timing
+from repro.net.transport import Transport
+from repro.obs.tracer import NullTracer, Tracer
+
+
+def tree_parent(node_id: int, arity: int) -> int | None:
+    return None if node_id == 0 else (node_id - 1) // arity
+
+
+def tree_children(node_id: int, arity: int, nprocs: int) -> list[int]:
+    lo = arity * node_id + 1
+    return [c for c in range(lo, lo + arity) if c < nprocs]
+
+
+class TreeBarrierNode(NetNode):
+    """One process of the distributed tree barrier."""
+
+    def __init__(
+        self,
+        node_id: int,
+        nprocs: int,
+        transport: Transport,
+        barriers: int,
+        arity: int = 2,
+        crash_rounds: Sequence[int] = (),
+        tracer: Tracer | NullTracer | None = None,
+        timing: Timing | None = None,
+    ) -> None:
+        super().__init__(node_id, nprocs, transport, tracer, timing)
+        self.barriers = barriers
+        self.arity = arity
+        self.parent = tree_parent(node_id, arity)
+        self.children = tree_children(node_id, arity, nprocs)
+        self._crashes = sorted(crash_rounds)
+        #: Durable round counter (the stable phase clock): the next
+        #: round to complete.  Everything else is volatile.
+        self.round = 0
+        self.completed = 0
+        # -- volatile protocol tables --
+        self._last_arrive: dict[int, int] = {}
+        self._max_release = -1
+        self._release_acked: dict[int, int] = {}
+        self._synced: set[int] = set()
+        self._open_phase: int | None = None  # root's in-flight instance
+
+    # -- protocol state ------------------------------------------------
+    def neighbors(self) -> list[int]:
+        peers = list(self.children)
+        if self.parent is not None:
+            peers.append(self.parent)
+        return peers
+
+    def reset_volatile(self) -> None:
+        super().reset_volatile()
+        self._last_arrive = {}
+        self._max_release = -1
+        self._release_acked = {}
+        self._synced = set()
+
+    # -- handlers ------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        kind, src, p = msg.kind, msg.src, msg.payload
+        if kind == "arrive":
+            r = int(p["round"])
+            if r > self._last_arrive.get(src, -1):
+                self._last_arrive[src] = r
+            if r < self.round:
+                # Stale arrive: the child missed (or we lost) the
+                # release for a finished round -- answer directly.
+                self.spawn(self.send_msg(src, "release", {"round": r}))
+        elif kind == "release":
+            r = int(p["round"])
+            if r > self._max_release:
+                self._max_release = r
+            self.spawn(self.send_msg(src, "rack", {"round": r}))
+        elif kind == "rack":
+            r = int(p["round"])
+            if r > self._release_acked.get(src, -1):
+                self._release_acked[src] = r
+        elif kind == "resync":
+            if self.note_peer_incarnation(src, msg.incarnation):
+                self.tracer.detect(
+                    float(self.clock.tick()),
+                    self.node_id,
+                    peer=src,
+                    incarnation=msg.incarnation,
+                )
+            self.spawn(
+                self.send_msg(
+                    src, "sync", {"round": self.round, "ack": msg.incarnation}
+                )
+            )
+        elif kind == "sync":
+            if int(p.get("ack", -1)) == self.incarnation:
+                self._synced.add(src)
+        # hb needs no handler: receipt already fed dedup and the clock.
+
+    # -- crash path ----------------------------------------------------
+    def _narrate_crash(self) -> None:
+        if self._open_phase is not None:
+            # The instance the root was executing dies with it.
+            self.tracer.phase_end(
+                float(self.clock.tick()), self._open_phase, False
+            )
+            self._open_phase = None
+
+    async def _maybe_crash(self) -> bool:
+        """Fire the next scheduled crash if this round is due."""
+        if not (self._crashes and self._crashes[0] <= self.round):
+            return False
+        self._crashes.pop(0)
+        await self.crash_restart()
+        await self._resync()
+        return True
+
+    async def _resync(self) -> None:
+        """Announce the new incarnation until every neighbour confirms."""
+        inc = self.incarnation
+        for peer in self.neighbors():
+            self.spawn(
+                self.send_until(
+                    peer,
+                    "resync",
+                    {},
+                    lambda peer=peer: peer in self._synced
+                    or self.incarnation != inc,
+                )
+            )
+        await self.wait_for(lambda: self._synced >= set(self.neighbors()))
+        self.tracer.recovery(
+            float(self.clock.tick()), self.node_id, round=self.round
+        )
+
+    # -- the protocol --------------------------------------------------
+    async def run_rounds(self) -> None:
+        """Complete ``barriers`` rounds, surviving the configured faults."""
+        self.start_loops()
+        work = self.timing.work
+        while self.round < self.barriers:
+            r = self.round
+            if self.parent is None and self._open_phase is None:
+                self._open_phase = r
+                self.tracer.phase_start(float(self.clock.tick()), r)
+            if await self._maybe_crash():
+                continue  # re-enter the (re-executed) current round
+            if work:
+                await asyncio.sleep(work)
+            # Arrive wave: every child's subtree has reached round r.
+            await self.wait_for(
+                lambda: all(
+                    self._last_arrive.get(c, -1) >= r for c in self.children
+                )
+            )
+            if self.parent is None:
+                self.tracer.phase_end(float(self.clock.tick()), r, True)
+                self._open_phase = None
+            else:
+                self.spawn(
+                    self.send_until(
+                        self.parent,
+                        "arrive",
+                        {"round": r},
+                        lambda: self._max_release >= r
+                        or self.round > r,  # a crash re-arms via resync
+                    )
+                )
+                await self.wait_for(lambda: self._max_release >= r)
+            self.round = r + 1
+            self.completed = self.round
+            # Release wave: resend to each child until acked.
+            for child in self.children:
+                self.spawn(
+                    self.send_until(
+                        child,
+                        "release",
+                        {"round": r},
+                        lambda child=child: self._release_acked.get(child, -1)
+                        >= r,
+                    )
+                )
+        # Let the final release wave settle (bounded; acks normally
+        # arrive within one resend interval).
+        try:
+            await asyncio.wait_for(
+                self.wait_for(
+                    lambda: all(
+                        self._release_acked.get(c, -1) >= self.barriers - 1
+                        for c in self.children
+                    )
+                ),
+                self.timing.finish_timeout,
+            )
+        except asyncio.TimeoutError:
+            pass

@@ -7,6 +7,7 @@ from repro.chaos import (
     FaultEvent,
     FaultPlan,
     LinkPlan,
+    PartitionWindow,
     derive_seed,
     plan_for_run,
 )
@@ -74,6 +75,55 @@ class TestFaultPlan:
         assert sub.count == 1
         assert sub.seed == plan.seed
         assert sub.link == plan.link
+
+
+class TestPartitionWindow:
+    def test_cuts_only_cross_group_during_window(self):
+        window = PartitionWindow(start=1.0, stop=2.0, groups=((0, 1), (2, 3)))
+        assert window.cuts(0, 2, 1.5)
+        assert window.cuts(3, 1, 1.0)  # start is inclusive
+        assert not window.cuts(0, 1, 1.5)  # same group
+        assert not window.cuts(0, 2, 0.5)  # before the window
+        assert not window.cuts(0, 2, 2.0)  # stop is exclusive (healed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            PartitionWindow(start=2.0, stop=1.0, groups=((0,), (1,)))
+        with pytest.raises(ValueError, match="group"):
+            PartitionWindow(start=0.0, stop=1.0, groups=((0, 1),))
+        with pytest.raises(ValueError, match="two partition groups"):
+            PartitionWindow(start=0.0, stop=1.0, groups=((0, 1), (1, 2)))
+
+    def test_plan_round_trip_with_partitions_and_delay(self):
+        plan = FaultPlan(
+            nprocs=4,
+            events=(FaultEvent(1.0, 2),),
+            seed=3,
+            link=LinkPlan(loss=0.1, delay=0.2),
+            partitions=(
+                PartitionWindow(start=0.5, stop=1.5, groups=((0, 1), (2, 3))),
+            ),
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.partitions == plan.partitions
+        assert again.link is not None and again.link.delay == 0.2
+
+    def test_partition_pids_validated_against_nprocs(self):
+        with pytest.raises(ValueError, match="partition pid"):
+            FaultPlan(
+                nprocs=2,
+                partitions=(
+                    PartitionWindow(start=0.0, stop=1.0, groups=((0,), (5,))),
+                ),
+            )
+
+    def test_plans_without_partitions_serialize_compatibly(self):
+        # Pre-partition plan files must load, and partition-free plans
+        # must not grow a new key (replayability of old reproducers).
+        record = FaultPlan(nprocs=2, events=(FaultEvent(1.0, 0),)).to_json()
+        assert "partitions" not in record
+        assert FaultPlan.from_json(record).partitions == ()
 
 
 class TestCampaignConfig:

@@ -1,0 +1,235 @@
+"""Transport-layer properties of the asyncio runtime (repro.net).
+
+The two load-bearing guarantees, checked property-style:
+
+* a :class:`FaultyTransport` under an *empty* plan is a byte-identical,
+  order-preserving passthrough (fault injection off == fabric exactly);
+* under drop/duplication/reorder, bounded resending plus receiver-side
+  dedup yields exactly-once delivery (the runtime's reliability story).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plan import FaultPlan, LinkPlan
+from repro.net.faults import MAX_DROP_ATTEMPTS, FaultyTransport
+from repro.net.frames import (
+    DedupIndex,
+    FrameDecoder,
+    FrameError,
+    LamportClock,
+    Message,
+    encode_frame,
+)
+from repro.net.transport import create_mem_transports
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+payloads = st.lists(st.binary(min_size=0, max_size=200), min_size=0, max_size=20)
+
+
+@given(payloads=payloads, chunk=st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_frame_decoder_roundtrip_any_chunking(payloads, chunk):
+    """Frames survive arbitrary TCP-style re-chunking of the stream."""
+    stream = b"".join(encode_frame(p) for p in payloads)
+    decoder = FrameDecoder()
+    out: list[bytes] = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i : i + chunk]))
+    assert out == payloads
+
+
+@given(
+    kind=st.sampled_from(["arrive", "release", "rack", "push"]),
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+    seq=st.integers(min_value=0, max_value=10_000),
+    inc=st.integers(min_value=0, max_value=50),
+    lamport=st.integers(min_value=0, max_value=10_000),
+    round_=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=60, deadline=None)
+def test_message_roundtrip(kind, src, dst, seq, inc, lamport, round_):
+    msg = Message(
+        kind=kind,
+        src=src,
+        dst=dst,
+        seq=seq,
+        incarnation=inc,
+        lamport=lamport,
+        payload={"round": round_},
+    )
+    back = Message.from_bytes(msg.to_bytes())
+    assert back == msg
+    assert back.dedup_key == (src, inc, seq)
+
+
+def test_message_rejects_garbage():
+    for body in (b"", b"not json", b"[1,2,3]", b'{"k": "x"}'):
+        try:
+            Message.from_bytes(body)
+        except FrameError:
+            continue
+        raise AssertionError(f"{body!r} should not parse as a Message")
+
+
+# ----------------------------------------------------------------------
+# Dedup + Lamport
+# ----------------------------------------------------------------------
+def test_dedup_exactly_once_per_key():
+    index = DedupIndex()
+    assert index.accept(1, 0, 0)
+    assert not index.accept(1, 0, 0)
+    assert index.accept(1, 0, 2)  # gap is fine
+    assert index.accept(1, 0, 1)  # late arrival of the gap
+    assert not index.accept(1, 0, 1)
+    assert index.accept(1, 1, 0)  # new incarnation restarts seqs
+    assert index.accept(2, 0, 0)  # keys are per-source
+
+
+@given(seqs=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_dedup_accepts_each_seq_once(seqs):
+    index = DedupIndex()
+    accepted = [s for s in seqs if index.accept(0, 0, s)]
+    assert sorted(accepted) == sorted(set(seqs))
+
+
+def test_lamport_clock_monotone():
+    clock = LamportClock()
+    seen = [clock.tick() for _ in range(5)]
+    seen.append(clock.update(100))
+    seen.append(clock.tick())
+    assert seen == sorted(seen)
+    assert seen[-1] > 100
+
+
+# ----------------------------------------------------------------------
+# FaultyTransport: empty plan == identity
+# ----------------------------------------------------------------------
+@given(bodies=st.lists(st.binary(min_size=1, max_size=80), min_size=1, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_empty_plan_is_byte_identical_passthrough(bodies):
+    """No link rates, no partitions: every frame arrives exactly once,
+    byte-identical, in send order."""
+
+    async def run() -> list[bytes]:
+        plain = create_mem_transports(2)
+        plan = FaultPlan(nprocs=2)
+        wrapped = FaultyTransport(plain[0], plan, clock=lambda: 0.0)
+        assert not wrapped.active
+        for body in bodies:
+            await wrapped.send(1, body)
+        received = []
+        for _ in bodies:
+            item = await plain[1].recv(timeout=1.0)
+            assert item is not None
+            src, got = item
+            assert src == 0
+            received.append(got)
+        assert await plain[1].recv(timeout=0.01) is None
+        return received
+
+    assert asyncio.run(run()) == bodies
+
+
+# ----------------------------------------------------------------------
+# Exactly-once under drop/dup/reorder
+# ----------------------------------------------------------------------
+def _lossy_delivery(seed: int, loss: float, dup: float, reorder: float) -> None:
+    async def run() -> None:
+        plain = create_mem_transports(2)
+        plan = FaultPlan(
+            nprocs=2,
+            seed=seed,
+            link=LinkPlan(loss=loss, duplication=dup, reorder=reorder),
+        )
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        wrapped = FaultyTransport(
+            plain[0], plan, clock=lambda: loop.time() - t0, max_delay=0.005
+        )
+        total = 40
+        for seq in range(total):
+            msg = Message(
+                kind="arrive",
+                src=0,
+                dst=1,
+                seq=seq,
+                incarnation=0,
+                lamport=seq,
+                payload={"round": seq},
+            )
+            # Bounded resend: the drop decision is per (identity,
+            # attempt) and capped at MAX_DROP_ATTEMPTS, so this many
+            # attempts guarantees at least one delivery.
+            for _ in range(MAX_DROP_ATTEMPTS + 1):
+                await wrapped.send(1, msg.to_bytes())
+        await asyncio.sleep(0.05)  # let delayed/reordered frames land
+        index = DedupIndex()
+        delivered: list[int] = []
+        while True:
+            item = await plain[1].recv(timeout=0.05)
+            if item is None:
+                break
+            _, body = item
+            msg = Message.from_bytes(body)
+            if index.accept(msg.src, msg.incarnation, msg.seq):
+                delivered.append(msg.seq)
+        # Exactly once: every seq, no seq twice.
+        assert sorted(delivered) == list(range(total))
+
+    asyncio.run(run())
+
+
+def test_exactly_once_under_drop():
+    _lossy_delivery(seed=3, loss=0.3, dup=0.0, reorder=0.0)
+
+
+def test_exactly_once_under_dup_and_reorder():
+    _lossy_delivery(seed=4, loss=0.0, dup=0.3, reorder=0.3)
+
+
+def test_exactly_once_under_all_three():
+    _lossy_delivery(seed=5, loss=0.2, dup=0.2, reorder=0.2)
+
+
+def test_drop_decisions_are_deterministic():
+    """Same (plan seed, identity, attempt) -> same fate: two wrapped
+    fabrics deliver the identical multiset of frames."""
+
+    async def run(seed: int) -> list[bytes]:
+        plain = create_mem_transports(2)
+        plan = FaultPlan(
+            nprocs=2, seed=seed, link=LinkPlan(loss=0.4, duplication=0.2)
+        )
+        wrapped = FaultyTransport(plain[0], plan, clock=lambda: 0.0, max_delay=0.0)
+        for seq in range(30):
+            msg = Message(
+                kind="push",
+                src=0,
+                dst=1,
+                seq=seq,
+                incarnation=0,
+                lamport=seq,
+                payload={},
+            )
+            await wrapped.send(1, msg.to_bytes())
+        await asyncio.sleep(0.01)
+        out = []
+        while True:
+            item = await plain[1].recv(timeout=0.02)
+            if item is None:
+                return out
+            out.append(item[1])
+
+    first = asyncio.run(run(9))
+    second = asyncio.run(run(9))
+    assert first == second
+    assert asyncio.run(run(10)) != first  # different seed, different fate

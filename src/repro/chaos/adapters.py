@@ -142,14 +142,21 @@ class GCAdapter(Adapter):
     The plan becomes a :class:`PlanInjector` schedule: each event maps
     to the program's own detectable or undetectable :class:`FaultSpec`,
     so mixed-class schedules replay in a single run.
+
+    ``backend="compiled"`` registers the same program under the
+    compiled step path (:mod:`repro.gc.compile`) as ``gc:<key>+compiled``,
+    so campaigns exercise both executors -- the chaos workload doubles
+    as a soak test of the compiler's fault-resync path.
     """
 
     steps = True
     supports_undetectable = True
 
-    def __init__(self, program_key: str) -> None:
+    def __init__(self, program_key: str, backend: str = "interpreter") -> None:
         self.program_key = program_key
-        self.name = f"gc:{program_key}"
+        self.backend = backend
+        suffix = "+compiled" if backend == "compiled" else ""
+        self.name = f"gc:{program_key}{suffix}"
 
     # program_key -> (program factory, detectable spec, undetectable spec)
     @staticmethod
@@ -212,7 +219,10 @@ class GCAdapter(Adapter):
             PlanInjector(program, schedule, seed=plan.seed) if schedule else None
         )
         sim = Simulator(
-            program, RoundRobinDaemon(), injector=injector, tracer=tracer
+            program,
+            RoundRobinDaemon(backend=self.backend),
+            injector=injector,
+            tracer=tracer,
         )
         result = sim.run(
             max_steps=cfg.max_steps,
@@ -534,6 +544,10 @@ def _registry() -> dict[str, Adapter]:
         GCAdapter("rb-ring"),
         GCAdapter("rb-tree"),
         GCMBAdapter("mb"),
+        GCAdapter("cb", backend="compiled"),
+        GCAdapter("rb-ring", backend="compiled"),
+        GCAdapter("rb-tree", backend="compiled"),
+        GCMBAdapter("mb", backend="compiled"),
         GCIntolerantAdapter(),
         ProtosimAdapter(),
         SimMPIAdapter(),

@@ -28,7 +28,11 @@ programs:
 * :mod:`repro.gc.trace` -- event traces;
 * :mod:`repro.gc.properties` -- closure/convergence and safety checkers;
 * :mod:`repro.gc.explore` -- an explicit-state model checker for small
-  instances (used to verify the paper's lemmas exhaustively).
+  instances (used to verify the paper's lemmas exhaustively);
+* :mod:`repro.gc.compile` -- the compiled backend: guards and effects
+  specialized into memo tables over an array-backed state mirror, with
+  per-action fallback to live interpretation (``backend="compiled"`` on
+  the daemons and the explorer).
 """
 
 from repro.gc.domains import (
@@ -57,13 +61,14 @@ from repro.gc.faults import (
     FaultSpec,
     OneShotSchedule,
 )
-from repro.gc.trace import Trace, TraceEvent
+from repro.gc.trace import Trace, TraceEvent, trace_digest
 from repro.gc.properties import (
     check_closure,
     converges,
     convergence_steps,
     holds_throughout,
 )
+from repro.gc.compile import CompiledProgram, StateCodec
 from repro.gc.explore import ExplorationResult, Explorer
 from repro.gc.notation import NotationError, compile_program, parse
 from repro.gc.temporal import (
@@ -105,10 +110,13 @@ __all__ = [
     "OneShotSchedule",
     "Trace",
     "TraceEvent",
+    "trace_digest",
     "check_closure",
     "converges",
     "convergence_steps",
     "holds_throughout",
+    "CompiledProgram",
+    "StateCodec",
     "ExplorationResult",
     "Explorer",
     "NotationError",

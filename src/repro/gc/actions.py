@@ -104,8 +104,13 @@ class Action:
     ``reads=None`` is re-evaluated every step, which is always correct.
     ``writes`` optionally declares the set of *variable names* the
     statement may write (always at the owning pid, per the locality
-    discipline); it is advisory -- used by diagnostics and tests, not by
-    the daemons, which track the writes actually applied.
+    discipline).  Like ``reads`` it is a contract: when declared, the
+    incremental index dirties exactly the declared cells after a fire
+    (:meth:`repro.gc.incremental.EnabledIndex.note_fire`) -- a declared
+    *empty* set promises the statement's updates never change any cell.
+    ``writes=None`` means undeclared; the daemons then derive dirty
+    cells from the update list actually applied, which is always
+    correct.
     """
 
     name: str

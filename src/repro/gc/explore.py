@@ -168,11 +168,20 @@ class Explorer:
         max_states: int = 200_000,
         compact_keys: bool = False,
         workers: int | None = None,
+        backend: str = "interpreter",
     ) -> None:
         self.program = program
         self.max_states = max_states
         self.compact_keys = compact_keys
         self.workers = workers
+        if backend not in ("interpreter", "compiled"):
+            raise ValueError(f"unknown explorer backend {backend!r}")
+        self.backend = backend
+        self._compiled = None
+        if backend == "compiled":
+            from repro.gc.compile import CompiledProgram
+
+            self._compiled = CompiledProgram(program)
         self.codec = KeyCodec(program) if compact_keys else None
         #: key -> tuple of (succ_key, succ_state-or-None); states are
         #: kept only until first use to avoid holding the whole graph.
@@ -198,6 +207,10 @@ class Explorer:
         copied.  Actions whose statements are genuinely nondeterministic
         should express the choice through distinct actions.
         """
+        if self._compiled is not None:
+            # Memoized guards/effects over the array mirror; identical
+            # states in the identical action order.
+            return self._compiled.successors(state)
         out = []
         for action in self.program.actions():
             if action.enabled(state):
@@ -242,9 +255,11 @@ class Explorer:
         seen: set[Key] = set(initial)
         transitions: dict[Key, set[Key]] = {}
         truncated = False
+        # The compiled backend shares one mutable array mirror across
+        # calls, so its expansion is serialized (workers are ignored).
         pool = (
             ThreadPoolExecutor(max_workers=self.workers)
-            if self.workers and self.workers > 1
+            if self.workers and self.workers > 1 and self._compiled is None
             else None
         )
         try:

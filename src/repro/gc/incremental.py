@@ -39,7 +39,7 @@ class EnabledIndex:
 
         flags = index.refresh(state, rng)   # start of step
         ... fire actions, apply updates ...
-        index.note_writes(pid, updates)     # once per fired action
+        index.note_fire(idx, updates)       # once per fired action
         index.commit(state)                 # end of step
 
     ``refresh`` returns a list of booleans aligned with
@@ -59,6 +59,16 @@ class EnabledIndex:
         self.by_pid: tuple[tuple[int, ...], ...] = tuple(by_pid)
         self.pid_of: tuple[int, ...] = tuple(
             a.pid for a in self.actions
+        )
+        # Per-action dirty cells from the declared write-set.  ``None``
+        # means undeclared (derive cells from the actual update list);
+        # an empty tuple means the action *declared* it writes nothing,
+        # which is a first-class promise, not a missing declaration.
+        self._write_cells: tuple[tuple[tuple[str, int], ...] | None, ...] = tuple(
+            None
+            if action.writes is None
+            else tuple(sorted((var, action.pid) for var in action.writes))
+            for action in self.actions
         )
         watchers: dict[tuple[str, int], list[int]] = {}
         untracked: list[int] = []
@@ -192,6 +202,24 @@ class EnabledIndex:
         dirty = self._dirty
         for var, _value in updates:
             dirty.add((var, pid))
+
+    def note_fire(self, idx: int, updates: Any) -> None:
+        """Record the dirty cells of fired action ``idx``.
+
+        When the action declares a write-set
+        (:attr:`~repro.gc.actions.Action.writes`), its precomputed cells
+        are dirtied directly and the update list is ignored -- in
+        particular a declared-*empty* write-set (``frozenset()``) means
+        the action promised its updates never change any cell (the
+        heartbeat idiom of rewriting a value already in place), so
+        firing it invalidates nothing.  Only ``writes is None`` falls
+        back to scanning the actual updates.
+        """
+        cells = self._write_cells[idx]
+        if cells is None:
+            self.note_writes(self.pid_of[idx], updates)
+        else:
+            self._dirty.update(cells)
 
     def commit(self, state: State) -> None:
         """Record the post-step version so own writes don't invalidate."""

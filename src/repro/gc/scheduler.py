@@ -25,6 +25,7 @@ from typing import Any, Iterable, Protocol
 import numpy as np
 
 from repro.gc.actions import Action, apply_updates
+from repro.gc.compile import CompiledProgram
 from repro.gc.incremental import EnabledIndex
 from repro.gc.program import Program
 from repro.gc.state import State
@@ -59,6 +60,18 @@ def _make_rng(seed: Any) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+#: Valid values for the daemons' ``backend`` parameter.
+BACKENDS = ("interpreter", "compiled")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
 class _IncrementalMixin:
     """Shared cache management for the incremental daemons.
 
@@ -66,10 +79,17 @@ class _IncrementalMixin:
     different program rebuilds it.  ``incremental=False`` (or a program
     with no declared read-sets) falls back to the historical
     evaluate-every-guard behaviour, which is always correct.
+
+    ``backend="compiled"`` swaps the whole step path for a
+    :class:`~repro.gc.compile.CompiledProgram` (memoized guards and
+    effects over an array mirror); selection order, RNG usage and hence
+    traces are identical to the interpreter.
     """
 
     incremental: bool
+    backend: str = "interpreter"
     _index: EnabledIndex | None = None
+    _compiled: CompiledProgram | None = None
 
     def _index_for(self, program: Program) -> EnabledIndex | None:
         if not self.incremental:
@@ -79,6 +99,13 @@ class _IncrementalMixin:
             index = EnabledIndex(program)
             self._index = index
         return index if index.has_tracked else None
+
+    def _compiled_for(self, program: Program) -> CompiledProgram:
+        compiled = self._compiled
+        if compiled is None or compiled.program is not program:
+            compiled = CompiledProgram(program)
+            self._compiled = compiled
+        return compiled
 
 
 class RoundRobinDaemon(_IncrementalMixin):
@@ -107,11 +134,16 @@ class RoundRobinDaemon(_IncrementalMixin):
     """
 
     def __init__(
-        self, start: int = 0, tracer: Any = None, incremental: bool = True
+        self,
+        start: int = 0,
+        tracer: Any = None,
+        incremental: bool = True,
+        backend: str = "interpreter",
     ) -> None:
         self._next = start
         self.tracer = ensure_tracer(tracer)
         self.incremental = incremental
+        self.backend = _check_backend(backend)
         self._engaged = False
         self._declined = False
         self._evals = 0
@@ -119,6 +151,10 @@ class RoundRobinDaemon(_IncrementalMixin):
         self._adapt_index: EnabledIndex | None = None
 
     def step(self, program, state):
+        if self.backend == "compiled":
+            return self._step_compiled(
+                self._compiled_for(program), program, state
+            )
         index = self._index_for(program) if self.incremental else None
         if index is not None:
             if index is not self._adapt_index:
@@ -179,6 +215,27 @@ class RoundRobinDaemon(_IncrementalMixin):
                 self.tracer.incr("gc.actions_fired")
         return fired if fired is not None else []
 
+    def _step_compiled(self, compiled: CompiledProgram, program, state):
+        """Same scan, same selection -- flags pulled lazily from the
+        compiled engine's memoized guards."""
+        compiled.mark_stale(state)
+        n = program.nprocs
+        actions = compiled.actions
+        by_pid = compiled.by_pid
+        for offset in range(n):
+            pid = (self._next + offset) % n
+            for idx in by_pid[pid]:
+                if compiled.is_enabled(idx, state):
+                    ups = compiled.execute(idx, state)
+                    self._next = (pid + 1) % n
+                    if self.tracer.enabled:
+                        self.tracer.incr("gc.daemon_steps")
+                        self.tracer.incr("gc.actions_fired")
+                    return [(actions[idx], ups)]
+        if self.tracer.enabled:
+            self.tracer.incr("gc.daemon_steps")
+        return []
+
     def _step_incremental(self, index: EnabledIndex, program, state):
         index.mark_stale(state)
         n = program.nprocs
@@ -190,7 +247,7 @@ class RoundRobinDaemon(_IncrementalMixin):
                 if index.is_enabled(idx, state):
                     action = actions[idx]
                     ups = action.execute(state)
-                    index.note_writes(pid, ups)
+                    index.note_fire(idx, ups)
                     index.commit(state)
                     self._next = (pid + 1) % n
                     if self.tracer.enabled:
@@ -213,18 +270,41 @@ class RandomFairDaemon(_IncrementalMixin):
     """
 
     def __init__(
-        self, seed: Any = None, tracer: Any = None, incremental: bool = True
+        self,
+        seed: Any = None,
+        tracer: Any = None,
+        incremental: bool = True,
+        backend: str = "interpreter",
     ) -> None:
         self.rng = _make_rng(seed)
         self.tracer = ensure_tracer(tracer)
         self.incremental = incremental
+        self.backend = _check_backend(backend)
+
+    def _step_compiled(self, compiled: CompiledProgram, state):
+        compiled.refresh(state, self.rng)
+        slots = compiled.enabled_slots()
+        if self.tracer.enabled:
+            self.tracer.incr("gc.daemon_steps")
+            self.tracer.incr("gc.enabled_actions", len(slots))
+        if not slots:
+            return []
+        idx = slots[int(self.rng.integers(0, len(slots)))]
+        ups = compiled.execute(idx, state, self.rng)
+        if self.tracer.enabled:
+            self.tracer.incr("gc.actions_fired")
+        return [(compiled.actions[idx], ups)]
 
     def step(self, program, state):
+        if self.backend == "compiled":
+            return self._step_compiled(self._compiled_for(program), state)
         index = self._index_for(program)
+        slots: list[int] | None = None
         if index is not None:
             index.refresh(state, self.rng)
+            slots = index.enabled_slots()
             actions = index.actions
-            enabled = [actions[i] for i in index.enabled_slots()]
+            enabled = [actions[i] for i in slots]
         else:
             enabled = [a for a in program.actions() if a.enabled(state, self.rng)]
         if self.tracer.enabled:
@@ -234,10 +314,11 @@ class RandomFairDaemon(_IncrementalMixin):
             if index is not None:
                 index.commit(state)
             return []
-        action = enabled[int(self.rng.integers(0, len(enabled)))]
+        pick = int(self.rng.integers(0, len(enabled)))
+        action = enabled[pick]
         ups = action.execute(state, self.rng)
         if index is not None:
-            index.note_writes(action.pid, ups)
+            index.note_fire(slots[pick], ups)
             index.commit(state)
         if self.tracer.enabled:
             self.tracer.incr("gc.actions_fired")
@@ -264,11 +345,13 @@ class MaximalParallelDaemon(_IncrementalMixin):
         random_choice: bool = False,
         tracer: Any = None,
         incremental: bool = True,
+        backend: str = "interpreter",
     ) -> None:
         self.rng = _make_rng(seed)
         self.random_choice = random_choice
         self.tracer = ensure_tracer(tracer)
         self.incremental = incremental
+        self.backend = _check_backend(backend)
 
     def select(self, program: Program, snapshot: State) -> list[Action]:
         chosen: list[Action] = []
@@ -284,49 +367,70 @@ class MaximalParallelDaemon(_IncrementalMixin):
 
     def _select_incremental(
         self, index: EnabledIndex, state: State
-    ) -> list[Action]:
+    ) -> list[int]:
         index.refresh(state, self.rng)
-        actions = index.actions
         pid_of = index.pid_of
-        chosen: list[Action] = []
+        chosen: list[int] = []
         # Enabled slots are sorted and actions are grouped by pid in
         # declaration order, so consecutive runs of equal pid reproduce
         # the per-process iteration of :meth:`select` exactly.
-        enabled: list[Action] = []
+        group: list[int] = []
         cur_pid = -1
         for i in index.enabled_slots():
             pid = pid_of[i]
             if pid != cur_pid:
-                if enabled:
-                    chosen.append(self._pick(enabled))
-                enabled = []
+                if group:
+                    chosen.append(self._pick_idx(group))
+                group = []
                 cur_pid = pid
-            enabled.append(actions[i])
-        if enabled:
-            chosen.append(self._pick(enabled))
+            group.append(i)
+        if group:
+            chosen.append(self._pick_idx(group))
         return chosen
 
-    def _pick(self, enabled: list[Action]) -> Action:
-        if self.random_choice and len(enabled) > 1:
-            return enabled[int(self.rng.integers(0, len(enabled)))]
-        return enabled[0]
+    def _step_compiled(self, compiled: CompiledProgram, state):
+        """One synchronous round: select per process, evaluate every
+        chosen statement against the pre-apply state, then apply --
+        the same phase order (and RNG order) as the interpreter.
+        Delegated to the engine's round memo, which replays whole
+        draw-free rounds off one dict lookup."""
+        actions = compiled.actions
+        fired = [
+            (actions[i], ups)
+            for i, ups in compiled.step_round(
+                state, self.rng, self.random_choice
+            )
+        ]
+        if self.tracer.enabled:
+            self.tracer.incr("gc.daemon_steps")
+            self.tracer.incr("gc.actions_fired", len(fired))
+        return fired
+
+    def _pick_idx(self, group: list[int]) -> int:
+        if self.random_choice and len(group) > 1:
+            return group[int(self.rng.integers(0, len(group)))]
+        return group[0]
 
     def step(self, program, state):
+        if self.backend == "compiled":
+            return self._step_compiled(self._compiled_for(program), state)
         index = self._index_for(program)
         if index is not None:
-            chosen = self._select_incremental(index, state)
-            snapshot = state.snapshot() if chosen else state
+            chosen_idx = self._select_incremental(index, state)
+            snapshot = state.snapshot() if chosen_idx else state
+            chosen = [index.actions[i] for i in chosen_idx]
         else:
             snapshot = state.snapshot()
+            chosen_idx = []
             chosen = self.select(program, snapshot)
         fired: list[tuple[Action, list[tuple[str, Any]]]] = []
         for action in chosen:
             ups = action.updates(snapshot, self.rng)
             fired.append((action, ups))
-        for action, ups in fired:
+        for pos, (action, ups) in enumerate(fired):
             apply_updates(state, action.pid, ups)
             if index is not None:
-                index.note_writes(action.pid, ups)
+                index.note_fire(chosen_idx[pos], ups)
         if index is not None:
             index.commit(state)
         if self.tracer.enabled:

@@ -9,7 +9,7 @@ by convergence detection).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gc.program import Program
@@ -65,6 +65,21 @@ class State:
         if not 0 <= pid < self._nprocs:
             raise IndexError(f"pid {pid} out of range 0..{self._nprocs - 1}")
         vec[pid] = value
+        self._version += 1
+
+    def write_cells(self, writes: Iterable[tuple[str, int, Any]]) -> None:
+        """Apply many ``(var, pid, value)`` writes with one version bump.
+
+        The batched write path used by the compiled backend: values are
+        *not* validated against domains (neither is :meth:`set`), and the
+        mutation counter advances once per batch rather than once per
+        cell -- consumers compare :attr:`version` against what they
+        recorded, never against an absolute count, so both policies are
+        observationally equivalent.
+        """
+        vectors = self._vectors
+        for var, pid, value in writes:
+            vectors[var][pid] = value
         self._version += 1
 
     def vector(self, var: str) -> tuple:

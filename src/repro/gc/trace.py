@@ -8,8 +8,9 @@ traces to decide whether Safety and Progress held.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 
 @dataclass(frozen=True)
@@ -98,3 +99,32 @@ class Trace:
 
     def count(self, action: str) -> int:
         return sum(1 for ev in self._events if ev.action == action)
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 hex digest of a trace's full event sequence.
+
+    Every field of every event enters the hash (via ``repr``, which is
+    deterministic for all domain values used here -- ints, strings,
+    ``BOT``/``TOP``), so two runs agree iff they fired the same actions
+    at the same processes in the same order with the same writes.  This
+    is the equality the differential-testing oracle demands of the
+    compiled backend: not just the same final state, but the
+    bit-identical execution.
+    """
+    h = hashlib.sha256()
+    for ev in events:
+        h.update(
+            repr(
+                (
+                    ev.step,
+                    ev.pid,
+                    ev.action,
+                    tuple(ev.updates),
+                    ev.time,
+                    ev.is_fault,
+                    ev.detectable,
+                )
+            ).encode()
+        )
+    return h.hexdigest()

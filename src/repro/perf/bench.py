@@ -3,11 +3,13 @@
 Three workload families, mirroring the three optimization layers:
 
 * **kernel** -- daemon stepping throughput on RB (ring of 8) and MB
-  (ring of 8), each daemon run twice: full guard evaluation
-  (``incremental=False``) and incremental.  Both runs must visit the
-  *identical* trace (checked via a digest of the final state), and the
-  within-run throughput ratio incremental/full is the speedup the
-  dirty-set machinery buys.
+  (ring of 8), each daemon run three times: full guard evaluation
+  (``incremental=False``), incremental, and the compiled backend
+  (``backend="compiled"``).  All runs must visit the *identical* trace
+  (checked via a digest of the final state); the within-run throughput
+  ratio incremental/full is the speedup the dirty-set machinery buys,
+  and compiled/incremental is the further speedup of the memoized
+  array-mirror engine.
 * **explorer** -- exhaustive reachability over CB's full state product,
   with tuple keys vs ``compact_keys``; both must agree on the state and
   edge counts.
@@ -28,6 +30,10 @@ baseline -- machines differ.  What is gated:
 
   - the best incremental daemon on the RB n=8 kernel is >=
     :data:`RB8_HEADLINE_SPEEDUP` x full evaluation;
+  - the best compiled daemon on the MB n=8 kernel is >=
+    :data:`MB8_COMPILED_HEADLINE_SPEEDUP` x its incremental run, and
+    compiled runs are never below :data:`COMPILED_MIN_RATIO` x
+    incremental on any kernel workload;
   - eager incremental daemons (randomfair, maxpar) are never slower
     than full evaluation (ratio >= :data:`EAGER_MIN_RATIO`);
   - the adaptive round-robin daemon costs at most a bounded counting
@@ -37,10 +43,13 @@ baseline -- machines differ.  What is gated:
     than the cold run, and serial/parallel/cached merges are
     bit-identical.
 
-CLI: ``python -m repro.perf.bench [--quick] [--update-baseline]``.
-``--quick`` only reduces timing repeats -- deterministic quantities are
-computed from fixed step counts, so quick and full reports gate against
-the same baseline.
+CLI: ``python -m repro.perf.bench [--quick] [--update-baseline]
+[--backend MODE]``.  ``--quick`` only reduces timing repeats --
+deterministic quantities are computed from fixed step counts, so quick
+and full reports gate against the same baseline.  ``--backend`` limits
+the kernel bench to one execution mode for exploratory timing; such
+partial reports are informational and never gated or written as a
+baseline.
 """
 
 from __future__ import annotations
@@ -72,10 +81,15 @@ EAGER_MIN_RATIO = 1.0
 ADAPTIVE_MIN_RATIO = 0.7
 MB8_ROUNDROBIN_MIN_RATIO = 1.2
 WARM_CACHE_SPEEDUP = 2.0
+MB8_COMPILED_HEADLINE_SPEEDUP = 3.0
+COMPILED_MIN_RATIO = 0.7
 
 #: Kernel steps per measured run (identical in --quick mode: the
-#: deterministic quantities must not depend on the mode).
-KERNEL_STEPS = 12_000
+#: deterministic quantities must not depend on the mode).  Long enough
+#: that the compiled backend's one-time learning phase (every distinct
+#: round of the steady-state cycle memoized once) is amortized the way
+#: it is in real sweeps, which run millions of steps per process count.
+KERNEL_STEPS = 24_000
 
 
 # ---------------------------------------------------------------------------
@@ -100,25 +114,30 @@ KERNEL_PROGRAMS: dict[str, Callable[[], Any]] = {
 }
 
 
-def _make_daemon(name: str, incremental: bool):
+def _make_daemon(name: str, mode: str):
     from repro.gc.scheduler import (
         MaximalParallelDaemon,
         RandomFairDaemon,
         RoundRobinDaemon,
     )
 
+    if mode == "compiled":
+        kwargs: dict[str, Any] = {"backend": "compiled"}
+    else:
+        kwargs = {"incremental": mode == "incremental"}
     if name == "roundrobin":
-        return RoundRobinDaemon(incremental=incremental)
+        return RoundRobinDaemon(**kwargs)
     if name == "randomfair":
-        return RandomFairDaemon(seed=11, incremental=incremental)
+        return RandomFairDaemon(seed=11, **kwargs)
     if name == "maxpar":
-        return MaximalParallelDaemon(
-            seed=11, random_choice=True, incremental=incremental
-        )
+        return MaximalParallelDaemon(seed=11, random_choice=True, **kwargs)
     raise ValueError(name)
 
 
 KERNEL_DAEMONS = ("roundrobin", "randomfair", "maxpar")
+
+#: Kernel execution modes, in measurement order.
+KERNEL_MODES = ("full", "incremental", "compiled")
 
 
 def _state_digest(state: Any) -> str:
@@ -127,11 +146,11 @@ def _state_digest(state: Any) -> str:
 
 
 def _run_kernel_once(
-    prog_name: str, daemon_name: str, incremental: bool
+    prog_name: str, daemon_name: str, mode: str
 ) -> tuple[float, dict[str, Any]]:
     program = KERNEL_PROGRAMS[prog_name]()
     state = program.initial_state()
-    daemon = _make_daemon(daemon_name, incremental)
+    daemon = _make_daemon(daemon_name, mode)
     fired = 0
     start = time.perf_counter()
     for _ in range(KERNEL_STEPS):
@@ -145,34 +164,50 @@ def _run_kernel_once(
     return elapsed, facts
 
 
-def bench_kernel(repeats: int) -> dict[str, Any]:
+def bench_kernel(
+    repeats: int, modes: tuple[str, ...] = KERNEL_MODES
+) -> dict[str, Any]:
     out: dict[str, Any] = {}
     for prog_name in KERNEL_PROGRAMS:
         for daemon_name in KERNEL_DAEMONS:
-            times: dict[bool, float] = {}
-            facts: dict[bool, dict[str, Any]] = {}
-            for incremental in (False, True):
+            times: dict[str, float] = {}
+            facts: dict[str, dict[str, Any]] = {}
+            for mode in modes:
                 best = float("inf")
                 for _ in range(repeats):
                     elapsed, f = _run_kernel_once(
-                        prog_name, daemon_name, incremental
+                        prog_name, daemon_name, mode
                     )
                     best = min(best, elapsed)
-                    facts[incremental] = f
-                times[incremental] = best
-            ratio = times[False] / times[True] if times[True] else 0.0
-            out[f"{prog_name}/{daemon_name}"] = {
-                "deterministic": {
-                    **facts[True],
-                    "trace_identical": facts[False] == facts[True],
-                },
+                    facts[mode] = f
+                times[mode] = best
+            ref = modes[-1] if len(modes) == 1 else "incremental"
+            entry: dict[str, Any] = {
+                "deterministic": dict(facts[ref]),
                 "wall": {
-                    "full_s": times[False],
-                    "incremental_s": times[True],
-                    "steps_per_s_incremental": KERNEL_STEPS / times[True],
+                    f"{mode}_s": times[mode] for mode in modes
                 },
-                "ratio": ratio,
             }
+            entry["wall"][f"steps_per_s_{ref}"] = KERNEL_STEPS / times[ref]
+            if "full" in times and "incremental" in times:
+                entry["deterministic"]["trace_identical"] = (
+                    facts["full"] == facts["incremental"]
+                )
+                entry["ratio"] = (
+                    times["full"] / times["incremental"]
+                    if times["incremental"]
+                    else 0.0
+                )
+            if "compiled" in times and "incremental" in times:
+                entry["deterministic"]["compiled_identical"] = (
+                    facts["compiled"] == facts["incremental"]
+                )
+                entry["compiled_ratio"] = (
+                    times["incremental"] / times["compiled"]
+                    if times["compiled"]
+                    else 0.0
+                )
+            out[f"{prog_name}/{daemon_name}"] = entry
     return out
 
 
@@ -182,29 +217,42 @@ def bench_explorer(repeats: int) -> dict[str, Any]:
 
     program = make_cb(4)
     results: dict[str, Any] = {}
-    walls: dict[bool, float] = {}
-    counts: dict[bool, tuple[int, int]] = {}
-    for compact in (False, True):
+    walls: dict[str, float] = {}
+    counts: dict[str, tuple[int, int]] = {}
+    configs = {
+        "tuple": dict(compact_keys=False),
+        "compact": dict(compact_keys=True),
+        "compiled": dict(compact_keys=True, backend="compiled"),
+    }
+    for label, kwargs in configs.items():
         best = float("inf")
         for _ in range(repeats):
-            explorer = Explorer(program, compact_keys=compact)
+            explorer = Explorer(program, **kwargs)
             roots = explorer.full_state_space()
             start = time.perf_counter()
             result = explorer.reachable(roots)
             best = min(best, time.perf_counter() - start)
-            counts[compact] = (
+            counts[label] = (
                 len(result.states),
                 sum(len(s) for s in result.transitions.values()),
             )
-        walls[compact] = best
+        walls[label] = best
     results["cb4-full-space"] = {
         "deterministic": {
-            "states": counts[True][0],
-            "edges": counts[True][1],
-            "representation_identical": counts[False] == counts[True],
+            "states": counts["compact"][0],
+            "edges": counts["compact"][1],
+            "representation_identical": counts["tuple"] == counts["compact"],
+            "compiled_identical": counts["compiled"] == counts["compact"],
         },
-        "wall": {"tuple_s": walls[False], "compact_s": walls[True]},
-        "ratio": walls[False] / walls[True] if walls[True] else 0.0,
+        "wall": {
+            "tuple_s": walls["tuple"],
+            "compact_s": walls["compact"],
+            "compiled_s": walls["compiled"],
+        },
+        "ratio": walls["tuple"] / walls["compact"] if walls["compact"] else 0.0,
+        "compiled_ratio": (
+            walls["compact"] / walls["compiled"] if walls["compiled"] else 0.0
+        ),
     }
     return results
 
@@ -268,7 +316,7 @@ def measure(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
     if quick:
         repeats = max(1, min(repeats, 2))
     return {
-        "version": 1,
+        "version": 2,
         "repeats": repeats,
         "kernel": bench_kernel(repeats),
         "explorer": bench_explorer(repeats),
@@ -296,6 +344,21 @@ def _ratio_checks(report: dict[str, Any]) -> list[GateCheck]:
             f"(gate >= {RB8_HEADLINE_SPEEDUP})",
         )
     )
+    mb8_compiled_best = max(
+        (
+            kernel.get(f"mb8/{d}", {}).get("compiled_ratio", 0.0)
+            for d in KERNEL_DAEMONS
+        ),
+        default=0.0,
+    )
+    checks.append(
+        GateCheck(
+            "kernel.mb8.compiled_headline_speedup",
+            mb8_compiled_best >= MB8_COMPILED_HEADLINE_SPEEDUP,
+            f"best compiled/incremental ratio {mb8_compiled_best:.2f} "
+            f"(gate >= {MB8_COMPILED_HEADLINE_SPEEDUP})",
+        )
+    )
     for name, entry in kernel.items():
         ratio = entry.get("ratio", 0.0)
         daemon = name.split("/", 1)[1]
@@ -321,16 +384,36 @@ def _ratio_checks(report: dict[str, Any]) -> list[GateCheck]:
                 "full and incremental runs produced identical traces",
             )
         )
+        compiled_ratio = entry.get("compiled_ratio", 0.0)
+        checks.append(
+            GateCheck(
+                f"kernel.{name}.compiled_ratio",
+                compiled_ratio >= COMPILED_MIN_RATIO,
+                f"compiled/incremental {compiled_ratio:.2f} "
+                f"(gate >= {COMPILED_MIN_RATIO})",
+            )
+        )
+        checks.append(
+            GateCheck(
+                f"kernel.{name}.compiled_identical",
+                bool(entry.get("deterministic", {}).get("compiled_identical")),
+                "compiled and incremental runs produced identical traces",
+            )
+        )
     for name, entry in report.get("explorer", {}).items():
+        det = entry.get("deterministic", {})
         checks.append(
             GateCheck(
                 f"explorer.{name}.representation_identical",
-                bool(
-                    entry.get("deterministic", {}).get(
-                        "representation_identical"
-                    )
-                ),
+                bool(det.get("representation_identical")),
                 "tuple and compact explorations agree on states/edges",
+            )
+        )
+        checks.append(
+            GateCheck(
+                f"explorer.{name}.compiled_identical",
+                bool(det.get("compiled_identical")),
+                "compiled exploration agrees on states/edges",
             )
         )
     for name, entry in report.get("sweep", {}).items():
@@ -412,7 +495,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write the baseline from this run instead of gating",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("all",) + KERNEL_MODES,
+        default="all",
+        help="limit the kernel bench to one execution mode "
+        "(informational: partial reports are neither gated nor "
+        "baseline-eligible)",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend != "all":
+        if args.update_baseline:
+            parser.error("--update-baseline requires --backend all")
+        repeats = max(1, min(args.repeats, 2)) if args.quick else args.repeats
+        kernel = bench_kernel(repeats, modes=(args.backend,))
+        print(json.dumps(kernel, indent=2, sort_keys=True))
+        return 0
 
     report = measure(repeats=args.repeats, quick=args.quick)
     out = write_report(report, args.out)

@@ -1,6 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the seed-pinning gate.
+
+Every RNG constructed in test code must be seeded: an unseeded
+``np.random.default_rng()`` / ``random.Random()`` or a daemon/injector
+built without ``seed=`` makes a failure irreproducible, which the
+differential oracle and the conformance matrix cannot afford.
+:func:`pytest_sessionstart` scans the test tree with :mod:`ast` and
+fails the session if it finds one; append ``# unseeded-ok`` to a line
+to claim a deliberate exception.
+"""
 
 from __future__ import annotations
+
+import ast
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -9,6 +21,69 @@ from repro.barrier.cb import make_cb
 from repro.barrier.mb import make_mb
 from repro.barrier.rb import make_rb
 from repro.barrier.tokenring import make_token_ring
+
+#: RNG factories: unseeded when called with no arguments (or ``None``).
+_RNG_FACTORIES = {"default_rng", "Random"}
+
+#: Constructors taking a seed: name -> how many positional arguments are
+#: needed before the seed slot is covered positionally.
+_SEEDED_CTORS = {
+    "RandomFairDaemon": 1,
+    "MaximalParallelDaemon": 1,
+    "ScriptedInjector": 4,
+    "PlanInjector": 3,
+    "FaultInjector": 5,
+}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def unseeded_rng_calls(source: str) -> list[tuple[int, str]]:
+    """``(lineno, call-name)`` of every unseeded RNG construction."""
+    lines = source.splitlines()
+    offenders: list[tuple[int, str]] = []
+    for node in ast.walk(ast.parse(source)):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name is None:
+            continue
+        kwargs = {kw.arg for kw in node.keywords}
+        if name in _RNG_FACTORIES:
+            bad = (
+                not node.args
+                or (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+            ) and not kwargs
+        elif name in _SEEDED_CTORS:
+            bad = "seed" not in kwargs and len(node.args) < _SEEDED_CTORS[name]
+        else:
+            continue
+        if bad and "unseeded-ok" not in lines[node.lineno - 1]:
+            offenders.append((node.lineno, name))
+    return offenders
+
+
+def pytest_sessionstart(session):
+    here = Path(__file__).parent
+    findings = []
+    for path in sorted(here.rglob("*.py")):
+        for lineno, name in unseeded_rng_calls(path.read_text()):
+            findings.append(f"{path.relative_to(here)}:{lineno}: {name}")
+    if findings:
+        raise pytest.UsageError(
+            "unseeded RNG construction in test code (pin a seed, or mark "
+            "the line '# unseeded-ok'):\n  " + "\n  ".join(findings)
+        )
 
 
 @pytest.fixture

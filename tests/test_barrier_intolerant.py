@@ -34,7 +34,7 @@ def root_phase_advances(program, daemon, steps=3000):
 class TestFaultFree:
     @pytest.mark.parametrize(
         "daemon_factory",
-        [RoundRobinDaemon, lambda: RandomFairDaemon(seed=2), lambda: MaximalParallelDaemon()],
+        [RoundRobinDaemon, lambda: RandomFairDaemon(seed=2), lambda: MaximalParallelDaemon(seed=3)],
         ids=["rr", "rand", "maxpar"],
     )
     def test_barriers_complete(self, daemon_factory):

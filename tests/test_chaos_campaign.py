@@ -211,6 +211,41 @@ class TestChaosCLI:
         assert "2 runs" in out
 
 
+class TestCompiledVariants:
+    """The compiled backend's ``gc:*+compiled`` chaos targets."""
+
+    KEYS = ("gc:cb", "gc:rb-ring", "gc:rb-tree", "gc:mb")
+
+    def test_compiled_gc_targets_registered(self):
+        from repro.chaos import ADAPTERS
+
+        for key in self.KEYS:
+            compiled = ADAPTERS[f"{key}+compiled"]
+            assert compiled.steps and compiled.supports_undetectable
+
+    def test_compiled_variant_outcome_matches_interpreter(self):
+        cfg = CampaignConfig(runs=1, seed=5, detectable=2, undetectable=1)
+        for i, key in enumerate(self.KEYS):
+            plan = FaultPlan.generate(
+                11 + i, cfg.nprocs, detectable=2, undetectable=1, steps=True
+            )
+            a = get_adapter(key).run(plan, cfg).to_json()
+            b = get_adapter(f"{key}+compiled").run(plan, cfg).to_json()
+            a.pop("target"), b.pop("target")
+            assert a == b, key
+
+    def test_compiled_campaign_passes(self):
+        cfg = CampaignConfig(
+            targets=tuple(f"{k}+compiled" for k in self.KEYS),
+            runs=4,
+            seed=6,
+            detectable=2,
+            undetectable=1,
+        )
+        report = run_campaign(cfg)
+        assert report.ok, report.render()
+
+
 @pytest.mark.slow
 class TestBigCampaign:
     """The acceptance-scale sweep: >= 200 seeded runs mixing fault

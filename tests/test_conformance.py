@@ -11,6 +11,14 @@ them uniformly:
   implementation masks the detectable faults -- it reaches the same
   target count of successful phases with a safe trace -- and its
   trace-derived phase count equals the specification oracle's.
+
+The compiled backend (:mod:`repro.gc.compile`) registers as a fifth
+implementation: every program also runs with
+``RoundRobinDaemon(backend="compiled")``, joins the agreement checks,
+and must additionally produce a trace whose SHA-256 digest is
+*bit-identical* to the interpreter's -- same actions, same processes,
+same order, same writes -- both fault-free and under every seeded
+schedule.  This is the compiler's conformance oracle.
 """
 
 import pytest
@@ -23,6 +31,7 @@ from repro.barrier.trees import make_rb_tree
 from repro.gc.faults import ScriptedInjector
 from repro.gc.scheduler import RoundRobinDaemon
 from repro.gc.simulator import Simulator
+from repro.gc.trace import trace_digest
 from repro.obs import Tracer, summarize
 
 NPHASES = 3
@@ -39,8 +48,15 @@ IMPLS = {
     "mb": (lambda n: make_mb(n, nphases=NPHASES), mb_detectable_fault),
 }
 
+#: The conformance matrix rows: the four interpreter-run programs plus
+#: the compiled backend as a fifth implementation (every program again,
+#: through the compiled step path).
+VARIANTS = [(name, "interpreter") for name in IMPLS] + [
+    (name, "compiled") for name in IMPLS
+]
 
-def run_impl(name, nprocs, schedule=None, seed=0):
+
+def run_impl(name, nprocs, schedule=None, seed=0, backend="interpreter"):
     """One traced run; stops once TARGET successful phases completed."""
     factory, spec_factory = IMPLS[name]
     program = factory(nprocs)
@@ -48,7 +64,12 @@ def run_impl(name, nprocs, schedule=None, seed=0):
     injector = None
     if schedule is not None:
         injector = ScriptedInjector(program, spec_factory(), schedule, seed=seed)
-    sim = Simulator(program, RoundRobinDaemon(), injector=injector, tracer=tracer)
+    sim = Simulator(
+        program,
+        RoundRobinDaemon(backend=backend),
+        injector=injector,
+        tracer=tracer,
+    )
     result = sim.run(
         max_steps=20_000,
         stop=lambda s, _st: tracer.counters.get("obs.phases_successful", 0)
@@ -61,13 +82,15 @@ def run_impl(name, nprocs, schedule=None, seed=0):
 class TestFaultFree:
     def test_one_instance_per_phase_everywhere(self, nprocs):
         ratios = {}
-        for name in IMPLS:
-            _prog, result, tracer = run_impl(name, nprocs)
-            assert result.reached, f"{name} n={nprocs} never reached {TARGET}"
+        for name, backend in VARIANTS:
+            _prog, result, tracer = run_impl(name, nprocs, backend=backend)
+            assert result.reached, (
+                f"{name}/{backend} n={nprocs} never reached {TARGET}"
+            )
             s = summarize(tracer.events)
             assert s.successful_phases == TARGET
             assert s.faults == 0
-            ratios[name] = s.instances_per_phase
+            ratios[name, backend] = s.instances_per_phase
         assert all(r == 1.0 for r in ratios.values()), ratios
 
     def test_trace_agrees_with_spec_oracle(self, nprocs):
@@ -98,13 +121,17 @@ class TestSeededFaultSchedules:
     ):
         schedule = self.schedule_for(fault_schedule, seed, nprocs)
         successes = {}
-        for name in IMPLS:
-            _prog, result, tracer = run_impl(name, nprocs, schedule, seed=seed)
+        for name, backend in VARIANTS:
+            _prog, result, tracer = run_impl(
+                name, nprocs, schedule, seed=seed, backend=backend
+            )
             assert result.reached, (
-                f"{name} n={nprocs} seed={seed}: masking stalled "
+                f"{name}/{backend} n={nprocs} seed={seed}: masking stalled "
                 f"(schedule={schedule})"
             )
-            successes[name] = summarize(tracer.events).successful_phases
+            successes[name, backend] = summarize(
+                tracer.events
+            ).successful_phases
         # Agreement on successful-phase counts: each run stops at the
         # same target, so divergence here means some implementation
         # failed to mask its faults.
@@ -126,6 +153,36 @@ class TestSeededFaultSchedules:
             # The schedule fired deterministically and identically.
             assert s.faults == len(schedule)
             assert s.detectable_faults == len(schedule)
+
+
+@pytest.mark.parametrize("nprocs", [3, 4, 5])
+class TestCompiledBackendOracle:
+    """The conformance suite doubling as the compiler's oracle: for every
+    program the compiled backend must replay the interpreter's execution
+    *bit-identically* -- equal SHA-256 trace digests, not merely equal
+    phase counts."""
+
+    def test_fault_free_digests_bit_identical(self, nprocs):
+        for name in IMPLS:
+            _p, interp, _t = run_impl(name, nprocs)
+            _p, compiled, _t = run_impl(name, nprocs, backend="compiled")
+            assert trace_digest(interp.trace) == trace_digest(
+                compiled.trace
+            ), f"{name} n={nprocs}: compiled trace diverged"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_fault_digests_bit_identical(
+        self, fault_schedule, seed, nprocs
+    ):
+        schedule = fault_schedule(seed, 4, nprocs, start=1.0, stop=30.0, steps=True)
+        for name in IMPLS:
+            _p, interp, _t = run_impl(name, nprocs, schedule, seed=seed)
+            _p, compiled, _t = run_impl(
+                name, nprocs, schedule, seed=seed, backend="compiled"
+            )
+            assert trace_digest(interp.trace) == trace_digest(
+                compiled.trace
+            ), f"{name} n={nprocs} seed={seed}: compiled trace diverged"
 
 
 def test_scripted_injector_is_deterministic():
@@ -150,6 +207,6 @@ def test_scripted_injector_validates_schedule():
     prog = IMPLS["cb"][0](3)
     spec = cb_detectable_fault()
     with pytest.raises(ValueError, match="bad pid"):
-        ScriptedInjector(prog, spec, [(1, 9)])
+        ScriptedInjector(prog, spec, [(1, 9)])  # unseeded-ok: never runs
     with pytest.raises(ValueError, match="negative step"):
-        ScriptedInjector(prog, spec, [(-1, 0)])
+        ScriptedInjector(prog, spec, [(-1, 0)])  # unseeded-ok: never runs

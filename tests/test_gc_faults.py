@@ -100,7 +100,7 @@ class TestInjector:
 
     def test_empty_targets_rejected(self, cb4):
         with pytest.raises(ValueError):
-            FaultInjector(
+            FaultInjector(  # unseeded-ok: never runs
                 cb4, cb_detectable_fault(), BernoulliSchedule(1.0), targets=[]
             )
 

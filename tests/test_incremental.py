@@ -184,3 +184,118 @@ def test_undeclared_actions_fall_back():
     for _ in range(50):
         daemon.step(stripped, state)
     assert daemon._index is not None and not daemon._index.has_tracked
+
+
+def _heartbeat_program(hb_writes):
+    """Two processes: HB at pid 0 rewrites ``x[0]`` with its current
+    value (a no-op write); W at pid 1 watches ``x[0]`` and counts its
+    guard evaluations.  ``hb_writes`` is HB's declared write-set."""
+    from repro.gc.actions import Action
+    from repro.gc.domains import IntRange
+    from repro.gc.program import Process, Program, VariableDecl
+
+    evals = []
+
+    def hb_guard(view):
+        return view.my("x") >= 0
+
+    def hb_stmt(view):
+        return [("x", view.my("x"))]
+
+    def w_guard(view):
+        evals.append(1)
+        return view.of("x", 0) > 0
+
+    def w_stmt(view):
+        return [("x", view.my("x"))]
+
+    procs = [
+        Process(
+            0,
+            (
+                Action(
+                    "HB", 0, hb_guard, hb_stmt,
+                    reads=frozenset({("x", 0)}), writes=hb_writes,
+                ),
+            ),
+        ),
+        Process(
+            1,
+            (
+                Action(
+                    "W", 1, w_guard, w_stmt,
+                    reads=frozenset({("x", 0)}), writes=frozenset({"x"}),
+                ),
+            ),
+        ),
+    ]
+    program = Program(
+        "heartbeat", [VariableDecl("x", IntRange(0, 3), 0)], procs
+    )
+    return program, evals
+
+
+class TestNoteFire:
+    """Declared write-sets drive invalidation; empty is first-class."""
+
+    def test_empty_write_set_invalidates_nothing(self):
+        program, evals = _heartbeat_program(frozenset())
+        state = program.initial_state()
+        index = EnabledIndex(program)
+        index.refresh(state)
+        base = len(evals)
+        hb = program.action_named("HB", 0)
+        for _ in range(5):
+            ups = hb.execute(state)  # no-op write still bumps version
+            assert ups == [("x", 0)]
+            index.note_fire(0, ups)
+            index.commit(state)
+            index.refresh(state)
+        # HB promised (writes=frozenset()) that its updates change no
+        # cell, so its watcher W is never re-evaluated.
+        assert len(evals) == base
+
+    def test_undeclared_write_set_falls_back_to_updates(self):
+        program, evals = _heartbeat_program(None)
+        state = program.initial_state()
+        index = EnabledIndex(program)
+        index.refresh(state)
+        base = len(evals)
+        hb = program.action_named("HB", 0)
+        ups = hb.execute(state)
+        index.note_fire(0, ups)
+        index.commit(state)
+        index.refresh(state)
+        # Without a declaration the actual update list is the dirty set,
+        # so the watcher of ("x", 0) is re-evaluated.
+        assert len(evals) == base + 1
+
+    def test_declared_write_set_wins_over_update_list(self):
+        program, evals = _heartbeat_program(frozenset({"x"}))
+        state = program.initial_state()
+        index = EnabledIndex(program)
+        index.refresh(state)
+        base = len(evals)
+        # A declared non-empty write-set dirties its cells even when the
+        # fired action happened to report no updates at all.
+        index.note_fire(0, [])
+        index.commit(state)
+        index.refresh(state)
+        assert len(evals) == base + 1
+
+    def test_empty_write_set_trace_equivalence(self):
+        for seed in (0, 3):
+            traces = []
+            for incremental in (False, True):
+                program, _ = _heartbeat_program(frozenset())
+                daemon = RandomFairDaemon(seed=seed, incremental=incremental)
+                state = program.initial_state()
+                out = []
+                for _ in range(40):
+                    fired = daemon.step(program, state)
+                    out.append(
+                        tuple((a.name, a.pid, tuple(u)) for a, u in fired)
+                    )
+                out.append(state.key())
+                traces.append(out)
+            assert traces[0] == traces[1]

@@ -46,6 +46,19 @@ def test_null_tracer_overhead_gate():
     )
 
 
+def test_net_null_tracer_overhead_gate():
+    """With tracing off, the net runtime makes ~zero tracer calls per
+    barrier round -- the protocol-level narration calls (phase, fault,
+    detect, recovery) are guarded like the per-message hot path."""
+    counting = CountingNullTracer()
+    result = regress.run_net(faults=False, tracer_factory=lambda _pid: counting)
+    calls_per_step = counting.calls / max(1, result.completed)
+    assert calls_per_step <= regress.NULL_CALLS_PER_STEP_TOL, (
+        f"{calls_per_step:.3f} unguarded tracer calls per barrier round -- "
+        "a net narration call lost its 'if tracer.enabled:' guard"
+    )
+
+
 def test_gate_against_committed_baseline(report):
     assert BASELINE_PATH.exists(), "benchmarks/BASELINE_obs.json missing"
     gate = compare(report, load_json(BASELINE_PATH))

@@ -49,6 +49,9 @@ class RunOutcome:
     violations: list[GuaranteeViolation] = field(default_factory=list)
     #: Convergence spans the stabilization monitor measured.
     spans: list[float] = field(default_factory=list)
+    #: The run's traced events (merged order for net targets) -- kept
+    #: in memory for streaming-vs-post-hoc replay; not serialized.
+    events: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -114,6 +117,7 @@ def _collect(
         successful_phases=successful,
         violations=monitor_set.violations,
         spans=spans,
+        events=tuple(tracer.events),
     )
 
 
@@ -516,6 +520,7 @@ class NetAdapter(Adapter):
             successful_phases=result.successful_phases,
             violations=list(result.violations),
             spans=list(result.spans),
+            events=tuple(result.merged_events),
         )
 
 

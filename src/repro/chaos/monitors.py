@@ -349,25 +349,32 @@ class MonitorSet:
     trace prefix is captured once) and fans out to each monitor.
     """
 
-    def __init__(self, tracer: Any, monitors: list[Monitor]) -> None:
+    def __init__(self, tracer: Any | None, monitors: list[Monitor]) -> None:
         self.tracer = tracer
         self.monitors = list(monitors)
         self._events: list[ObsEvent] = []
         for m in self.monitors:
             m._buffer = self._events
-        tracer.subscribe(self._on_event)
+        if tracer is not None:
+            tracer.subscribe(self._on_event)
 
     def _on_event(self, event: ObsEvent) -> None:
         self._events.append(event)
         for m in self.monitors:
             m.on_event(event)
 
+    def feed(self, event: ObsEvent) -> None:
+        """Push one event directly (streaming use, ``tracer=None``) --
+        identical semantics to the subscription path."""
+        self._on_event(event)
+
     def finish(self, reached: bool, time: float = 0.0) -> None:
         """End-of-run: let monitors report unfinished obligations and
         detach from the tracer."""
         for m in self.monitors:
             m.finish(reached, time)
-        self.tracer.unsubscribe(self._on_event)
+        if self.tracer is not None:
+            self.tracer.unsubscribe(self._on_event)
 
     @property
     def violations(self) -> list[GuaranteeViolation]:

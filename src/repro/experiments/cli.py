@@ -37,25 +37,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", *REPORT_COMMANDS, "chaos", "net"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", *REPORT_COMMANDS, "chaos", "net", "obs"],
         help="which table/figure to regenerate, one of the trace "
         "reports (trace-report: summary; metrics-report: aggregated "
         "metrics; causal-report: per-fault chains) over a JSONL trace, "
         "the chaos campaign engine (chaos run | chaos replay <file>), "
-        "or the asyncio message-passing runtime (net run)",
+        "the asyncio message-passing runtime (net run), or the live "
+        "telemetry plane (obs tail <url-or-trace>)",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
         help="JSONL trace file (the *-report subcommands), or the "
-        "chaos/net action: 'run' (default) or 'replay' (chaos only)",
+        "chaos/net/obs action: 'run' (default), 'replay' (chaos only), "
+        "'tail' (obs only)",
     )
     parser.add_argument(
         "arg",
         nargs="?",
         default=None,
-        help="reproducer file for 'chaos replay'",
+        help="reproducer file for 'chaos replay'; base URL of a live "
+        "run (http://...) or a JSONL trace file/dir for 'obs tail'",
     )
     parser.add_argument(
         "--format",
@@ -216,7 +220,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir",
         default=None,
         metavar="DIR",
-        help="dump per-node and merged JSONL traces here",
+        help="dump per-node and merged JSONL traces here (flight-"
+        "recorder snapshots when the live plane is on)",
+    )
+    net.add_argument(
+        "--work",
+        type=float,
+        default=None,
+        metavar="S",
+        help="simulated per-barrier work time in seconds (slows the "
+        "run down so it can be watched live)",
+    )
+    obs = parser.add_argument_group("live telemetry plane (repro.obs.live)")
+    obs.add_argument(
+        "--live",
+        action="store_true",
+        help="net run: stream the Lamport merge through the guarantee "
+        "monitors while nodes run (bounded flight recorders per node)",
+    )
+    obs.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="net run: serve /metrics, /health and /spans/recent on "
+        "localhost:PORT during the run (implies --live; 0 = ephemeral)",
+    )
+    obs.add_argument(
+        "--ring",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="flight-recorder ring capacity per node (live plane)",
+    )
+    obs.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="obs tail: poll interval against a live endpoint",
     )
     return parser
 
@@ -432,12 +474,14 @@ def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     action = args.path or "run"
     if action != "run":
         parser.error(f"unknown net action {action!r} (use: run)")
+    from repro.net.node import Timing
     from repro.net.runtime import NetConfig, run_sync
 
     try:
         plan = _net_plan(args)
     except (ValueError, OSError) as exc:
         parser.error(str(exc))
+    timing = Timing(work=args.work) if args.work else Timing()
     config = NetConfig(
         nodes=args.nodes,
         barriers=args.barriers,
@@ -446,9 +490,19 @@ def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         arity=args.arity,
         seed=args.seed,
         plan=plan,
+        timing=timing,
         timeout_s=args.timeout if args.timeout is not None else 60.0,
         trace_dir=args.trace_dir,
+        obs_port=args.obs_port,
+        live=args.live,
+        ring_capacity=args.ring,
     )
+    if args.obs_port:
+        print(
+            f"serving live telemetry on http://127.0.0.1:{args.obs_port} "
+            "(/metrics /health /spans/recent)",
+            flush=True,
+        )
     result = run_sync(config)
     print(result.render())
     for path in result.trace_paths:
@@ -456,13 +510,185 @@ def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0 if result.ok else 1
 
 
+def _tail_events(source: str):
+    """Events for an offline ``obs tail``: a snapshot file, a JSONL
+    trace, or a trace directory (merged.jsonl preferred, else per-node
+    streams re-merged)."""
+    from pathlib import Path
+
+    from repro.net.trace import merge_traces
+    from repro.obs.jsonl import read_jsonl
+    from repro.obs.recorder import read_snapshot
+
+    path = Path(source)
+    if path.is_dir():
+        merged = path / "merged.jsonl"
+        if merged.exists():
+            return read_jsonl(merged)
+        streams = {}
+        for child in sorted(path.glob("trace-*.jsonl")):
+            pid = int(child.stem.split("-")[1])
+            streams[pid] = read_jsonl(child)
+        for child in sorted(path.glob("flight-*.snapshot.jsonl")):
+            header, events = read_snapshot(child)
+            streams[int(header["pid"])] = events
+        if not streams:
+            raise FileNotFoundError(f"no trace files under {source}")
+        return merge_traces(streams)
+    with open(path, encoding="utf-8") as fh:
+        first = fh.readline()
+    if '"flight-recorder-snapshot"' in first:
+        header, events = read_snapshot(path)
+        print(
+            f"flight recorder pid={header['pid']}: "
+            f"{header['retained']} retained of {header['appended']} "
+            f"({header['dropped']} dropped, capacity {header['capacity']})"
+        )
+        return events
+    return read_jsonl(path)
+
+
+def _tail_replay(source: str) -> int:
+    """Replay a recorded trace as a scrolling span feed + histogram."""
+    from repro.obs.spans import BARRIER, SpanFolder
+    from repro.viz.chart import ascii_histogram_of
+
+    durations: list[float] = []
+
+    def sink(span) -> None:
+        print(span.render())
+        if span.kind == BARRIER and span.duration is not None:
+            durations.append(span.duration)
+
+    events = _tail_events(source)
+    folder = SpanFolder(sink=sink)
+    folder.feed_all(events)
+    folder.finish(events[-1].time if events else 0.0)
+    counts_by_kind = " ".join(
+        f"{kind}={count}" for kind, count in sorted(folder.finished.items())
+    )
+    print(f"spans: {counts_by_kind}")
+    if durations:
+        print("barrier durations (virtual time):")
+        print(ascii_histogram_of(durations))
+    return 0
+
+
+def _tail_live(url: str, interval: float, timeout: float | None) -> int:
+    """Attach to a running net job's endpoint and stream its spans."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    base = url.rstrip("/")
+
+    def fetch(route: str):
+        with urllib.request.urlopen(base + route, timeout=5.0) as resp:
+            return _json.loads(resp.read().decode("utf-8"))
+
+    seen_spans: set[int] = set()
+    seen_violations = 0
+    deadline = None if timeout is None else time.monotonic() + timeout
+    attached = False
+    failures = 0
+    while True:
+        try:
+            health = fetch("/health")
+            payload = fetch("/spans/recent")
+            failures = 0
+        except (urllib.error.URLError, ConnectionError, OSError):
+            failures += 1
+            # Tolerate a slow start; once attached, a dead endpoint
+            # means the run is over.
+            if attached or failures > max(3, int(5.0 / max(interval, 0.1))):
+                break
+            time.sleep(interval)
+            continue
+        if not attached:
+            print(f"attached to {base} ({health['nodes']} nodes)")
+            attached = True
+        for span in payload["recent"]:
+            if span["span_id"] not in seen_spans:
+                seen_spans.add(span["span_id"])
+                dur = span["duration"]
+                dur_s = "" if dur is None else f" dur={dur:g}"
+                pid = span["pid"]
+                pid_s = "" if pid is None else f" pid={pid}"
+                print(
+                    f"[{span['start']:>10g}] {span['kind']:<13} "
+                    f"{span['name']:<14} {span['status']}{pid_s}{dur_s}"
+                )
+        fresh = payload["violations"][seen_violations:]
+        seen_violations += len(fresh)
+        for violation in fresh:
+            where = violation.get("span") or {}
+            print(
+                f"VIOLATION [{violation['guarantee']}/{violation['kind']}] "
+                f"t={violation['time']:g}: {violation['message']}"
+                + (f" (span {where.get('name')})" if where else "")
+            )
+        if health["status"] == "finished":
+            print("run finished")
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            print("tail timeout reached")
+            break
+        time.sleep(interval)
+    if not attached:
+        print(f"could not attach to {base}")
+        return 1
+    print(
+        f"tailed {len(seen_spans)} span(s), "
+        f"{seen_violations} violation(s)"
+    )
+    return 0 if seen_violations == 0 else 1
+
+
+def obs_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The telemetry plane: ``obs tail <url-or-trace>``.
+
+    With an ``http://`` argument, attaches to a live run's endpoint and
+    streams spans/violations until the run finishes; with a file or
+    directory, replays the recorded trace as the same feed.
+    """
+    action = args.path or "tail"
+    if action != "tail":
+        parser.error(f"unknown obs action {action!r} (use: tail)")
+    if args.arg is None:
+        parser.error(
+            "obs tail requires a live URL or a trace file/dir "
+            f"(usage: {parser.prog} obs tail http://127.0.0.1:9309)"
+        )
+    if args.arg.startswith(("http://", "https://")):
+        return _tail_live(args.arg, args.interval, args.timeout)
+    try:
+        return _tail_replay(args.arg)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error raises
+
+
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed our stdout; the Unix convention
+        # is a quiet exit, not a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "chaos":
         return chaos_cmd(args, parser)
     if args.experiment == "net":
         return net_cmd(args, parser)
+    if args.experiment == "obs":
+        return obs_cmd(args, parser)
     if args.experiment in REPORT_COMMANDS:
         if args.path is None:
             # A proper argparse error (usage + message, exit status 2)

@@ -114,12 +114,13 @@ class MBRingNode(NetNode):
         if self.note_peer_incarnation(msg.src, msg.incarnation):
             # First push of a restarted neighbour: the detectable
             # fault's detection, exactly once per restart.
-            self.tracer.detect(
-                float(self.clock.tick()),
-                self.node_id,
-                peer=msg.src,
-                incarnation=msg.incarnation,
-            )
+            if self.tracer.enabled:
+                self.tracer.detect(
+                    float(self.clock.tick()),
+                    self.node_id,
+                    peer=msg.src,
+                    incarnation=msg.incarnation,
+                )
         p = msg.payload
         self.machine.on_neighbor_state(
             msg.src,
@@ -141,7 +142,10 @@ class MBRingNode(NetNode):
     def _narrate_crash(self) -> None:
         if self._open_phase is not None:
             # Rank 0's in-flight instance dies; MB will re-execute it.
-            self.tracer.phase_end(float(self.clock.tick()), self._open_phase, False)
+            if self.tracer.enabled:
+                self.tracer.phase_end(
+                    float(self.clock.tick()), self._open_phase, False
+                )
             self._open_phase = None
 
     async def _apply_crash(self) -> None:
@@ -153,9 +157,10 @@ class MBRingNode(NetNode):
         await self.crash_restart()
         # The reset machine rejoins the ring; MB's own repeat /
         # re-execution machinery takes it from here.
-        self.tracer.recovery(
-            float(self.clock.tick()), self.node_id, completed=self.completed
-        )
+        if self.tracer.enabled:
+            self.tracer.recovery(
+                float(self.clock.tick()), self.node_id, completed=self.completed
+            )
 
     # -- the protocol --------------------------------------------------
     def _drain_machine_events(self) -> None:

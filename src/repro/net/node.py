@@ -233,7 +233,10 @@ class NetNode:
         """A detectable fault: lose volatile state and in-flight input,
         come back as a new incarnation after ``restart_delay``."""
         self.stats["crashes"] += 1
-        self.tracer.fault(float(self.clock.tick()), self.node_id, detectable=True)
+        if self.tracer.enabled:
+            self.tracer.fault(
+                float(self.clock.tick()), self.node_id, detectable=True
+            )
         self._narrate_crash()
         running = self._running
         await self.stop()

@@ -36,7 +36,7 @@ from repro.net.transport import (
 from repro.net.tree import TreeBarrierNode
 from repro.net.trace import check_merged, merge_traces, trace_digest
 from repro.obs.events import FAULT, PHASE_END, ObsEvent
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import NullTracer, Tracer
 
 PROTOCOLS = ("tree", "mb")
 TRANSPORTS = ("mem", "tcp")
@@ -44,7 +44,19 @@ TRANSPORTS = ("mem", "tcp")
 
 @dataclass(frozen=True)
 class NetConfig:
-    """One distributed run, fully specified."""
+    """One distributed run, fully specified.
+
+    The telemetry plane: ``live=True`` (implied by ``obs_port``) swaps
+    each node's unbounded tracer for a bounded
+    :class:`~repro.obs.recorder.FlightRecorder` of ``ring_capacity``
+    events and checks the guarantee monitors *while the run executes*
+    (streaming Lamport merge; same verdicts as the post-hoc path, gated
+    by test).  ``obs_port`` additionally serves ``/metrics``, ``/health``
+    and ``/spans/recent`` from inside the loop (0 = ephemeral port,
+    localhost-only).  ``tracing=False`` runs with ``NullTracer`` (the
+    benchmark's baseline column); ``tracer_factory`` (pid -> tracer)
+    overrides node tracers outright when the plane is off.
+    """
 
     nodes: int = 5
     barriers: int = 20
@@ -58,6 +70,11 @@ class NetConfig:
     max_delay: float = 0.05
     timeout_s: float = 60.0
     trace_dir: str | None = None
+    obs_port: int | None = None
+    live: bool = False
+    ring_capacity: int = 4096
+    tracing: bool = True
+    tracer_factory: Any = None
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -74,6 +91,14 @@ class NetConfig:
             raise ValueError(
                 f"plan is for {self.plan.nprocs} processes, run has {self.nodes}"
             )
+        if self.ring_capacity < 1:
+            raise ValueError("ring_capacity must be >= 1")
+
+    @property
+    def live_mode(self) -> bool:
+        """The telemetry plane runs when asked for, or when the HTTP
+        endpoint needs it."""
+        return self.live or self.obs_port is not None
 
 
 @dataclass
@@ -94,6 +119,10 @@ class NetResult:
     link_stats: dict[str, int] = field(default_factory=dict)
     merged_events: list[ObsEvent] = field(default_factory=list)
     trace_paths: list[str] = field(default_factory=list)
+    #: Digest + per-guarantee verdicts (+ plane accounting when live) --
+    #: everything a scraper needs without recomputing from the trace.
+    metrics_summary: dict[str, Any] = field(default_factory=dict)
+    obs_url: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -118,6 +147,7 @@ class NetResult:
             "node_stats": {str(k): dict(v) for k, v in self.node_stats.items()},
             "link_stats": dict(self.link_stats),
             "trace_paths": list(self.trace_paths),
+            "metrics": dict(self.metrics_summary),
         }
 
     def render(self) -> str:
@@ -129,6 +159,12 @@ class NetResult:
             f"faults={self.faults_fired} wall={self.wall_s:.2f}s",
             f"  digest={self.digest}",
         ]
+        verdicts = self.metrics_summary.get("verdicts")
+        if verdicts:
+            pretty = " ".join(f"{k}={v}" for k, v in sorted(verdicts.items()))
+            lines.append(f"  verdicts: {pretty}")
+        if self.obs_url:
+            lines.append(f"  obs: {self.obs_url} (live plane)")
         if self.link_stats:
             pretty = " ".join(f"{k}={v}" for k, v in sorted(self.link_stats.items()))
             lines.append(f"  link: {pretty}")
@@ -172,9 +208,35 @@ async def run_async(config: NetConfig) -> NetResult:
             for t in raw
         ]
 
+    # -- telemetry plane ----------------------------------------------
+    nphases = None if config.protocol == "tree" else config.nphases
+    check_plan = plan if plan is not None else FaultPlan(nprocs=config.nodes)
+    plane = None
+    server = None
+    tracers: dict[int, Any]
+    if config.live_mode:
+        from repro.obs.live import LivePlane
+
+        plane = LivePlane(
+            config.nodes,
+            plan=check_plan,
+            nphases=nphases,
+            ring_capacity=config.ring_capacity,
+        )
+        tracers = {pid: plane.tracer_for(pid) for pid in range(config.nodes)}
+        if config.obs_port is not None:
+            from repro.obs.http import ObsHttpServer
+
+            server = await ObsHttpServer(plane, port=config.obs_port).start()
+    elif config.tracer_factory is not None:
+        tracers = {pid: config.tracer_factory(pid) for pid in range(config.nodes)}
+    elif not config.tracing:
+        tracers = {pid: NullTracer() for pid in range(config.nodes)}
+    else:
+        tracers = {pid: Tracer() for pid in range(config.nodes)}
+
     # -- nodes ---------------------------------------------------------
     crashes = _crash_schedule(plan)
-    tracers = {pid: Tracer() for pid in range(config.nodes)}
     nodes: list[Any] = []
     mains = []
     for pid in range(config.nodes):
@@ -205,6 +267,18 @@ async def run_async(config: NetConfig) -> NetResult:
         nodes.append(node)
 
     # -- run -----------------------------------------------------------
+    if plane is not None:
+        live_plane = plane
+
+        async def _with_done_mark(node_pid: int, coro: Any) -> None:
+            try:
+                await coro
+            finally:
+                # A finished (or cancelled) node must stop gating the
+                # streaming merge watermark.
+                live_plane.mark_done(node_pid)
+
+        mains = [_with_done_mark(pid, coro) for pid, coro in enumerate(mains)]
     wall_start = _time.perf_counter()
     gathered = asyncio.gather(*mains)
     timed_out = False
@@ -228,27 +302,40 @@ async def run_async(config: NetConfig) -> NetResult:
     if config.protocol == "tree":
         completed = min(node.round for node in nodes)
         reached = all(node.round >= config.barriers for node in nodes)
-        nphases = None
     else:
         completed = nodes[0].completed
         reached = nodes[0].completed >= config.barriers
-        nphases = config.nphases
     reached = reached and not timed_out
 
-    streams = {pid: tracers[pid].events for pid in tracers}
-    merged = merge_traces(streams)
-    digest = trace_digest(streams)
-    check_plan = plan if plan is not None else FaultPlan(nprocs=config.nodes)
-    violations, spans = check_merged(merged, check_plan, nphases, reached)
-
-    successful = sum(
-        1
-        for e in streams[0]
-        if e.kind == PHASE_END and e.data.get("success")
-    )
-    faults_fired = sum(
-        1 for events in streams.values() for e in events if e.kind == FAULT
-    )
+    if plane is not None:
+        # The streaming path already merged, monitored and digested;
+        # full per-node streams may be ring-truncated, so everything
+        # derives from the plane's (complete) merged view.
+        plane.finish(reached)
+        if server is not None:
+            await server.stop()
+        merged = list(plane.merged or [])
+        digest = plane.digest()
+        violations, spans = list(plane.violations), list(plane.spans)
+        successful = sum(
+            1
+            for e in merged
+            if e.kind == PHASE_END and e.pid == 0 and e.data.get("success")
+        )
+        faults_fired = sum(1 for e in merged if e.kind == FAULT)
+    else:
+        streams = {pid: tracers[pid].events for pid in tracers}
+        merged = merge_traces(streams)
+        digest = trace_digest(streams)
+        violations, spans = check_merged(merged, check_plan, nphases, reached)
+        successful = sum(
+            1
+            for e in streams[0]
+            if e.kind == PHASE_END and e.data.get("success")
+        )
+        faults_fired = sum(
+            1 for events in streams.values() for e in events if e.kind == FAULT
+        )
     link_stats: dict[str, int] = {}
     if faulty:
         for transport in transports:
@@ -260,12 +347,22 @@ async def run_async(config: NetConfig) -> NetResult:
         out = Path(config.trace_dir)
         out.mkdir(parents=True, exist_ok=True)
         for pid, tracer in tracers.items():
-            path = out / f"trace-{pid}.jsonl"
-            tracer.dump_jsonl(path)
+            if plane is not None:
+                path = out / f"flight-{pid}.snapshot.jsonl"
+                plane.recorders[pid].dump_snapshot(path)
+            elif hasattr(tracer, "dump_jsonl"):
+                path = out / f"trace-{pid}.jsonl"
+                tracer.dump_jsonl(path)
+            else:
+                continue
             trace_paths.append(str(path))
         merged_path = out / "merged.jsonl"
         Tracer.from_events(merged).dump_jsonl(merged_path)
         trace_paths.append(str(merged_path))
+
+    metrics_summary = _metrics_summary(
+        check_plan, nphases, digest, violations, spans, plane
+    )
 
     return NetResult(
         config=config,
@@ -282,7 +379,41 @@ async def run_async(config: NetConfig) -> NetResult:
         link_stats=link_stats,
         merged_events=merged,
         trace_paths=trace_paths,
+        metrics_summary=metrics_summary,
+        obs_url=server.url if server is not None else None,
     )
+
+
+def _metrics_summary(
+    check_plan: FaultPlan,
+    nphases: int | None,
+    digest: str,
+    violations: list[Any],
+    spans: list[float],
+    plane: Any,
+) -> dict[str, Any]:
+    """The scrape-ready run summary: digest + per-guarantee verdicts,
+    plus ring/merge accounting when the live plane ran."""
+    from repro.chaos.adapters import monitors_for
+
+    checked = sorted({m.guarantee for m in monitors_for(check_plan, nphases)})
+    verdicts = {guarantee: "pass" for guarantee in checked}
+    for violation in violations:
+        verdicts[violation.guarantee] = "fail"
+    summary: dict[str, Any] = {
+        "digest": digest,
+        "verdicts": verdicts,
+        "violations_total": len(violations),
+        "stabilization_spans": len(spans),
+        "live": plane is not None,
+    }
+    if plane is not None:
+        summary["rings"] = {
+            str(pid): stats for pid, stats in plane.ring_stats().items()
+        }
+        summary["merged_released"] = plane.merger.released
+        summary["spans_finished"] = dict(plane.folder.finished)
+    return summary
 
 
 def run_sync(config: NetConfig) -> NetResult:

@@ -19,8 +19,6 @@ differ.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from typing import Iterable, Mapping, Sequence
 
 from repro.chaos.plan import FaultPlan
@@ -32,10 +30,21 @@ from repro.obs.events import (
     RECOVERY,
     ObsEvent,
 )
+from repro.obs.recorder import (
+    PROTOCOL_KINDS,
+    digest_of_rows,
+    projection_row,
+)
 from repro.obs.tracer import Tracer
 
-#: Event kinds that enter the digest projection and the monitor stream.
-PROTOCOL_KINDS = frozenset({PHASE_START, PHASE_END, FAULT, DETECT, RECOVERY})
+__all__ = [
+    "PROTOCOL_KINDS",
+    "merge_traces",
+    "digest_projection",
+    "trace_digest",
+    "monitor_stream",
+    "check_merged",
+]
 
 
 def merge_traces(
@@ -58,31 +67,28 @@ def merge_traces(
 def digest_projection(
     streams: Mapping[int, Sequence[ObsEvent]]
 ) -> list[list]:
-    """The deterministic view :func:`trace_digest` hashes."""
+    """The deterministic view :func:`trace_digest` hashes.  Row shape is
+    owned by :func:`repro.obs.recorder.projection_row`, which flight
+    recorders also accumulate incrementally -- the two paths must hash
+    identically (gated by test)."""
     proj: list[list] = []
     for pid in sorted(streams):
         for event in streams[pid]:
-            if event.kind not in PROTOCOL_KINDS:
-                continue
-            proj.append(
-                [
-                    event.kind,
-                    pid,
-                    event.data.get("phase"),
-                    event.data.get("success"),
-                    event.data.get("detectable"),
-                    event.data.get("peer"),
-                ]
-            )
+            if event.kind in PROTOCOL_KINDS:
+                proj.append(projection_row(event, pid))
     return proj
 
 
 def trace_digest(streams: Mapping[int, Sequence[ObsEvent]]) -> str:
     """SHA-256 hex digest of the deterministic projection."""
-    body = json.dumps(
-        digest_projection(streams), sort_keys=True, separators=(",", ":")
-    ).encode()
-    return hashlib.sha256(body).hexdigest()
+    rows_by_pid: dict[int, list[list]] = {}
+    for pid in sorted(streams):
+        rows_by_pid[pid] = [
+            projection_row(event, pid)
+            for event in streams[pid]
+            if event.kind in PROTOCOL_KINDS
+        ]
+    return digest_of_rows(rows_by_pid)
 
 
 def monitor_stream(merged: Iterable[ObsEvent]) -> list[ObsEvent]:

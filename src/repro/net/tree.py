@@ -118,12 +118,13 @@ class TreeBarrierNode(NetNode):
                 self._release_acked[src] = r
         elif kind == "resync":
             if self.note_peer_incarnation(src, msg.incarnation):
-                self.tracer.detect(
-                    float(self.clock.tick()),
-                    self.node_id,
-                    peer=src,
-                    incarnation=msg.incarnation,
-                )
+                if self.tracer.enabled:
+                    self.tracer.detect(
+                        float(self.clock.tick()),
+                        self.node_id,
+                        peer=src,
+                        incarnation=msg.incarnation,
+                    )
             self.spawn(
                 self.send_msg(
                     src, "sync", {"round": self.round, "ack": msg.incarnation}
@@ -138,9 +139,10 @@ class TreeBarrierNode(NetNode):
     def _narrate_crash(self) -> None:
         if self._open_phase is not None:
             # The instance the root was executing dies with it.
-            self.tracer.phase_end(
-                float(self.clock.tick()), self._open_phase, False
-            )
+            if self.tracer.enabled:
+                self.tracer.phase_end(
+                    float(self.clock.tick()), self._open_phase, False
+                )
             self._open_phase = None
 
     async def _maybe_crash(self) -> bool:
@@ -166,9 +168,10 @@ class TreeBarrierNode(NetNode):
                 )
             )
         await self.wait_for(lambda: self._synced >= set(self.neighbors()))
-        self.tracer.recovery(
-            float(self.clock.tick()), self.node_id, round=self.round
-        )
+        if self.tracer.enabled:
+            self.tracer.recovery(
+                float(self.clock.tick()), self.node_id, round=self.round
+            )
 
     # -- the protocol --------------------------------------------------
     async def run_rounds(self) -> None:
@@ -179,7 +182,8 @@ class TreeBarrierNode(NetNode):
             r = self.round
             if self.parent is None and self._open_phase is None:
                 self._open_phase = r
-                self.tracer.phase_start(float(self.clock.tick()), r)
+                if self.tracer.enabled:
+                    self.tracer.phase_start(float(self.clock.tick()), r)
             if await self._maybe_crash():
                 continue  # re-enter the (re-executed) current round
             if work:
@@ -191,7 +195,8 @@ class TreeBarrierNode(NetNode):
                 )
             )
             if self.parent is None:
-                self.tracer.phase_end(float(self.clock.tick()), r, True)
+                if self.tracer.enabled:
+                    self.tracer.phase_end(float(self.clock.tick()), r, True)
                 self._open_phase = None
             else:
                 self.spawn(

@@ -47,21 +47,44 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsObserver,
     MetricsRegistry,
+    PromSample,
     metrics_from_trace,
+    parse_exposition,
     parse_prometheus_text,
+    render_exposition,
 )
 from repro.obs.summary import TraceSummary, summarize
 from repro.obs.tracer import NULL_TRACER, NullTracer, ObsError, Tracer, ensure_tracer
 
 
-def __getattr__(name: str):
-    # Lazy: the observer imports repro.barrier (for CP), and repro.barrier's
-    # engines import repro.obs.tracer -- an eager import here would cycle.
-    if name == "BarrierPhaseObserver":
-        from repro.obs.observer import BarrierPhaseObserver
+#: Lazily exported names -> defining submodule.  The observer imports
+#: repro.barrier (for CP) and the live plane imports repro.chaos -- both
+#: of which import repro.obs.tracer, so eager imports here would cycle.
+_LAZY = {
+    "BarrierPhaseObserver": "repro.obs.observer",
+    "FlightRecorder": "repro.obs.recorder",
+    "PROTOCOL_KINDS": "repro.obs.recorder",
+    "SNAPSHOT_KIND": "repro.obs.recorder",
+    "projection_row": "repro.obs.recorder",
+    "digest_of_rows": "repro.obs.recorder",
+    "read_snapshot": "repro.obs.recorder",
+    "Span": "repro.obs.spans",
+    "SpanFolder": "repro.obs.spans",
+    "StreamingMerger": "repro.obs.live",
+    "LivePlane": "repro.obs.live",
+    "monitor_filter": "repro.obs.live",
+    "run_monitors_streaming": "repro.obs.live",
+    "ObsHttpServer": "repro.obs.http",
+}
 
-        return BarrierPhaseObserver
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
     "ObsEvent",
@@ -93,8 +116,25 @@ __all__ = [
     "Histogram",
     "metrics_from_trace",
     "parse_prometheus_text",
+    "parse_exposition",
+    "render_exposition",
+    "PromSample",
     "FaultChain",
     "CausalReport",
     "build_chains",
     "causal_report",
+    # live telemetry plane (lazy)
+    "FlightRecorder",
+    "PROTOCOL_KINDS",
+    "SNAPSHOT_KIND",
+    "projection_row",
+    "digest_of_rows",
+    "read_snapshot",
+    "Span",
+    "SpanFolder",
+    "StreamingMerger",
+    "LivePlane",
+    "monitor_filter",
+    "run_monitors_streaming",
+    "ObsHttpServer",
 ]

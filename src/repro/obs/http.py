@@ -1,0 +1,165 @@
+"""A tiny in-loop HTTP server exposing the live telemetry plane.
+
+Runs inside the same asyncio loop as the nodes (no thread, no extra
+dependency): :class:`ObsHttpServer` serves
+
+* ``GET /metrics`` -- Prometheus 0.0.4 text exposition of the run so
+  far (the PR-2 registry populated live plus the plane's own gauges);
+* ``GET /health``  -- one JSON object: run status, merge watermark,
+  ring accounting, violation count;
+* ``GET /spans/recent`` -- the span folder's recent ring, open spans,
+  and the violations observed so far (without their bulky trace
+  prefixes) as JSON.
+
+Security: the default bind is ``127.0.0.1`` -- the endpoint exposes run
+internals and has no auth, so it must not listen on public interfaces;
+anything beyond localhost scraping should sit behind a real reverse
+proxy.  The server only ever *reads* plane state, so a slow or hostile
+scraper cannot perturb the protocol (beyond sharing the loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.obs.live import LivePlane
+
+_MAX_REQUEST = 16 * 1024  # request line + headers; we never read bodies
+
+
+class ObsHttpServer:
+    """Serve a :class:`~repro.obs.live.LivePlane` over HTTP/1.0."""
+
+    def __init__(
+        self, plane: LivePlane, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        self.plane = plane
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced by the bound port
+        self._server: asyncio.AbstractServer | None = None
+        self.requests = 0
+
+    async def start(self) -> "ObsHttpServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            raw = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            writer.close()
+            return
+        if len(raw) > _MAX_REQUEST:
+            await self._respond(writer, 431, "text/plain", "request too large\n")
+            return
+        request_line = raw.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = request_line.split()
+        if len(parts) != 3 or parts[0] not in ("GET", "HEAD"):
+            await self._respond(writer, 405, "text/plain", "GET only\n")
+            return
+        path = parts[1].split("?", 1)[0]
+        self.requests += 1
+        try:
+            status, ctype, body = self._route(path)
+        except Exception as exc:  # surface, never kill the loop
+            status, ctype, body = 500, "text/plain", f"error: {exc}\n"
+        await self._respond(
+            writer, status, ctype, body, head_only=parts[0] == "HEAD"
+        )
+
+    def _route(self, path: str) -> tuple[int, str, str]:
+        plane = self.plane
+        if path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                plane.metrics_text(),
+            )
+        if path == "/health":
+            return 200, "application/json", _dumps(plane.health())
+        if path in ("/spans/recent", "/spans"):
+            payload = {
+                "recent": plane.folder.recent_dicts(),
+                "open": [s.to_dict() for s in plane.folder.open_spans],
+                "violations": [
+                    _violation_summary(v, ctx)
+                    for v, ctx in plane.live_violations
+                ],
+            }
+            return 200, "application/json", _dumps(payload)
+        if path == "/":
+            return (
+                200,
+                "text/plain",
+                "repro live telemetry: /metrics /health /spans/recent\n",
+            )
+        return 404, "text/plain", f"no route {path}\n"
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        ctype: str,
+        body: str,
+        head_only: bool = False,
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "Error"
+        )
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head if head_only else head + payload)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            writer.close()
+
+
+def _violation_summary(violation: Any, context: Any) -> dict[str, Any]:
+    """A violation without its trace prefix (bulky) but with the span
+    that was open when it fired."""
+    return {
+        "guarantee": violation.guarantee,
+        "kind": violation.kind,
+        "message": violation.message,
+        "time": violation.time,
+        "data": dict(violation.data),
+        "span": context,
+    }
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, default=str) + "\n"

@@ -1,0 +1,280 @@
+"""Hierarchical spans folded incrementally from the flat event stream.
+
+The tracer schema is deliberately flat -- eight event kinds, one record
+each -- which is perfect for digests and conformance but hostile to a
+human watching a live run.  :class:`SpanFolder` rebuilds the hierarchy
+*online*, event by event, with bounded state:
+
+* a **barrier span** per narrated round (``phase_start`` ..
+  ``phase_end``), status ``ok`` / ``failed``;
+* a **participation span** per (round, pid) covering that node's
+  message activity inside the round, parented under the barrier span;
+* a **fault chain span** per injected fault -- fault -> detect ->
+  recovery -> first clean successful phase -- using exactly the PR-2
+  causal attribution rules (:mod:`repro.obs.causal`): recoveries match
+  per-pid FIFO, pid-less recoveries are system-wide and close every
+  open chain, detects attribute in global order.  The span closes at
+  the first clean phase end, so its duration is the chain's
+  ``total_latency`` and its ``recovery_latency`` attr is the Figure 7
+  quantity, measured as the chain closes rather than post-hoc.
+
+Finished spans go to a bounded ``recent`` ring (the ``/spans/recent``
+endpoint body) and to an optional ``sink`` callback (the ``obs tail``
+feed); ``keep_all=True`` additionally retains every finished span for
+offline analysis.  Only *open* spans are held otherwise, so the folder
+is safe to run for arbitrarily long streams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.obs.events import (
+    DETECT,
+    FAULT,
+    MSG_RECV,
+    MSG_SEND,
+    PHASE_END,
+    PHASE_START,
+    TOKEN_PASS,
+    RECOVERY,
+    ObsEvent,
+)
+
+BARRIER = "barrier"
+PARTICIPATION = "participation"
+FAULT_CHAIN = "fault-chain"
+
+
+@dataclass
+class Span:
+    """One folded span (times are the stream's virtual/Lamport time)."""
+
+    span_id: int
+    kind: str  # BARRIER | PARTICIPATION | FAULT_CHAIN
+    name: str
+    start: float
+    pid: int | None = None
+    parent_id: int | None = None
+    end: float | None = None
+    status: str = "open"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "pid": self.pid,
+            "parent_id": self.parent_id,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def render(self) -> str:
+        dur = "" if self.duration is None else f" dur={self.duration:g}"
+        pid = "" if self.pid is None else f" pid={self.pid}"
+        return f"[{self.start:>10g}] {self.kind:<13} {self.name:<14} {self.status}{pid}{dur}"
+
+
+class SpanFolder:
+    """Fold a (merged) event stream into spans, one event at a time."""
+
+    def __init__(
+        self,
+        recent: int = 256,
+        sink: Callable[[Span], None] | None = None,
+        keep_all: bool = False,
+        participation: bool = True,
+    ) -> None:
+        self.recent: deque[Span] = deque(maxlen=recent)
+        self.sink = sink
+        self.completed: list[Span] | None = [] if keep_all else None
+        self.participation = participation
+        self._next_id = 1
+        #: Counters by span kind, finished spans only.
+        self.finished: dict[str, int] = {BARRIER: 0, PARTICIPATION: 0, FAULT_CHAIN: 0}
+        self.started: dict[str, int] = dict(self.finished)
+        # -- open state ------------------------------------------------
+        self._open_round: Span | None = None
+        #: pid -> (first time, last time, event count) inside the round.
+        self._round_activity: dict[int, tuple[float, float, int]] = {}
+        #: pid -> FIFO of open fault-chain spans awaiting recovery.
+        self._open_faults: dict[int | None, list[Span]] = {}
+        #: Chains recovered but awaiting their first clean phase end.
+        self._awaiting_clean: list[Span] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _open(self, kind: str, name: str, start: float, **kw: Any) -> Span:
+        span = Span(span_id=self._next_id, kind=kind, name=name, start=start, **kw)
+        self._next_id += 1
+        self.started[kind] = self.started.get(kind, 0) + 1
+        return span
+
+    def _finish(self, span: Span, end: float, status: str) -> None:
+        span.end = end
+        span.status = status
+        self.finished[span.kind] = self.finished.get(span.kind, 0) + 1
+        self.recent.append(span)
+        if self.completed is not None:
+            self.completed.append(span)
+        if self.sink is not None:
+            self.sink(span)
+
+    @property
+    def open_spans(self) -> list[Span]:
+        out: list[Span] = []
+        if self._open_round is not None:
+            out.append(self._open_round)
+        for queue in self._open_faults.values():
+            out.extend(queue)
+        out.extend(self._awaiting_clean)
+        return out
+
+    def recent_dicts(self) -> list[dict[str, Any]]:
+        return [span.to_dict() for span in self.recent]
+
+    def context(self) -> dict[str, Any] | None:
+        """The most relevant span right now: the open barrier round if
+        any, else the most recently finished span -- what a violation
+        surfaced at this moment should be attached to."""
+        if self._open_round is not None:
+            return self._open_round.to_dict()
+        if self.recent:
+            return self.recent[-1].to_dict()
+        return None
+
+    # -- folding -------------------------------------------------------
+    def feed(self, event: ObsEvent) -> None:
+        kind = event.kind
+        if kind == PHASE_START:
+            if self._open_round is not None:
+                # An instance started over a still-open one (the masking
+                # monitor flags this); close what we had so the feed
+                # stays consistent.
+                self._close_round(event.time, "interrupted", None)
+            phase = event.data.get("phase")
+            self._open_round = self._open(
+                BARRIER, f"round-{phase}", event.time, pid=event.pid,
+                attrs={"phase": phase},
+            )
+            self._round_activity = {}
+        elif kind == PHASE_END:
+            success = bool(event.data.get("success"))
+            self._close_round(event.time, "ok" if success else "failed", event)
+            if success and self._awaiting_clean:
+                for span in self._awaiting_clean:
+                    span.attrs["clean_phase_time"] = event.time
+                    span.attrs["total_latency"] = event.time - span.start
+                    self._finish(span, event.time, "recovered")
+                self._awaiting_clean = []
+        elif kind == FAULT:
+            parent = self._open_round.span_id if self._open_round else None
+            span = self._open(
+                FAULT_CHAIN,
+                f"fault@{event.time:g}",
+                event.time,
+                pid=event.pid,
+                parent_id=parent,
+                attrs={
+                    "detectable": bool(event.data.get("detectable", True)),
+                    "fault_time": event.time,
+                },
+            )
+            self._open_faults.setdefault(event.pid, []).append(span)
+        elif kind == DETECT:
+            # Global-order attribution: earliest open, not-yet-detected
+            # chain (detection is observed at the root, not the victim).
+            for span in sorted(
+                (s for q in self._open_faults.values() for s in q),
+                key=lambda s: s.span_id,
+            ):
+                if "detect_time" not in span.attrs:
+                    span.attrs["detect_time"] = event.time
+                    span.attrs["detection_latency"] = event.time - span.start
+                    break
+        elif kind == RECOVERY:
+            queue = self._open_faults.get(event.pid)
+            if event.pid is not None and queue:
+                span = queue.pop(0)
+                if not queue:
+                    del self._open_faults[event.pid]
+                self._recover(span, event, system_wide=False)
+            else:
+                explicit = event.data.get("latency")
+                opened = sorted(
+                    (s for q in self._open_faults.values() for s in q),
+                    key=lambda s: s.span_id,
+                )
+                self._open_faults.clear()
+                for j, span in enumerate(opened):
+                    self._recover(span, event, system_wide=True)
+                    if explicit is not None and j == 0:
+                        span.attrs["recovery_latency"] = float(explicit)
+        elif self.participation and kind in (MSG_SEND, MSG_RECV, TOKEN_PASS):
+            if self._open_round is not None and event.pid is not None:
+                first, _, count = self._round_activity.get(
+                    event.pid, (event.time, event.time, 0)
+                )
+                self._round_activity[event.pid] = (first, event.time, count + 1)
+
+    def _recover(self, span: Span, event: ObsEvent, system_wide: bool) -> None:
+        span.attrs["recovery_time"] = event.time
+        span.attrs["system_wide_recovery"] = system_wide
+        explicit = event.data.get("latency")
+        if explicit is not None and not system_wide:
+            span.attrs["recovery_latency"] = float(explicit)
+        else:
+            span.attrs.setdefault("recovery_latency", event.time - span.start)
+        self._awaiting_clean.append(span)
+
+    def _close_round(
+        self, time: float, status: str, event: ObsEvent | None
+    ) -> None:
+        round_span = self._open_round
+        if round_span is None:
+            return
+        self._open_round = None
+        for pid in sorted(self._round_activity):
+            first, last, count = self._round_activity[pid]
+            part = self._open(
+                PARTICIPATION,
+                f"{round_span.name}/p{pid}",
+                first,
+                pid=pid,
+                parent_id=round_span.span_id,
+                attrs={"events": count},
+            )
+            self._finish(part, last, "ok")
+        self._round_activity = {}
+        if event is not None:
+            round_span.attrs["success"] = bool(event.data.get("success"))
+        self._finish(round_span, time, status)
+
+    def feed_all(self, events: Iterable[ObsEvent]) -> "SpanFolder":
+        for event in events:
+            self.feed(event)
+        return self
+
+    def finish(self, time: float) -> None:
+        """End of stream: close whatever is still open, honestly."""
+        if self._open_round is not None:
+            self._close_round(time, "unfinished", None)
+        for span in sorted(
+            (s for q in self._open_faults.values() for s in q),
+            key=lambda s: s.span_id,
+        ):
+            self._finish(span, time, "unrecovered")
+        self._open_faults.clear()
+        for span in self._awaiting_clean:
+            self._finish(span, time, "recovered-no-clean-phase")
+        self._awaiting_clean = []

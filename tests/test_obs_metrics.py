@@ -10,9 +10,12 @@ from repro.obs import (
     MetricsError,
     MetricsObserver,
     MetricsRegistry,
+    PromSample,
     Tracer,
     metrics_from_trace,
+    parse_exposition,
     parse_prometheus_text,
+    render_exposition,
 )
 
 
@@ -310,3 +313,106 @@ class TestEngineTraces:
         dur = registry["barrier_instance_duration"]
         assert dur.count(result="success") == 4
         assert dur.sum(result="success") > 0  # durations in daemon steps
+
+
+class TestExpositionRoundTrip:
+    """Structured parse/render round-trips (the scrape-side contract):
+    expose -> parse -> expose must be byte-identical, through escaped
+    label values and non-finite sample values."""
+
+    def weird_registry(self):
+        r = MetricsRegistry()
+        c = r.counter("weird_total", 'help with \\ and\nnewline', ("name",))
+        c.inc(2, name='quote " backslash \\ newline \n tab\t')
+        c.inc(1, name="plain")
+        g = r.gauge("extremes", "non-finite values", ("which",))
+        g.set(float("inf"), which="pos")
+        g.set(float("-inf"), which="neg")
+        g.set(float("nan"), which="nan")
+        g.set(0.1 + 0.2, which="repr")
+        return r
+
+    def test_escaped_labels_round_trip_byte_identical(self):
+        text = self.weird_registry().render_prometheus()
+        entries = parse_exposition(text)
+        assert render_exposition(entries) == text
+        # And once more through the already-canonical form.
+        assert render_exposition(parse_exposition(render_exposition(entries))) == text
+
+    def test_escaped_label_values_survive_parsing(self):
+        text = self.weird_registry().render_prometheus()
+        samples = [e[1] for e in parse_exposition(text) if e[0] == "sample"]
+        values = {dict(s.labels).get("name") for s in samples if s.name == "weird_total"}
+        assert 'quote " backslash \\ newline \n tab\t' in values
+
+    def test_non_finite_values_round_trip(self):
+        text = self.weird_registry().render_prometheus()
+        flat = parse_prometheus_text(text)
+        assert flat['extremes{which="pos"}'] == float("inf")
+        assert flat['extremes{which="neg"}'] == float("-inf")
+        assert math.isnan(flat['extremes{which="nan"}'])
+        assert "+Inf" in text and "-Inf" in text and "NaN" in text
+
+    def test_help_escaping_round_trips(self):
+        text = self.weird_registry().render_prometheus()
+        entries = parse_exposition(text)
+        helps = {name: body for kind, name, body in
+                 (e for e in entries if e[0] == "help")}
+        assert helps["weird_total"] == 'help with \\ and\nnewline'
+
+    def test_sample_key_is_canonical(self):
+        sample = PromSample(
+            name="m", labels=(("a", 'x"y'),), value=1.0, raw_value="1"
+        )
+        assert sample.key == 'm{a="x\\"y"}'
+        assert sample.render() == 'm{a="x\\"y"} 1'
+
+    def test_duplicate_samples_rejected_flat(self):
+        text = 'm{a="1"} 2\nm{a="1"} 3\n'
+        with pytest.raises(MetricsError, match="duplicate"):
+            parse_prometheus_text(text)
+
+    def test_unknown_type_kind_rejected(self):
+        with pytest.raises(MetricsError):
+            parse_exposition("# TYPE m sometype\n")
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_label_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20
+)
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+_special = st.sampled_from([float("inf"), float("-inf"), float("nan")])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(_label_values, st.one_of(_finite, _special)),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda p: p[0],
+    )
+)
+def test_exposition_round_trip_hypothesis(pairs):
+    """Any label value (escapes included) and any sample value
+    (non-finite included) survives expose -> parse -> expose
+    byte-identically."""
+    registry = MetricsRegistry()
+    gauge = registry.gauge("fuzz", "fuzzed gauge", ("v",))
+    for value, number in pairs:
+        gauge.set(number, v=value)
+    text = registry.render_prometheus()
+    entries = parse_exposition(text)
+    assert render_exposition(entries) == text
+    parsed = {
+        dict(e[1].labels)["v"]: e[1].value
+        for e in entries
+        if e[0] == "sample"
+    }
+    for value, number in pairs:
+        got = parsed[value]
+        assert got == number or (math.isnan(got) and math.isnan(number))

@@ -45,18 +45,26 @@ class TestCountingNullTracer:
 class TestMeasure:
     def test_report_structure(self, report):
         assert report["version"] == 1
-        assert set(report["workloads"]) == {"kernel", "fig5", "fig7"}
+        assert set(report["workloads"]) == {"kernel", "fig5", "fig7", "net"}
         for name, wl in report["workloads"].items():
             assert wl["wall"]["median_s"] > 0
-            assert wl["deterministic"]["events"] > 0, name
+        # Virtual-time workloads gate on event counts; the net run is
+        # wall-clock scheduled, so only plan-driven quantities appear.
+        for name in ("kernel", "fig5", "fig7"):
+            assert report["workloads"][name]["deterministic"]["events"] > 0
         for name in ("kernel", "fig5"):
             assert report["workloads"][name]["deterministic"]["instances"] > 0
         assert report["workloads"]["fig5"]["deterministic"][
             "instances_per_phase"
         ] >= 1.0
         assert report["workloads"]["fig7"]["deterministic"]["recoveries"] > 0
-        gate = report["null_tracer_gate"]
-        assert gate["calls_per_step"] <= regress.NULL_CALLS_PER_STEP_TOL
+        net = report["workloads"]["net"]["deterministic"]
+        assert len(net["digest"]) == 64
+        assert net["faults_fired"] == 1 and net["violations"] == 0
+        assert "events" not in net
+        for gate_key in ("null_tracer_gate", "net_null_tracer_gate"):
+            gate = report[gate_key]
+            assert gate["calls_per_step"] <= regress.NULL_CALLS_PER_STEP_TOL
 
     def test_deterministic_sections_reproduce(self, report):
         again = measure(repeats=1, quick=True)

@@ -1,0 +1,141 @@
+"""Streaming monitors vs the post-hoc oracle, over every committed
+chaos reproducer, plus the ``obs tail`` CLI feed.
+
+The PR's equivalence criterion: feeding the guarantee monitors online
+(``MonitorSet.feed``, no tracer) must report the *identical* violation
+set -- byte-for-byte ``to_json`` equality, trace prefixes included --
+as the subscription-driven post-hoc path, on every replayed reproducer
+under ``tests/reproducers/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.adapters import monitors_for
+from repro.chaos.campaign import replay_file
+from repro.chaos.monitors import MonitorSet
+from repro.experiments.cli import main as cli_main
+from repro.obs import Tracer
+
+REPRODUCER_DIR = Path(__file__).parent / "reproducers"
+
+
+def chaos_reproducers() -> list[Path]:
+    if not REPRODUCER_DIR.is_dir():
+        return []
+    return [
+        path
+        for path in sorted(REPRODUCER_DIR.glob("*.json"))
+        if json.loads(path.read_text()).get("kind") == "chaos-reproducer"
+    ]
+
+
+def _nphases(target: str, cfg) -> int | None:
+    """Mirror each adapter's own ``monitors_for`` nphases argument
+    (simmpi collective ids count up without wrapping)."""
+    return None if target.startswith("simmpi") else cfg.nphases
+
+
+def test_chaos_reproducers_are_committed():
+    """The corpus the equivalence suite runs over must exist."""
+    assert len(chaos_reproducers()) >= 3
+    guarantees = set()
+    for path in chaos_reproducers():
+        guarantees.add(json.loads(path.read_text())["violation"]["guarantee"])
+    assert {"masking", "stabilization"} <= guarantees
+
+
+@pytest.mark.parametrize("path", chaos_reproducers(), ids=lambda p: p.stem)
+def test_streaming_equals_post_hoc_on_reproducer(path):
+    reproducer, outcome = replay_file(path)
+    assert outcome.violations, "a committed reproducer must keep failing"
+    assert outcome.violations[0].guarantee == reproducer.violation.guarantee
+    assert outcome.events, "RunOutcome.events must carry the replay trace"
+
+    nphases = _nphases(reproducer.target, reproducer.config)
+    plan = reproducer.plan
+
+    # Post-hoc oracle: monitors subscribed to a tracer replaying the
+    # recorded events (exactly how the adapter produced its verdicts).
+    tracer = Tracer()
+    offline = MonitorSet(tracer, monitors_for(plan, nphases))
+    for event in outcome.events:
+        tracer.emit(event.kind, event.time, event.pid, **event.data)
+    offline.finish(outcome.reached, outcome.end_time)
+
+    # Streaming twin: the same monitor battery fed directly, no tracer.
+    streaming = MonitorSet(None, monitors_for(plan, nphases))
+    for event in outcome.events:
+        streaming.feed(event)
+    streaming.finish(outcome.reached, outcome.end_time)
+
+    offline_json = [v.to_json() for v in offline.violations]
+    assert [v.to_json() for v in streaming.violations] == offline_json
+    assert [v.to_json() for v in outcome.violations] == offline_json
+
+
+def test_feed_and_subscription_agree_mid_stream():
+    """Equivalence holds at every prefix, not just at the end: the
+    monitors' violation counts never diverge while events stream in."""
+    path = chaos_reproducers()[0]
+    _, outcome = replay_file(path)
+    reproducer, _ = replay_file(path)
+    nphases = _nphases(reproducer.target, reproducer.config)
+
+    tracer = Tracer()
+    offline = MonitorSet(tracer, monitors_for(reproducer.plan, nphases))
+    streaming = MonitorSet(None, monitors_for(reproducer.plan, nphases))
+    for event in outcome.events:
+        tracer.emit(event.kind, event.time, event.pid, **event.data)
+        streaming.feed(event)
+        assert len(streaming.violations) == len(offline.violations)
+
+
+# ----------------------------------------------------------------------
+# `repro-experiments obs tail` -- the offline replay feed
+# ----------------------------------------------------------------------
+def test_cli_obs_tail_replays_a_trace_dir(tmp_path, capsys):
+    trace_dir = tmp_path / "traces"
+    rc = cli_main(
+        [
+            "net", "run", "--nodes", "3", "--barriers", "4",
+            "--seed", "3", "--trace-dir", str(trace_dir),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    rc = cli_main(["obs", "tail", str(trace_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "barrier" in out and "round-0" in out
+    assert "spans:" in out
+    assert "barrier durations" in out
+
+
+def test_cli_obs_tail_replays_a_flight_snapshot(tmp_path, capsys):
+    trace_dir = tmp_path / "flight"
+    rc = cli_main(
+        [
+            "net", "run", "--nodes", "3", "--barriers", "4", "--seed", "3",
+            "--live", "--trace-dir", str(trace_dir),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    rc = cli_main(["obs", "tail", str(trace_dir / "flight-0.snapshot.jsonl")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "flight recorder pid=0" in out
+
+
+def test_cli_obs_tail_rejects_nonsense(tmp_path):
+    with pytest.raises(SystemExit):
+        cli_main(["obs", "tail", str(tmp_path / "missing.jsonl")])
+    with pytest.raises(SystemExit):
+        cli_main(["obs", "tail"])
+    with pytest.raises(SystemExit):
+        cli_main(["obs", "nonsense"])

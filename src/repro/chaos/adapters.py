@@ -489,6 +489,9 @@ class NetAdapter(Adapter):
     #: window's tail still has the clean phases the stabilization
     #: monitor needs to declare convergence before the run ends.
     cooldown = 2
+    #: Worker processes; >1 exercises the sharded runtime
+    #: (:mod:`repro.net.shard`) as a chaos target.
+    shards = 1
 
     def run(self, plan: FaultPlan, cfg: CampaignConfig) -> RunOutcome:
         # Imported lazily: repro.net pulls in repro.chaos at import time.
@@ -509,6 +512,7 @@ class NetAdapter(Adapter):
                 seed=plan.seed,
                 plan=plan,
                 timeout_s=self.timeout_s,
+                shards=self.shards,
             )
         )
         return RunOutcome(
@@ -540,6 +544,17 @@ class NetMBAdapter(NetAdapter):
     nphases = 4
 
 
+class NetTreeShardedAdapter(NetTreeAdapter):
+    """The tree barrier on the process-per-shard runtime under chaos --
+    same plans, same monitors, the coordinator/merge path as target.
+    Spawn cost makes each run seconds, not milliseconds; campaigns
+    should point at it with a small ``--runs`` budget."""
+
+    name = "net:tree+sharded"
+    shards = 2
+    timeout_s = 60.0
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -559,6 +574,7 @@ def _registry() -> dict[str, Adapter]:
         DesMBAdapter(),
         NetTreeAdapter(),
         NetMBAdapter(),
+        NetTreeShardedAdapter(),
     ]
     return {a.name: a for a in adapters}
 

@@ -167,9 +167,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     net.add_argument(
         "--transport",
-        choices=("mem", "tcp"),
+        choices=("mem", "tcp", "unix"),
         default="mem",
-        help="in-memory fabric (CI default) or real localhost TCP",
+        help="in-memory fabric (CI default), real localhost TCP, or "
+        "Unix domain sockets (falls back to TCP without AF_UNIX)",
+    )
+    net.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes: >1 partitions the nodes across that "
+        "many event loops (cross-shard traffic on batched socket links)",
+    )
+    net.add_argument(
+        "--shard-transport",
+        choices=("auto", "unix", "tcp"),
+        default="auto",
+        help="cross-shard link transport (auto = Unix domain sockets "
+        "when available, else TCP)",
+    )
+    net.add_argument(
+        "--batch-bytes",
+        type=int,
+        default=32768,
+        metavar="N",
+        help="cross-shard link flush threshold; links also flush at "
+        "every event-loop turn boundary",
+    )
+    net.add_argument(
+        "--resend",
+        type=float,
+        default=None,
+        metavar="S",
+        help="resend timer override (scale runs want ~0.4 at n>=256; "
+        "default 0.04 suits a few dozen nodes)",
+    )
+    net.add_argument(
+        "--hb-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="heartbeat interval override (scale runs want ~2.0)",
     )
     net.add_argument(
         "--protocol",
@@ -481,22 +519,39 @@ def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         plan = _net_plan(args)
     except (ValueError, OSError) as exc:
         parser.error(str(exc))
-    timing = Timing(work=args.work) if args.work else Timing()
-    config = NetConfig(
-        nodes=args.nodes,
-        barriers=args.barriers,
-        protocol=args.protocol,
-        transport=args.transport,
-        arity=args.arity,
-        seed=args.seed,
-        plan=plan,
-        timing=timing,
-        timeout_s=args.timeout if args.timeout is not None else 60.0,
-        trace_dir=args.trace_dir,
-        obs_port=args.obs_port,
-        live=args.live,
-        ring_capacity=args.ring,
-    )
+    timing_kw: dict = {}
+    if args.work:
+        timing_kw["work"] = args.work
+    if args.resend is not None:
+        # Scale the dependent timers with the resend interval so one
+        # flag tunes a consistent profile (see EXPERIMENTS.md).
+        timing_kw["resend"] = args.resend
+        timing_kw["resend_max"] = 4 * args.resend
+        timing_kw["finish_timeout"] = max(2.0, 10 * args.resend)
+    if args.hb_interval is not None:
+        timing_kw["hb_interval"] = args.hb_interval
+    timing = Timing(**timing_kw)
+    try:
+        config = NetConfig(
+            nodes=args.nodes,
+            barriers=args.barriers,
+            protocol=args.protocol,
+            transport=args.transport,
+            arity=args.arity,
+            seed=args.seed,
+            plan=plan,
+            timing=timing,
+            timeout_s=args.timeout if args.timeout is not None else 60.0,
+            trace_dir=args.trace_dir,
+            obs_port=args.obs_port,
+            live=args.live,
+            ring_capacity=args.ring,
+            shards=args.shards,
+            shard_transport=args.shard_transport,
+            batch_bytes=args.batch_bytes,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.obs_port:
         print(
             f"serving live telemetry on http://127.0.0.1:{args.obs_port} "

@@ -2,10 +2,13 @@
 
 The deployment tier of the repo: the tree-barrier and MB protocols as
 real message protocols over length-prefixed JSON frames, running as N
-asyncio tasks (one per node) over an in-memory or TCP transport, with
-transport-level fault injection driven by the same
+asyncio tasks (one per node) over an in-memory, TCP or Unix-socket
+transport, with transport-level fault injection driven by the same
 :class:`~repro.chaos.plan.FaultPlan` schema the simulated engines use.
-See ``API.md`` ("repro.net") for the frame format and the guarantees.
+``NetConfig(shards=...)`` scales past one event loop: the node set is
+partitioned across worker processes with batched cross-shard links
+(:mod:`repro.net.shard`).  See ``API.md`` ("repro.net") for the frame
+format and the guarantees.
 """
 
 from repro.net.faults import MAX_DROP_ATTEMPTS, FaultyTransport
@@ -15,8 +18,12 @@ from repro.net.frames import (
     FrameError,
     LamportClock,
     Message,
+    append_frame,
+    encode_canonical,
     encode_frame,
     frame_digest,
+    pack_record,
+    unpack_record,
 )
 from repro.net.mbnode import MBRingNode
 from repro.net.node import NetNode, Timing
@@ -27,6 +34,15 @@ from repro.net.runtime import (
     NetResult,
     run_async,
     run_sync,
+)
+from repro.net.shard import (
+    SHARD_TRANSPORTS,
+    ShardFabric,
+    ShardLink,
+    ShardTransport,
+    cross_edges,
+    partition_nodes,
+    run_sharded,
 )
 from repro.net.trace import (
     PROTOCOL_KINDS,
@@ -44,6 +60,8 @@ from repro.net.transport import (
     TransportClosed,
     create_mem_transports,
     create_tcp_transports,
+    have_af_unix,
+    normalize_address,
 )
 from repro.net.tree import TreeBarrierNode, tree_children, tree_parent
 
@@ -55,8 +73,12 @@ __all__ = [
     "FrameError",
     "LamportClock",
     "Message",
+    "append_frame",
+    "encode_canonical",
     "encode_frame",
     "frame_digest",
+    "pack_record",
+    "unpack_record",
     "MBRingNode",
     "NetNode",
     "Timing",
@@ -66,6 +88,13 @@ __all__ = [
     "NetResult",
     "run_async",
     "run_sync",
+    "SHARD_TRANSPORTS",
+    "ShardFabric",
+    "ShardLink",
+    "ShardTransport",
+    "cross_edges",
+    "partition_nodes",
+    "run_sharded",
     "PROTOCOL_KINDS",
     "check_merged",
     "digest_projection",
@@ -79,6 +108,8 @@ __all__ = [
     "TransportClosed",
     "create_mem_transports",
     "create_tcp_transports",
+    "have_af_unix",
+    "normalize_address",
     "TreeBarrierNode",
     "tree_children",
     "tree_parent",

@@ -24,16 +24,63 @@ _LEN = struct.Struct(">I")
 #: Upper bound on a frame body; anything larger is a protocol error.
 MAX_FRAME = 1 << 20
 
+#: Cross-shard record header: (src node, dst node) routed over one link.
+_RECORD_HDR = struct.Struct(">II")
+
+#: The canonical-JSON encoder, built once: ``json.dumps(..., sort_keys=
+#: True, separators=(",", ":"))`` constructs a fresh ``JSONEncoder`` per
+#: call, which is measurable at millions of messages (see the ``frames``
+#: micro-bench in ``benchmarks/bench_net.py``).  Byte-for-byte the same
+#: output as the per-call form.
+_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+encode_canonical = _ENCODER.encode
+
 
 class FrameError(ValueError):
     """Malformed frame or envelope."""
 
 
 def encode_frame(body: bytes) -> bytes:
-    """Wrap ``body`` in the length prefix."""
+    """Wrap ``body`` in the length prefix (one pre-sized buffer, no
+    intermediate concatenation)."""
     if len(body) > MAX_FRAME:
         raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
-    return _LEN.pack(len(body)) + body
+    out = bytearray(_LEN.size + len(body))
+    _LEN.pack_into(out, 0, len(body))
+    out[_LEN.size:] = body
+    return bytes(out)
+
+
+def append_frame(buffer: bytearray, body: bytes) -> None:
+    """Append one length-prefixed frame to ``buffer`` in place -- the
+    batching primitive: many frames accumulate in one buffer and leave
+    in one syscall."""
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
+    offset = len(buffer)
+    buffer.extend(b"\x00\x00\x00\x00")
+    _LEN.pack_into(buffer, offset, len(body))
+    buffer.extend(body)
+
+
+def pack_record(src: int, dst: int, body: bytes) -> bytes:
+    """A routed cross-shard record: ``(src, dst)`` header + frame body.
+    Link peers exchange these inside ordinary length-prefixed frames, so
+    :class:`FrameDecoder` splits a batched byte stream back into them."""
+    out = bytearray(_RECORD_HDR.size + len(body))
+    _RECORD_HDR.pack_into(out, 0, src, dst)
+    out[_RECORD_HDR.size:] = body
+    return bytes(out)
+
+
+def unpack_record(record: bytes) -> tuple[int, int, bytes]:
+    """Invert :func:`pack_record`; raises :class:`FrameError` on a
+    truncated header."""
+    if len(record) < _RECORD_HDR.size:
+        raise FrameError(f"record of {len(record)} bytes has no routing header")
+    src, dst = _RECORD_HDR.unpack_from(record)
+    return src, dst, record[_RECORD_HDR.size:]
 
 
 class FrameDecoder:
@@ -97,9 +144,7 @@ class Message:
             "lc": self.lamport,
             "p": dict(self.payload),
         }
-        return json.dumps(
-            record, sort_keys=True, separators=(",", ":")
-        ).encode()
+        return encode_canonical(record).encode()
 
     @classmethod
     def from_bytes(cls, body: bytes) -> "Message":

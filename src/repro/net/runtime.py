@@ -19,6 +19,7 @@ protocol code is deployment-shaped either way.
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,7 +40,7 @@ from repro.obs.events import FAULT, PHASE_END, ObsEvent
 from repro.obs.tracer import NullTracer, Tracer
 
 PROTOCOLS = ("tree", "mb")
-TRANSPORTS = ("mem", "tcp")
+TRANSPORTS = ("mem", "tcp", "unix")
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,16 @@ class NetConfig:
     localhost-only).  ``tracing=False`` runs with ``NullTracer`` (the
     benchmark's baseline column); ``tracer_factory`` (pid -> tracer)
     overrides node tracers outright when the plane is off.
+
+    Sharding: ``shards > 1`` routes the run to
+    :func:`repro.net.shard.run_sharded` -- the node set is partitioned
+    across that many worker processes, in-shard traffic stays on memory
+    queues (``transport`` must be ``"mem"``), and cross-shard traffic
+    rides batched socket links (``shard_transport``: ``"auto"`` picks
+    Unix domain sockets when the platform has them, else TCP;
+    ``batch_bytes`` is the link flush threshold).  The live HTTP plane
+    and custom tracer factories are single-process features and are
+    rejected with sharding.
     """
 
     nodes: int = 5
@@ -75,6 +86,9 @@ class NetConfig:
     ring_capacity: int = 4096
     tracing: bool = True
     tracer_factory: Any = None
+    shards: int = 1
+    shard_transport: str = "auto"
+    batch_bytes: int = 32768
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -93,6 +107,29 @@ class NetConfig:
             )
         if self.ring_capacity < 1:
             raise ValueError("ring_capacity must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.batch_bytes < 1:
+            raise ValueError("batch_bytes must be >= 1")
+        from repro.net.shard import SHARD_TRANSPORTS
+
+        if self.shard_transport not in SHARD_TRANSPORTS:
+            raise ValueError(
+                f"unknown shard_transport {self.shard_transport!r}; "
+                f"use {SHARD_TRANSPORTS}"
+            )
+        if self.shards > 1:
+            if self.transport != "mem":
+                raise ValueError(
+                    "sharded runs keep in-shard traffic on the memory "
+                    "transport; use transport='mem' with shards > 1"
+                )
+            if self.obs_port is not None:
+                raise ValueError("the live HTTP plane is single-process; "
+                                 "obs_port requires shards=1")
+            if self.tracer_factory is not None:
+                raise ValueError("tracer_factory is not picklable across "
+                                 "shard workers; use shards=1")
 
     @property
     def live_mode(self) -> bool:
@@ -188,12 +225,27 @@ def _crash_schedule(plan: FaultPlan | None) -> dict[int, list[float]]:
 
 
 async def run_async(config: NetConfig) -> NetResult:
+    if config.shards > 1:
+        from repro.net.shard import run_sharded
+
+        # The sharded coordinator blocks on pipes and process joins;
+        # keep this loop responsive while it runs.
+        return await asyncio.to_thread(run_sharded, config)
     loop = asyncio.get_running_loop()
     t0 = loop.time()
     # -- fabric --------------------------------------------------------
     raw: list[Transport]
-    if config.transport == "tcp":
-        raw = list(await create_tcp_transports(config.nodes))
+    sockdir: tempfile.TemporaryDirectory | None = None
+    if config.transport in ("tcp", "unix"):
+        if config.transport == "unix":
+            # Falls back to TCP on platforms without AF_UNIX.
+            sockdir = tempfile.TemporaryDirectory(prefix="net-unix-")
+        raw = list(
+            await create_tcp_transports(
+                config.nodes,
+                unix_dir=sockdir.name if sockdir is not None else None,
+            )
+        )
     else:
         raw = list(create_mem_transports(config.nodes))
     plan = config.plan
@@ -296,6 +348,8 @@ async def run_async(config: NetConfig) -> NetResult:
             await node.stop()
         for transport in transports:
             await transport.close()
+        if sockdir is not None:
+            sockdir.cleanup()
     wall_s = _time.perf_counter() - wall_start
 
     # -- post-run ------------------------------------------------------
@@ -417,5 +471,14 @@ def _metrics_summary(
 
 
 def run_sync(config: NetConfig) -> NetResult:
-    """Run a distributed barrier job to completion (blocking)."""
+    """Run a distributed barrier job to completion (blocking).
+
+    Dispatches transparently: ``shards > 1`` runs the process-per-shard
+    coordinator (:func:`repro.net.shard.run_sharded`), everything else
+    runs the single-loop path.
+    """
+    if config.shards > 1:
+        from repro.net.shard import run_sharded
+
+        return run_sharded(config)
     return asyncio.run(run_async(config))

@@ -1,0 +1,733 @@
+"""The sharded runtime: process-per-shard event loops at 1000+ nodes.
+
+One asyncio loop tops out at a few dozen protocol nodes: every node's
+resend and heartbeat timer competes for the same GIL, round latency
+grows with N, and once it crosses the resend interval the runtime
+enters a message-amplification feedback (resends beget work beget
+longer rounds beget more resends) that diverges outright around a
+couple hundred nodes.  :func:`run_sharded` splits the node set across
+``config.shards`` worker processes -- each running its *own* event
+loop over the existing, unchanged node classes -- so the per-loop node
+count stays in the regime where the timers are honest.
+
+Topology-aware partitioning (:func:`partition_nodes`) keeps protocol
+edges inside shards: the tree protocol is cut at the shallowest heap
+level with at least ``shards`` subtree roots (whole subtrees stay
+together, so only O(shards) edges cross), the ring is cut into
+contiguous arcs (exactly ``shards`` cross edges).  In-shard traffic
+rides the same :class:`~repro.net.transport.MemTransport`-style queues
+as the single-loop runtime; cross-shard traffic rides one
+:class:`ShardLink` per shard pair -- a Unix-domain (or TCP) socket
+carrying length-prefixed *routing records* (``(src, dst)`` header +
+frame body, :func:`~repro.net.frames.pack_record`).  Links batch: a
+record appends to a per-link buffer that flushes on a size boundary
+(``config.batch_bytes``) or at the end of the current event-loop turn,
+so a resend burst of hundreds of messages leaves in a handful of
+syscalls.
+
+Every existing guarantee survives sharding:
+
+* **Replay determinism** -- :class:`~repro.net.faults.FaultyTransport`
+  decisions are pure hashes of ``(seed, channel, message identity,
+  attempt)`` made on the *sender's* wrapper, so the same plan yields
+  the same drops/dups/delays no matter which loop the sender runs in.
+  Two sharded runs with one seed, and a sharded vs a single-loop run,
+  produce identical trace digests (gated by test and CI).
+* **Telemetry** -- each worker runs a
+  :class:`~repro.obs.recorder.FlightRecorder` per node with
+  ``protocol_log=True``, ships the O(rounds) protocol events and
+  digest rows back over the result pipe, and the coordinator
+  Lamport-merges them into the PR-1 event schema and runs the PR-4
+  guarantee monitors post-hoc -- same verdicts, same digest algebra
+  (event times are Lamport stamps, so cross-process merge order is
+  exact, not wall-clock-approximate).
+* **Config surface** -- ``NetConfig(shards=..., shard_transport=...)``
+  and :func:`~repro.net.runtime.run_sync` dispatches here
+  transparently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import tempfile
+import time as _time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.net.frames import FrameDecoder, append_frame, pack_record, unpack_record
+from repro.net.transport import (
+    Transport,
+    TransportClosed,
+    have_af_unix,
+    open_address,
+)
+from repro.obs.events import FAULT, PHASE_END, ObsEvent
+
+#: Seconds the coordinator grants workers on top of ``timeout_s`` for
+#: interpreter start-up, imports and result shipping.
+STARTUP_GRACE = 30.0
+
+SHARD_TRANSPORTS = ("auto", "unix", "tcp")
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def partition_nodes(
+    nodes: int, shards: int, protocol: str = "tree", arity: int = 2
+) -> list[int]:
+    """Map every pid to a shard, keeping protocol edges local.
+
+    Tree: contiguous pid blocks would put almost *every* heap edge
+    (parent of ``p`` is ``(p-1)//arity``) across shards, so instead the
+    tree is cut at the shallowest level with >= ``shards`` subtree
+    roots; the roots are distributed in contiguous runs, every deeper
+    pid inherits its depth-``d`` ancestor's shard, and every shallower
+    pid follows its leftmost descendant (which keeps each
+    parent--leftmost-child edge local: only O(shards) edges cross).
+
+    Ring (mb): contiguous arcs, exactly ``shards`` cross edges.
+    """
+    if shards <= 1:
+        return [0] * nodes
+    shards = min(shards, nodes)
+    if protocol != "tree":
+        return [pid * shards // nodes for pid in range(nodes)]
+
+    # Smallest heap level whose *existing* population covers the shards.
+    base, width = 0, 1
+    while True:
+        existing = max(0, min(nodes, base + width) - base)
+        if existing >= shards:
+            break
+        if base + width >= nodes:
+            # Ragged tiny tree: no level is wide enough; arcs are fine.
+            return [pid * shards // nodes for pid in range(nodes)]
+        base += width
+        width = width * arity if arity > 1 else 1
+    roots = list(range(base, min(base + width, nodes)))
+    root_shard = {r: i * shards // len(roots) for i, r in enumerate(roots)}
+
+    def anchor(pid: int) -> int:
+        p = pid
+        while p >= base + width:  # below the cut: climb to the ancestor
+            p = (p - 1) // arity if arity > 1 else p - 1
+        while p < base:  # above the cut: follow the leftmost child chain
+            p = arity * p + 1 if arity > 1 else p + 1
+        return p if p in root_shard else roots[-1]
+
+    return [root_shard[anchor(pid)] for pid in range(nodes)]
+
+
+def cross_edges(partition: list[int], protocol: str, arity: int = 2) -> int:
+    """Count protocol edges whose endpoints land on different shards."""
+    n = len(partition)
+    crossing = 0
+    if protocol == "tree":
+        for pid in range(1, n):
+            parent = (pid - 1) // arity if arity > 1 else pid - 1
+            if partition[pid] != partition[parent]:
+                crossing += 1
+    else:
+        for pid in range(n):
+            if partition[pid] != partition[(pid + 1) % n]:
+                crossing += 1
+    return crossing
+
+
+# ----------------------------------------------------------------------
+# Worker-side fabric
+# ----------------------------------------------------------------------
+class ShardLink:
+    """One batched byte pipe to a peer shard.
+
+    ``send_record`` appends a length-prefixed routing record to the
+    link buffer; the buffer flushes when it crosses ``batch_bytes`` or
+    -- via ``loop.call_soon`` -- at the end of the current event-loop
+    turn, whichever comes first.  Many protocol messages therefore
+    share each ``write`` syscall, which is what amortizes the wire
+    cost of cutting the topology.
+    """
+
+    def __init__(self, address: str, batch_bytes: int) -> None:
+        self.address = address
+        self.batch_bytes = max(1, batch_bytes)
+        self._writer: asyncio.StreamWriter | None = None
+        self._buffer = bytearray()
+        self._flush_scheduled = False
+        self._dial_lock = asyncio.Lock()
+        self._closed = False
+        self.stats = {"records": 0, "flushes": 0, "bytes": 0}
+
+    async def _ensure_writer(self) -> asyncio.StreamWriter:
+        if self._writer is not None and not self._writer.is_closing():
+            return self._writer
+        async with self._dial_lock:
+            if self._writer is None or self._writer.is_closing():
+                _reader, self._writer = await open_address(self.address)
+            return self._writer
+
+    async def send_record(self, record: bytes) -> None:
+        if self._closed:
+            return
+        try:
+            await self._ensure_writer()
+        except (ConnectionError, OSError):
+            return  # peer shard is tearing down; resends will retry
+        append_frame(self._buffer, record)
+        self.stats["records"] += 1
+        if len(self._buffer) >= self.batch_bytes:
+            self._flush()
+            if self._writer is not None:
+                try:
+                    await self._writer.drain()  # backpressure on bursts
+                except (ConnectionError, OSError):
+                    pass
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._turn_flush)
+
+    def _turn_flush(self) -> None:
+        self._flush_scheduled = False
+        self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer or self._writer is None or self._writer.is_closing():
+            return
+        payload = bytes(self._buffer)
+        self._buffer.clear()
+        try:
+            self._writer.write(payload)
+        except (ConnectionError, OSError):
+            return
+        self.stats["flushes"] += 1
+        self.stats["bytes"] += len(payload)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._flush()
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+
+class ShardFabric:
+    """One worker's switch: local queues + links + the link listener.
+
+    Routing is record-addressed -- every cross-shard frame carries its
+    ``(src, dst)`` header -- so the listener needs no HELLO handshake:
+    any peer's batched stream demultiplexes straight into the local
+    per-node queues.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        partition: list[int],
+        batch_bytes: int,
+        unix_path: str | None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.partition = partition
+        self.batch_bytes = batch_bytes
+        self.unix_path = unix_path
+        self.local_pids = [
+            pid for pid, shard in enumerate(partition) if shard == shard_id
+        ]
+        self.queues: dict[int, asyncio.Queue[tuple[int, bytes]]] = {
+            pid: asyncio.Queue() for pid in self.local_pids
+        }
+        self.links: dict[int, ShardLink] = {}
+        self.address: str | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    # -- listener ------------------------------------------------------
+    async def start(self) -> str:
+        """Bind this shard's link listener; returns its address."""
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, self.unix_path
+            )
+            self.address = f"unix://{self.unix_path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, "127.0.0.1", 0
+            )
+            port = self._server.sockets[0].getsockname()[1]
+            self.address = f"tcp://127.0.0.1:{port}"
+        return self.address
+
+    def connect(self, addresses: Mapping[int, str]) -> None:
+        """Learn the peer shards' listener addresses (links dial lazily)."""
+        for shard, address in addresses.items():
+            if shard != self.shard_id:
+                self.links[shard] = ShardLink(address, self.batch_bytes)
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        decoder = FrameDecoder()
+        try:
+            while not self._closed:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for frame in decoder.feed(chunk):
+                    src, dst, body = unpack_record(frame)
+                    queue = self.queues.get(dst)
+                    if queue is not None:  # else: stale route, drop
+                        queue.put_nowait((src, body))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+
+    # -- node ports ----------------------------------------------------
+    def transports(self) -> dict[int, "ShardTransport"]:
+        return {pid: ShardTransport(pid, self) for pid in self.local_pids}
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for link in self.links.values():
+            await link.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = list(self._reader_tasks)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
+
+    def link_stats(self) -> dict[str, int]:
+        totals = {"xshard_records": 0, "xshard_flushes": 0, "xshard_bytes": 0}
+        for link in self.links.values():
+            totals["xshard_records"] += link.stats["records"]
+            totals["xshard_flushes"] += link.stats["flushes"]
+            totals["xshard_bytes"] += link.stats["bytes"]
+        return totals
+
+
+class ShardTransport(Transport):
+    """One node's port on a :class:`ShardFabric`: local sends are queue
+    puts (exactly :class:`~repro.net.transport.MemTransport` semantics),
+    remote sends become routing records on the peer shard's link."""
+
+    def __init__(self, node_id: int, fabric: ShardFabric) -> None:
+        super().__init__(node_id, len(fabric.partition))
+        self.fabric = fabric
+        self._closed = False
+
+    async def send(self, dst: int, body: bytes) -> None:
+        if self._closed:
+            raise TransportClosed(f"node {self.node_id}: transport closed")
+        if not 0 <= dst < self.nprocs:
+            raise ValueError(f"destination {dst} out of range")
+        shard = self.fabric.partition[dst]
+        if shard == self.fabric.shard_id:
+            self.fabric.queues[dst].put_nowait((self.node_id, body))
+        else:
+            link = self.fabric.links.get(shard)
+            if link is not None:
+                await link.send_record(pack_record(self.node_id, dst, body))
+
+    async def recv(self, timeout: float | None = None) -> tuple[int, bytes] | None:
+        if self._closed:
+            raise TransportClosed(f"node {self.node_id}: transport closed")
+        queue = self.fabric.queues[self.node_id]
+        if timeout is None:
+            return await queue.get()
+        try:
+            return await asyncio.wait_for(queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    def drain(self) -> int:
+        queue = self.fabric.queues[self.node_id]
+        dropped = 0
+        while not queue.empty():
+            queue.get_nowait()
+            dropped += 1
+        return dropped
+
+    async def close(self) -> None:
+        self._closed = True  # the fabric outlives individual node ports
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs, picklable for ``spawn``."""
+
+    shard_id: int
+    shards: int
+    partition: tuple[int, ...]
+    config: Any  # NetConfig (picklable once tracer_factory is None)
+    unix_path: str | None
+
+
+def _worker_main(spec: ShardSpec, conn: Any) -> None:
+    """Process entry point (top-level for the spawn pickler)."""
+    try:
+        payload = asyncio.run(_worker_async(spec, conn))
+        conn.send(("result", payload))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+async def _worker_async(spec: ShardSpec, conn: Any) -> dict[str, Any]:
+    from repro.net.faults import FaultyTransport
+    from repro.net.mbnode import MBRingNode
+    from repro.net.runtime import _crash_schedule
+    from repro.net.tree import TreeBarrierNode
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.tracer import NullTracer
+
+    config = spec.config
+    fabric = ShardFabric(
+        spec.shard_id, list(spec.partition), config.batch_bytes, spec.unix_path
+    )
+    address = await fabric.start()
+    conn.send(("address", spec.shard_id, address))
+    # Blocking recv is safe here: no protocol task runs yet, and peers
+    # only dial after everyone has the address map.
+    op, addresses, epoch = conn.recv()
+    if op != "go":
+        raise RuntimeError(f"unexpected coordinator message {op!r}")
+    fabric.connect(addresses)
+
+    plan = config.plan
+    faulty = bool(
+        plan is not None
+        and ((plan.link is not None and plan.link.any) or plan.partitions)
+    )
+    ports = fabric.transports()
+    transports: dict[int, Any] = dict(ports)
+    if faulty:
+        # Epoch-relative wall clock: one timeline for partition windows
+        # across every worker (sub-ms skew; windows are seconds-wide).
+        clock = lambda: _time.time() - epoch  # noqa: E731
+        transports = {
+            pid: FaultyTransport(t, plan, clock=clock, max_delay=config.max_delay)
+            for pid, t in ports.items()
+        }
+
+    tracers: dict[int, Any]
+    if not config.tracing:
+        tracers = {pid: NullTracer() for pid in fabric.local_pids}
+    else:
+        capacity = config.ring_capacity if config.live_mode else 65536
+        tracers = {
+            pid: FlightRecorder(capacity=capacity, pid=pid, protocol_log=True)
+            for pid in fabric.local_pids
+        }
+
+    crashes = _crash_schedule(plan)
+    nodes: dict[int, Any] = {}
+    mains = []
+    for pid in fabric.local_pids:
+        if config.protocol == "tree":
+            node = TreeBarrierNode(
+                pid,
+                config.nodes,
+                transports[pid],
+                barriers=config.barriers,
+                arity=config.arity,
+                crash_rounds=[max(0, int(w)) for w in crashes.get(pid, ())],
+                tracer=tracers[pid],
+                timing=config.timing,
+            )
+            mains.append(node.run_rounds())
+        else:
+            node = MBRingNode(
+                pid,
+                config.nodes,
+                transports[pid],
+                barriers=config.barriers,
+                nphases=config.nphases,
+                crash_times=crashes.get(pid, ()),
+                tracer=tracers[pid],
+                timing=config.timing,
+            )
+            mains.append(node.run_protocol())
+        nodes[pid] = node
+
+    wall_start = _time.perf_counter()
+    gathered = asyncio.gather(*mains)
+    timed_out = False
+    try:
+        await asyncio.wait_for(gathered, config.timeout_s)
+    except asyncio.TimeoutError:
+        timed_out = True
+        gathered.cancel()
+        try:
+            await gathered
+        except (asyncio.CancelledError, Exception):
+            pass
+    finally:
+        for node in nodes.values():
+            await node.stop()
+        for transport in transports.values():
+            await transport.close()
+        await fabric.close()
+    wall_s = _time.perf_counter() - wall_start
+
+    link_stats = fabric.link_stats()
+    if faulty:
+        for transport in transports.values():
+            for key, value in transport.stats.items():
+                link_stats[key] = link_stats.get(key, 0) + value
+
+    trace_paths: list[str] = []
+    rows: dict[int, list] = {pid: [] for pid in fabric.local_pids}
+    events: dict[int, list[ObsEvent]] = {pid: [] for pid in fabric.local_pids}
+    rings: dict[int, dict[str, int]] = {}
+    if config.tracing:
+        for pid, tracer in tracers.items():
+            rows[pid] = tracer.rows
+            events[pid] = list(tracer.protocol_events)
+            rings[pid] = {"appended": tracer.appended, "dropped": tracer.dropped}
+        if config.trace_dir is not None:
+            out = Path(config.trace_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            for pid, tracer in tracers.items():
+                path = out / f"flight-{pid}.snapshot.jsonl"
+                tracer.dump_snapshot(path)
+                trace_paths.append(str(path))
+
+    return {
+        "shard_id": spec.shard_id,
+        "timed_out": timed_out,
+        "rounds": {
+            pid: (node.round if config.protocol == "tree" else node.completed)
+            for pid, node in nodes.items()
+        },
+        "rows": rows,
+        "events": events,
+        "rings": rings,
+        "node_stats": {pid: dict(node.stats) for pid, node in nodes.items()},
+        "link_stats": link_stats,
+        "wall_s": wall_s,
+        "trace_paths": trace_paths,
+    }
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def run_sharded(config: Any) -> Any:
+    """Run ``config`` across ``config.shards`` worker processes.
+
+    Blocking, like :func:`~repro.net.runtime.run_sync` (which dispatches
+    here when ``shards > 1``).  The coordinator spawns workers, brokers
+    the link-address handshake, then collects per-shard results and
+    rebuilds a :class:`~repro.net.runtime.NetResult`: digest from the
+    shipped projection rows, monitors over the Lamport-merged protocol
+    events, stats summed.
+    """
+    from repro.chaos.plan import FaultPlan
+    from repro.net.runtime import NetResult, _metrics_summary
+    from repro.net.trace import check_merged, merge_traces
+    from repro.obs.recorder import digest_of_rows
+    from repro.obs.tracer import Tracer
+
+    shards = min(config.shards, config.nodes)
+    partition = partition_nodes(config.nodes, shards, config.protocol, config.arity)
+    if config.shard_transport == "unix" and not have_af_unix():
+        raise RuntimeError("shard_transport='unix' but this platform lacks AF_UNIX")
+    use_unix = config.shard_transport == "unix" or (
+        config.shard_transport == "auto" and have_af_unix()
+    )
+
+    ctx = multiprocessing.get_context("spawn")
+    wall_start = _time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="shard-") as sockdir:
+        procs: list[Any] = []
+        conns: list[Any] = []
+        try:
+            for shard_id in range(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                spec = ShardSpec(
+                    shard_id=shard_id,
+                    shards=shards,
+                    partition=tuple(partition),
+                    config=config,
+                    unix_path=os.path.join(sockdir, f"shard-{shard_id}.sock")
+                    if use_unix
+                    else None,
+                )
+                proc = ctx.Process(
+                    target=_worker_main, args=(spec, child_conn), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+
+            deadline = _time.monotonic() + STARTUP_GRACE
+            addresses: dict[int, str] = {}
+            for conn in conns:
+                msg = _pipe_recv(conn, deadline, "address handshake")
+                if msg[0] == "error":
+                    raise RuntimeError(f"shard worker failed:\n{msg[1]}")
+                _op, shard_id, address = msg
+                addresses[shard_id] = address
+
+            epoch = _time.time()
+            for conn in conns:
+                conn.send(("go", addresses, epoch))
+
+            # The run clock starts at "go": grant the workers their
+            # protocol deadline plus shipping slack from here.  Slack is
+            # generous because a worker that hits its own timeout still
+            # has to cancel nodes, drain queues and pickle results.
+            deadline = (
+                _time.monotonic()
+                + config.timeout_s
+                + max(STARTUP_GRACE, config.timeout_s)
+            )
+            payloads: list[dict[str, Any]] = []
+            for conn in conns:
+                msg = _pipe_recv(conn, deadline, "shard result")
+                if msg[0] == "error":
+                    raise RuntimeError(f"shard worker failed:\n{msg[1]}")
+                payloads.append(msg[1])
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+    wall_total = _time.perf_counter() - wall_start
+
+    # -- merge ---------------------------------------------------------
+    rounds: dict[int, int] = {}
+    rows_by_pid: dict[int, list] = {}
+    events_by_pid: dict[int, list[ObsEvent]] = {}
+    node_stats: dict[int, dict[str, int]] = {}
+    link_stats: dict[str, int] = {}
+    rings: dict[str, dict[str, int]] = {}
+    shard_walls: list[float] = []
+    trace_paths: list[str] = []
+    timed_out = False
+    for payload in payloads:
+        timed_out = timed_out or payload["timed_out"]
+        rounds.update(payload["rounds"])
+        rows_by_pid.update(payload["rows"])
+        events_by_pid.update(payload["events"])
+        node_stats.update(payload["node_stats"])
+        for pid, stats in payload["rings"].items():
+            rings[str(pid)] = stats
+        for key, value in payload["link_stats"].items():
+            link_stats[key] = link_stats.get(key, 0) + value
+        shard_walls.append(payload["wall_s"])
+        trace_paths.extend(payload["trace_paths"])
+
+    if config.protocol == "tree":
+        completed = min(rounds.values())
+        reached = all(r >= config.barriers for r in rounds.values())
+    else:
+        completed = rounds.get(0, 0)
+        reached = completed >= config.barriers
+    reached = reached and not timed_out
+
+    merged = merge_traces(events_by_pid)
+    digest = digest_of_rows(rows_by_pid)
+    nphases = None if config.protocol == "tree" else config.nphases
+    check_plan = (
+        config.plan if config.plan is not None else FaultPlan(nprocs=config.nodes)
+    )
+    violations, spans = check_merged(merged, check_plan, nphases, reached)
+    successful = sum(
+        1
+        for e in events_by_pid.get(0, [])
+        if e.kind == PHASE_END and e.data.get("success")
+    )
+    faults_fired = sum(
+        1 for events in events_by_pid.values() for e in events if e.kind == FAULT
+    )
+
+    if config.trace_dir is not None and config.tracing:
+        out = Path(config.trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        merged_path = out / "merged.jsonl"
+        Tracer.from_events(merged).dump_jsonl(merged_path)
+        trace_paths.append(str(merged_path))
+
+    metrics_summary = _metrics_summary(
+        check_plan, nphases, digest, violations, spans, None
+    )
+    metrics_summary["shards"] = {
+        "count": shards,
+        "transport": "unix" if use_unix else "tcp",
+        "partition_cross_edges": cross_edges(partition, config.protocol, config.arity),
+        "shard_walls": shard_walls,
+        "coordinator_wall_s": wall_total,
+    }
+    if rings:
+        metrics_summary["rings"] = rings
+
+    return NetResult(
+        config=config,
+        reached=reached,
+        completed=completed,
+        successful_phases=successful,
+        faults_fired=faults_fired,
+        digest=digest,
+        end_time=merged[-1].time if merged else 0.0,
+        # Protocol wall: the slowest shard's run phase; spawn/import
+        # overhead is excluded (reported separately in metrics).
+        wall_s=max(shard_walls) if shard_walls else wall_total,
+        violations=list(violations),
+        spans=list(spans),
+        node_stats=node_stats,
+        link_stats=link_stats,
+        merged_events=merged,
+        trace_paths=trace_paths,
+        metrics_summary=metrics_summary,
+    )
+
+
+def _pipe_recv(conn: Any, deadline: float, what: str) -> Any:
+    """Receive one pipe message before ``deadline`` (monotonic)."""
+    remaining = deadline - _time.monotonic()
+    if remaining <= 0 or not conn.poll(remaining):
+        raise TimeoutError(f"timed out waiting for {what}")
+    try:
+        return conn.recv()
+    except EOFError as exc:
+        raise RuntimeError(f"shard worker died before sending {what}") from exc

@@ -6,11 +6,14 @@ implementations share it:
 * :class:`MemTransport` -- an in-process hub of asyncio queues, the CI
   workhorse: zero sockets, microsecond latency, and a ``drain`` that
   models in-flight loss on crash;
-* :class:`TcpTransport` -- real TCP on localhost: every node runs an
-  asyncio server on an ephemeral port, peers dial lazily on first send,
-  and the :mod:`repro.net.frames` codec turns the byte stream back into
-  frames.  A ``HELLO`` frame opens each connection so the receiver can
-  attribute the stream to a node id.
+* :class:`TcpTransport` -- real sockets: every node runs an asyncio
+  server (TCP on an ephemeral localhost port, or -- with ``unix://``
+  addresses -- a Unix domain socket, which skips the TCP stack for
+  same-host links), peers dial lazily on first send, and the
+  :mod:`repro.net.frames` codec turns the byte stream back into frames.
+  A ``HELLO`` frame opens each connection so the receiver can attribute
+  the stream to a node id.  On platforms without ``AF_UNIX`` the
+  factory falls back to TCP transparently (see :func:`have_af_unix`).
 
 Both are single-event-loop objects; the runtime runs N nodes as N
 tasks in one loop (the paper's N processes, collapsed for CI -- the
@@ -22,9 +25,39 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Mapping
+import os
+import socket
+from typing import Mapping, Union
 
 from repro.net.frames import FrameDecoder, encode_frame
+
+#: One transport address: ``"tcp://host:port"`` or ``"unix://path"``
+#: (legacy ``(host, port)`` tuples are accepted and normalized).
+Address = Union[str, "tuple[str, int]"]
+
+
+def have_af_unix() -> bool:
+    """True when this platform can bind Unix domain sockets."""
+    return hasattr(socket, "AF_UNIX")
+
+
+def normalize_address(address: Address) -> str:
+    """Canonical string form of an address (tuples become ``tcp://``)."""
+    if isinstance(address, tuple):
+        host, port = address
+        return f"tcp://{host}:{port}"
+    if address.startswith(("tcp://", "unix://")):
+        return address
+    raise ValueError(f"unrecognized transport address {address!r}")
+
+
+async def open_address(address: str) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial a normalized address (TCP or Unix domain socket)."""
+    if address.startswith("unix://"):
+        return await asyncio.open_unix_connection(address[len("unix://"):])
+    hostport = address[len("tcp://"):]
+    host, _, port = hostport.rpartition(":")
+    return await asyncio.open_connection(host, int(port))
 
 
 class TransportClosed(ConnectionError):
@@ -121,19 +154,30 @@ def _hello(node_id: int) -> bytes:
 
 
 class TcpTransport(Transport):
-    """Length-prefixed frames over real localhost sockets.
+    """Length-prefixed frames over real sockets (TCP or Unix domain).
 
     Create the full set via :func:`create_tcp_transports`, which starts
-    every node's server on an ephemeral port first and then shares the
-    address map, so tests never race on fixed port numbers.
+    every node's server on an ephemeral port (or a per-node socket path
+    under ``unix_dir``) first and then shares the address map, so tests
+    never race on fixed port numbers.
     """
 
-    def __init__(self, node_id: int, nprocs: int, host: str = "127.0.0.1") -> None:
+    def __init__(
+        self,
+        node_id: int,
+        nprocs: int,
+        host: str = "127.0.0.1",
+        unix_path: str | None = None,
+    ) -> None:
         super().__init__(node_id, nprocs)
         self.host = host
         self.port: int | None = None
+        #: Bind a Unix domain socket here instead of TCP (requires
+        #: ``AF_UNIX``; :func:`create_tcp_transports` gates on it).
+        self.unix_path = unix_path
+        self.address: str | None = None
         self._server: asyncio.base_events.Server | None = None
-        self._addresses: Mapping[int, tuple[str, int]] = {}
+        self._addresses: dict[int, str] = {}
         self._inbox: asyncio.Queue[tuple[int, bytes]] = asyncio.Queue()
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._reader_tasks: set[asyncio.Task] = set()
@@ -141,16 +185,25 @@ class TcpTransport(Transport):
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
-    async def start(self) -> tuple[str, int]:
-        """Bind the node's server; returns ``(host, port)``."""
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, 0
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-        return (self.host, self.port)
+    async def start(self) -> str:
+        """Bind the node's server; returns its normalized address."""
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, self.unix_path
+            )
+            self.address = f"unix://{self.unix_path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, 0
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            self.address = f"tcp://{self.host}:{self.port}"
+        return self.address
 
-    def set_addresses(self, addresses: Mapping[int, tuple[str, int]]) -> None:
-        self._addresses = dict(addresses)
+    def set_addresses(self, addresses: Mapping[int, Address]) -> None:
+        self._addresses = {
+            pid: normalize_address(addr) for pid, addr in addresses.items()
+        }
 
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -193,8 +246,7 @@ class TcpTransport(Transport):
             writer = self._writers.get(dst)
             if writer is not None and not writer.is_closing():
                 return writer
-            host, port = self._addresses[dst]
-            _reader, writer = await asyncio.open_connection(host, port)
+            _reader, writer = await open_address(self._addresses[dst])
             writer.write(encode_frame(_hello(self.node_id)))
             await writer.drain()
             self._writers[dst] = writer
@@ -244,14 +296,36 @@ class TcpTransport(Transport):
             task.cancel()
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
 
 
 async def create_tcp_transports(
-    nprocs: int, host: str = "127.0.0.1"
+    nprocs: int, host: str = "127.0.0.1", unix_dir: str | None = None
 ) -> list[TcpTransport]:
-    """Start ``nprocs`` TCP transports and share the address map."""
-    transports = [TcpTransport(i, nprocs, host) for i in range(nprocs)]
-    addresses: dict[int, tuple[str, int]] = {}
+    """Start ``nprocs`` socket transports and share the address map.
+
+    With ``unix_dir`` (and a platform that has ``AF_UNIX``) every node
+    binds ``<unix_dir>/node-<id>.sock`` instead of a TCP port -- the
+    same-host fast path.  Platforms without ``AF_UNIX`` fall back to
+    TCP silently, so callers can always ask for ``unix_dir``.
+    """
+    use_unix = unix_dir is not None and have_af_unix()
+    transports = [
+        TcpTransport(
+            i,
+            nprocs,
+            host,
+            unix_path=os.path.join(unix_dir, f"node-{i}.sock")  # type: ignore[arg-type]
+            if use_unix
+            else None,
+        )
+        for i in range(nprocs)
+    ]
+    addresses: dict[int, str] = {}
     for t in transports:
         addresses[t.node_id] = await t.start()
     for t in transports:

@@ -78,12 +78,21 @@ class FlightRecorder(Tracer):
 
     ``pid`` names the node this recorder belongs to; when given, the
     digest projection of every protocol event is accumulated in
-    :attr:`rows` (survives ring overflow).  Counters and timers behave
-    exactly like the base tracer (they are already O(names), not
-    O(events)).
+    :attr:`rows` (survives ring overflow).  ``protocol_log=True``
+    additionally retains the *full* protocol events (timestamps and
+    payloads included) in :attr:`protocol_events` -- still O(rounds),
+    and exactly what a sharded worker ships back so the coordinator can
+    Lamport-merge and monitor streams whose message-level history was
+    ring-truncated.  Counters and timers behave exactly like the base
+    tracer (they are already O(names), not O(events)).
     """
 
-    def __init__(self, capacity: int = 4096, pid: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        pid: int | None = None,
+        protocol_log: bool = False,
+    ) -> None:
         if capacity < 1:
             raise ValueError("flight recorder capacity must be >= 1")
         super().__init__()
@@ -96,6 +105,9 @@ class FlightRecorder(Tracer):
         self.dropped = 0
         #: Digest-projection rows of the protocol events (kept forever).
         self.rows: list[list] = []
+        #: Full protocol events (kept forever) when ``protocol_log``.
+        self.protocol_log = protocol_log
+        self.protocol_events: list[ObsEvent] = []
 
     # -- recording -----------------------------------------------------
     def emit(self, kind: str, time: float, pid: int | None = None, **data: Any) -> None:
@@ -105,8 +117,11 @@ class FlightRecorder(Tracer):
             self._ring.popleft()
             self.dropped += 1
         self._ring.append(event)
-        if self.pid is not None and kind in PROTOCOL_KINDS:
-            self.rows.append(projection_row(event, self.pid))
+        if kind in PROTOCOL_KINDS:
+            if self.pid is not None:
+                self.rows.append(projection_row(event, self.pid))
+            if self.protocol_log:
+                self.protocol_events.append(event)
         if self._listeners:
             for listener in self._listeners:
                 listener(event)

@@ -1,0 +1,283 @@
+"""The sharded runtime (repro.net.shard).
+
+The load-bearing claims, in test form:
+
+* :func:`partition_nodes` keeps protocol edges local -- O(shards) cross
+  edges for the tree, exactly ``shards`` for the ring -- and always
+  produces a total, surjective pid -> shard map;
+* **replay determinism survives process boundaries**: a sharded run
+  under a seeded drop+delay+crash plan produces the *same* trace digest
+  as the single-loop runtime, and two sharded runs with one seed are
+  digest-identical (fault decisions are pure sender-side hashes, event
+  times are Lamport stamps);
+* the batching codec (``append_frame`` + ``pack_record``) survives
+  arbitrary re-chunking of a coalesced stream, and receiver-side dedup
+  stays exactly-once when duplicates of one identity arrive via
+  different shards and across incarnation bumps.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plan import CampaignConfig, FaultEvent, FaultPlan, LinkPlan
+from repro.experiments.cli import main as cli_main
+from repro.net import (
+    DedupIndex,
+    FrameDecoder,
+    NetConfig,
+    append_frame,
+    cross_edges,
+    encode_canonical,
+    pack_record,
+    partition_nodes,
+    run_sync,
+    unpack_record,
+)
+
+SHARD_PLAN = FaultPlan(
+    nprocs=16,
+    seed=42,
+    events=(FaultEvent(pid=3, when=2.0), FaultEvent(pid=7, when=4.0)),
+    link=LinkPlan(loss=0.15, delay=0.2, duplication=0.05),
+)
+
+
+def _config(**overrides):
+    base = dict(
+        nodes=16, barriers=6, seed=42, plan=SHARD_PLAN, timeout_s=60.0
+    )
+    base.update(overrides)
+    return NetConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def test_partition_single_shard_is_trivial():
+    assert partition_nodes(7, 1) == [0] * 7
+
+
+def test_partition_tree_1024_by_8_has_o_shards_cross_edges():
+    """The 1024-node acceptance topology: arity-8 tree over 8 shards
+    cuts only 7 of the 1023 tree edges."""
+    part = partition_nodes(1024, 8, "tree", arity=8)
+    assert len(part) == 1024
+    assert set(part) == set(range(8))
+    assert cross_edges(part, "tree", arity=8) == 7
+
+
+def test_partition_ring_is_contiguous_arcs():
+    part = partition_nodes(12, 4, "mb")
+    assert part == sorted(part)  # contiguous arcs
+    assert cross_edges(part, "mb") == 4
+
+
+@given(
+    nodes=st.integers(min_value=2, max_value=400),
+    shards=st.integers(min_value=1, max_value=16),
+    arity=st.sampled_from([1, 2, 3, 4, 8]),
+)
+@settings(max_examples=120, deadline=None)
+def test_partition_properties(nodes, shards, arity):
+    """Total, surjective, root-on-shard-0, and O(shards) cross edges --
+    for every tree shape, including ragged and degenerate (arity-1)."""
+    eff = min(shards, nodes)
+    for protocol in ("tree", "mb"):
+        part = partition_nodes(nodes, shards, protocol, arity)
+        assert len(part) == nodes
+        assert part[0] == 0
+        assert set(part) == set(range(eff))
+    tree_cross = cross_edges(partition_nodes(nodes, shards, "tree", arity), "tree", arity)
+    assert tree_cross <= 4 * eff  # O(shards), never O(nodes)
+    ring_cross = cross_edges(partition_nodes(nodes, shards, "mb"), "mb")
+    assert ring_cross == (eff if eff > 1 else 0)
+
+
+# ----------------------------------------------------------------------
+# Batching codec + dedup (the cross-shard wire format)
+# ----------------------------------------------------------------------
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1023),
+            st.integers(min_value=0, max_value=1023),
+            st.binary(min_size=0, max_size=120),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    chunk=st.integers(min_value=1, max_value=97),
+)
+@settings(max_examples=60, deadline=None)
+def test_coalesced_records_survive_any_rechunking(records, chunk):
+    """A ShardLink batch -- many routing records coalesced into one
+    buffer -- decodes identically however the socket re-chunks it."""
+    buffer = bytearray()
+    for src, dst, body in records:
+        append_frame(buffer, pack_record(src, dst, body))
+    stream = bytes(buffer)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i : i + chunk]))
+    assert [unpack_record(f) for f in out] == records
+
+
+@given(
+    arrivals=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # src
+            st.integers(min_value=0, max_value=2),   # incarnation
+            st.integers(min_value=0, max_value=15),  # seq
+        ),
+        min_size=1,
+        max_size=40,
+    ).flatmap(lambda keys: st.permutations(keys + keys))
+)
+@settings(max_examples=60, deadline=None)
+def test_dedup_exactly_once_across_shard_paths_and_incarnations(arrivals):
+    """Every identity arrives (at least) twice -- as if once via the
+    local queue and once via a cross-shard link, in arbitrary order,
+    across incarnation bumps -- and is accepted exactly once."""
+    index = DedupIndex()
+    accepted = [key for key in arrivals if index.accept(*key)]
+    assert sorted(accepted) == sorted(set(arrivals))
+
+
+_json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**6), max_value=10**6)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(obj=_json_values)
+@settings(max_examples=80, deadline=None)
+def test_encode_canonical_matches_json_dumps(obj):
+    """The hot-path encoder is byte-identical to the canonical
+    ``json.dumps`` form -- frame digests must not shift."""
+    assert encode_canonical(obj) == json.dumps(
+        obj, sort_keys=True, separators=(",", ":")
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay determinism across process boundaries
+# ----------------------------------------------------------------------
+def test_sharded_matches_single_loop_digest_and_replays():
+    """The PR's two acceptance criteria in one (expensive) run triplet:
+    sharded == single-loop digest under a seeded drop+delay+crash plan,
+    and two same-seed sharded runs are digest-identical."""
+    single = run_sync(_config())
+    shard_a = run_sync(_config(shards=4))
+    shard_b = run_sync(_config(shards=4))
+    for result in (single, shard_a, shard_b):
+        assert result.reached
+        assert result.violations == []
+        assert result.faults_fired == 2
+    assert single.digest == shard_a.digest == shard_b.digest
+    assert shard_a.link_stats["dropped"] > 0
+    # The topology was actually cut: cross-shard links carried records.
+    shards_meta = shard_a.metrics_summary["shards"]
+    assert shards_meta["count"] == 4
+    assert shards_meta["partition_cross_edges"] > 0
+    assert shard_a.link_stats["xshard_records"] > 0
+    assert shard_a.link_stats["xshard_flushes"] <= shard_a.link_stats["xshard_records"]
+
+
+def test_mb_sharded_with_crash():
+    plan = FaultPlan(
+        nprocs=6, seed=9, events=(FaultEvent(pid=2, when=1.0),)
+    )
+    result = run_sync(
+        NetConfig(
+            nodes=6, barriers=4, protocol="mb", seed=9, plan=plan,
+            shards=2, timeout_s=60.0,
+        )
+    )
+    assert result.ok
+    assert result.faults_fired == 1
+    kinds = {e.kind for e in result.merged_events}
+    assert "fault" in kinds and "recovery" in kinds
+
+
+def test_sharded_trace_dir_layout(tmp_path):
+    out = tmp_path / "traces"
+    result = run_sync(
+        NetConfig(
+            nodes=6, barriers=3, shards=2, timeout_s=45.0,
+            trace_dir=str(out),
+        )
+    )
+    assert result.ok
+    names = sorted(p.name for p in out.iterdir())
+    assert names == [
+        "flight-0.snapshot.jsonl",
+        "flight-1.snapshot.jsonl",
+        "flight-2.snapshot.jsonl",
+        "flight-3.snapshot.jsonl",
+        "flight-4.snapshot.jsonl",
+        "flight-5.snapshot.jsonl",
+        "merged.jsonl",
+    ]
+    merged = (out / "merged.jsonl").read_text().strip().splitlines()
+    assert len(merged) == len(result.merged_events)
+    # Merged order is Lamport-sorted even though six recorders in two
+    # processes produced the events.
+    times = [e.time for e in result.merged_events]
+    assert times == sorted(times)
+
+
+def test_sharded_config_validation():
+    with pytest.raises(ValueError):
+        NetConfig(nodes=4, shards=0)
+    with pytest.raises(ValueError):
+        NetConfig(nodes=4, shards=2, transport="tcp")
+    with pytest.raises(ValueError):
+        NetConfig(nodes=4, shards=2, obs_port=0)
+    with pytest.raises(ValueError):
+        NetConfig(nodes=4, shard_transport="ipc")
+    with pytest.raises(ValueError):
+        NetConfig(nodes=4, batch_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# Chaos target + CLI
+# ----------------------------------------------------------------------
+def test_sharded_chaos_adapter_run():
+    from repro.chaos import get_adapter
+
+    adapter = get_adapter("net:tree+sharded")
+    assert adapter.shards > 1
+    cfg = CampaignConfig(
+        targets=("net:tree+sharded",), runs=1, nprocs=8, target_phases=3,
+        detectable=1, shrink=False,
+    )
+    plan = FaultPlan(nprocs=8, events=(FaultEvent(pid=5, when=1.0),), seed=3)
+    outcome = adapter.run(plan, cfg)
+    assert outcome.ok
+    assert outcome.reached
+    assert outcome.faults_fired == 1
+
+
+def test_cli_net_run_sharded(capsys):
+    rc = cli_main(
+        [
+            "net", "run", "--nodes", "8", "--barriers", "3",
+            "--shards", "2", "--seed", "3",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "RESULT: PASS" in out
+    assert "digest=" in out
+    assert "xshard_records" in out

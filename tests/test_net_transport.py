@@ -233,3 +233,66 @@ def test_drop_decisions_are_deterministic():
     second = asyncio.run(run(9))
     assert first == second
     assert asyncio.run(run(10)) != first  # different seed, different fate
+
+
+# ----------------------------------------------------------------------
+# Unix-domain sockets (the same-host fast path)
+# ----------------------------------------------------------------------
+def test_normalize_address():
+    from repro.net.transport import normalize_address
+
+    assert normalize_address(("127.0.0.1", 9000)) == "tcp://127.0.0.1:9000"
+    assert normalize_address("tcp://10.0.0.1:80") == "tcp://10.0.0.1:80"
+    assert normalize_address("unix:///tmp/x.sock") == "unix:///tmp/x.sock"
+    try:
+        normalize_address("udp://nope")
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("bad scheme should not normalize")
+
+
+def test_unix_transport_roundtrip(tmp_path):
+    """With ``unix_dir`` the factory binds per-node socket paths, frames
+    round-trip, and ``close`` unlinks the sockets."""
+    from repro.net.transport import create_tcp_transports, have_af_unix
+
+    if not have_af_unix():  # pragma: no cover - linux CI always has it
+        return
+
+    async def run() -> None:
+        transports = await create_tcp_transports(2, unix_dir=str(tmp_path))
+        try:
+            assert all(t.address.startswith("unix://") for t in transports)
+            await transports[0].send(1, b"over the socket file")
+            item = await transports[1].recv(timeout=2.0)
+            assert item == (0, b"over the socket file")
+            await transports[1].send(0, b"and back")
+            assert await transports[0].recv(timeout=2.0) == (1, b"and back")
+        finally:
+            for t in transports:
+                await t.close()
+        assert list(tmp_path.iterdir()) == []  # sockets unlinked
+
+    asyncio.run(run())
+
+
+def test_unix_factory_falls_back_to_tcp(tmp_path, monkeypatch):
+    """Platforms without AF_UNIX silently get TCP from the same call."""
+    import repro.net.transport as transport_mod
+
+    monkeypatch.setattr(transport_mod, "have_af_unix", lambda: False)
+
+    async def run() -> None:
+        transports = await transport_mod.create_tcp_transports(
+            2, unix_dir=str(tmp_path)
+        )
+        try:
+            assert all(t.address.startswith("tcp://") for t in transports)
+            await transports[0].send(1, b"fallback")
+            assert await transports[1].recv(timeout=2.0) == (0, b"fallback")
+        finally:
+            for t in transports:
+                await t.close()
+
+    asyncio.run(run())

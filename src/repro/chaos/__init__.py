@@ -22,6 +22,7 @@ from repro.chaos.campaign import (
 )
 from repro.chaos.monitors import (
     AtMostMMonitor,
+    FailSafeMonitor,
     GuaranteeViolation,
     MaskingMonitor,
     Monitor,
@@ -44,6 +45,7 @@ __all__ = [
     "AtMostMMonitor",
     "CampaignConfig",
     "CampaignReport",
+    "FailSafeMonitor",
     "FaultEvent",
     "FaultPlan",
     "GuaranteeViolation",

@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 from repro.chaos.monitors import (
     AtMostMMonitor,
+    FailSafeMonitor,
     GuaranteeViolation,
     MaskingMonitor,
     MonitorSet,
@@ -70,7 +71,7 @@ class RunOutcome:
         }
 
 
-def monitors_for(plan: FaultPlan, nphases: int | None):
+def monitors_for(plan: FaultPlan, nphases: int | None, strict: bool = True):
     """The monitor battery appropriate for a plan's fault mix.
 
     Masking (and the at-most-m damage bound, whose accounting assumes
@@ -78,7 +79,18 @@ def monitors_for(plan: FaultPlan, nphases: int | None):
     schedules -- an undetectable scramble may smuggle a wrong phase
     number into an apparently successful instance, which is exactly the
     behaviour stabilization (always on) is allowed to repair.
+
+    An *adversarial* plan (uncorrectable strikes or hostile link
+    traffic) switches the battery entirely: masking, at-most-m and
+    stabilization all assume every fault is correctable, so under
+    permanent crashes or Byzantine peers the one checkable guarantee is
+    Section 7's fail-safe rule -- may stop, never wrongly complete.
+    ``strict`` additionally enforces the no-success-after-onset rule
+    where trace time orders faults exactly (gc steps, tree rounds);
+    pass ``False`` for MB-style concurrent narration.
     """
+    if plan.adversarial:
+        return [FailSafeMonitor(strict=strict)]
     monitors: list[Any] = []
     if not plan.undetectable_events and not (plan.link and plan.link.any):
         monitors.append(MaskingMonitor(nphases=nphases))
@@ -132,6 +144,11 @@ class Adapter:
     window: tuple[float, float] = (1.0, 30.0)
     supports_undetectable = False
     supports_link = False
+    #: Section 7 uncorrectable classes: Byzantine lie mode / permanent
+    #: fail-stop.  Campaigns downgrade these fault counts to the closest
+    #: expressible class on adapters that leave them False.
+    supports_byzantine = False
+    supports_permanent = False
 
     def run(self, plan: FaultPlan, cfg: CampaignConfig) -> RunOutcome:
         raise NotImplementedError
@@ -278,6 +295,86 @@ class GCIntolerantAdapter(GCAdapter):
         program = make_intolerant_barrier(plan.nprocs, nphases=max(cfg.nphases, 2))
         scramble = FaultSpec.undetectable_all(program)
         schedule = [(int(e.when), e.pid, scramble) for e in plan.events]
+        return program, schedule
+
+
+class GCFailSafeAdapter(GCAdapter):
+    """Section 7's fail-safe program as a chaos target: CB extended
+    with the ``up`` auxiliary (:func:`repro.extensions.failsafe.
+    make_failsafe_cb`), crashes *uncorrectable* -- no repair fault ever
+    fires.  ``crash``-kind plan events map to
+    :func:`repro.extensions.crash.crash_fault`; correctable resets and
+    scrambles keep CB's own specs, so mixed schedules replay in one
+    run.  The expected verdict under the fail-safe monitor is clean:
+    the run stops (at most the in-flight phase completes) and never
+    wrongly narrates a completion.
+    """
+
+    supports_permanent = True
+
+    def __init__(self, backend: str = "interpreter") -> None:
+        super().__init__("failsafe", backend)
+
+    def _build(self, plan: FaultPlan, cfg: CampaignConfig):
+        from repro.barrier.cb import cb_detectable_fault, cb_undetectable_fault
+        from repro.extensions.crash import crash_fault
+        from repro.extensions.failsafe import make_failsafe_cb
+
+        program = make_failsafe_cb(plan.nprocs, cfg.nphases)
+        det_spec, undet_spec = cb_detectable_fault(), cb_undetectable_fault()
+        crash_spec = crash_fault()
+        schedule = []
+        for e in plan.events:
+            if e.kind == "crash":
+                spec = crash_spec
+            elif e.detectable:
+                spec = det_spec
+            else:
+                spec = undet_spec
+            schedule.append((int(e.when), e.pid, spec))
+        return program, schedule
+
+
+class GCByzantineAdapter(GCAdapter):
+    """CB with the ``good`` auxiliary and a Byzantine action per
+    process (:func:`repro.extensions.crash.with_byzantine`): once a
+    ``byzantine``-kind event clears ``good``, that process keeps
+    assigning nondeterministic values to its variables.
+
+    Plain CB makes no progress against such a peer -- the others wait
+    on its ``x`` forever -- and the phase observer is a global oracle
+    (success iff *every* process leaves EXECUTE via SUCCESS), so the
+    scramble can stall a run but not trick the narration: the expected
+    verdict is fail-safe clean *by stall*.  Narrated wrongful
+    completion needs a trusting message layer, which is what the
+    ``net:tree+undefended`` control exists to flag.
+    """
+
+    supports_byzantine = True
+
+    def __init__(self, backend: str = "interpreter") -> None:
+        super().__init__("cb+byzantine", backend)
+
+    def _build(self, plan: FaultPlan, cfg: CampaignConfig):
+        from repro.barrier.cb import (
+            cb_detectable_fault,
+            cb_undetectable_fault,
+            make_cb,
+        )
+        from repro.extensions.crash import byzantine_fault, with_byzantine
+
+        program = with_byzantine(make_cb(plan.nprocs, cfg.nphases))
+        det_spec, undet_spec = cb_detectable_fault(), cb_undetectable_fault()
+        byz_spec = byzantine_fault()
+        schedule = []
+        for e in plan.events:
+            if e.kind == "byzantine":
+                spec = byz_spec
+            elif e.detectable:
+                spec = det_spec
+            else:
+                spec = undet_spec
+            schedule.append((int(e.when), e.pid, spec))
         return program, schedule
 
 
@@ -492,6 +589,9 @@ class NetAdapter(Adapter):
     #: Worker processes; >1 exercises the sharded runtime
     #: (:mod:`repro.net.shard`) as a chaos target.
     shards = 1
+    #: The defensive frame layer (strict decode, validation, strikes,
+    #: fail-safe degradation); ``False`` is the intolerant control.
+    defense = True
 
     def run(self, plan: FaultPlan, cfg: CampaignConfig) -> RunOutcome:
         # Imported lazily: repro.net pulls in repro.chaos at import time.
@@ -513,6 +613,7 @@ class NetAdapter(Adapter):
                 plan=plan,
                 timeout_s=self.timeout_s,
                 shards=self.shards,
+                defense=self.defense,
             )
         )
         return RunOutcome(
@@ -555,6 +656,45 @@ class NetTreeShardedAdapter(NetTreeAdapter):
     timeout_s = 60.0
 
 
+class NetTreeByzantineAdapter(NetTreeAdapter):
+    """The defended tree barrier under the full adversarial surface:
+    campaigns may aim Byzantine lie modes and permanent fail-stops (on
+    top of resets, corruption and forged frames) at it.  The expected
+    verdict is fail-safe clean -- hostile frames quarantine, lying
+    peers are condemned, the run degrades into a fail-safe stop, and a
+    wrongful completion is never narrated."""
+
+    name = "net:tree+byzantine"
+    supports_byzantine = True
+    supports_permanent = True
+
+
+class NetMBByzantineAdapter(NetMBAdapter):
+    """Program MB on the asyncio ring under the adversarial surface.
+    A Byzantine rank's state pushes land outside the honest wire
+    envelope, so the defended ring condemns it and fail-safe stops;
+    checked non-strictly (end-of-run rule only) because MB's narration
+    is interleaving-dependent."""
+
+    name = "net:mb+byzantine"
+    supports_byzantine = True
+    supports_permanent = True
+
+
+class NetTreeUndefendedAdapter(NetTreeAdapter):
+    """The adversarial *control*: the same tree protocol with the
+    defensive frame layer off (``NetConfig.defense=False``) -- frames
+    are trusted, nobody strikes or condemns.  A Byzantine peer's
+    inflated round numbers then wrongly complete barrier rounds, which
+    the fail-safe monitor is expected to flag; silence here means the
+    monitor is blind."""
+
+    name = "net:tree+undefended"
+    defense = False
+    supports_byzantine = True
+    supports_permanent = True
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -569,12 +709,19 @@ def _registry() -> dict[str, Adapter]:
         GCAdapter("rb-tree", backend="compiled"),
         GCMBAdapter("mb", backend="compiled"),
         GCIntolerantAdapter(),
+        GCFailSafeAdapter(),
+        GCByzantineAdapter(),
+        GCFailSafeAdapter(backend="compiled"),
+        GCByzantineAdapter(backend="compiled"),
         ProtosimAdapter(),
         SimMPIAdapter(),
         DesMBAdapter(),
         NetTreeAdapter(),
         NetMBAdapter(),
         NetTreeShardedAdapter(),
+        NetTreeByzantineAdapter(),
+        NetMBByzantineAdapter(),
+        NetTreeUndefendedAdapter(),
     ]
     return {a.name: a for a in adapters}
 

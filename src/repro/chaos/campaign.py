@@ -44,6 +44,18 @@ def plan_for_run(config: CampaignConfig, index: int) -> tuple[str, FaultPlan]:
     target = config.targets[index % len(config.targets)]
     adapter = get_adapter(target)
     detectable, undetectable = config.detectable, config.undetectable
+    byzantine, permanent = config.byzantine, config.permanent
+    # Downgrade fault classes the engine cannot express to the closest
+    # expressible one -- keep the pressure rather than silently drop it.
+    if byzantine and not adapter.supports_byzantine:
+        # A Byzantine process's arbitrary assignments degrade to the
+        # undetectable whole-state scramble.
+        undetectable += byzantine
+        byzantine = 0
+    if permanent and not adapter.supports_permanent:
+        # A permanent fail-stop degrades to a restartable reset.
+        detectable += permanent
+        permanent = 0
     if undetectable and not adapter.supports_undetectable:
         # The engine cannot express a scramble; keep the pressure as
         # extra detectable strikes rather than silently dropping it.
@@ -55,6 +67,8 @@ def plan_for_run(config: CampaignConfig, index: int) -> tuple[str, FaultPlan]:
         config.nprocs,
         detectable=detectable,
         undetectable=undetectable,
+        byzantine=byzantine,
+        permanent=permanent,
         start=start,
         stop=stop,
         steps=adapter.steps,

@@ -342,6 +342,89 @@ class AtMostMMonitor(Monitor):
                     )
 
 
+class FailSafeMonitor(Monitor):
+    """Section 7's fail-safe tolerance, checked online: under
+    *uncorrectable* faults (permanent crash, Byzantine) the run may
+    stop short, but it must never wrongly report a completion.
+
+    The uncorrectable onset is the first ``fault`` event carrying
+    ``mode`` in ``("crash", "byzantine")`` (net runtime) or ``name`` in
+    ``("fault:crash", "fault:byzantine")`` (gc simulator).  Two rules:
+
+    * ``completed-despite-uncorrectable`` -- the run claims it reached
+      its target even though an uncorrectable fault fired (always
+      checked: reaching the target requires the faulty party, so the
+      claim is necessarily wrongful);
+    * ``wrongful-completion`` -- a *successful* instance narrated after
+      the onset, beyond a grace of one (the instance in flight when the
+      fault strikes may legitimately complete -- extensions/failsafe's
+      "at most the in-flight phase").  Only enforced with
+      ``strict=True``, i.e. where trace time orders the onset exactly
+      against successes: the gc engines (deterministic steps) and the
+      round-quantized tree (a round-entry fault is causally after every
+      earlier ``phase_end``).  MB's concurrent completions make the
+      Lamport comparison unreliable, so MB runs check the end-of-run
+      rule only.
+    """
+
+    guarantee = "fail-safe"
+
+    #: ``fault`` payload values marking an uncorrectable fault.
+    UNCORRECTABLE_MODES = ("crash", "byzantine")
+    UNCORRECTABLE_NAMES = ("fault:crash", "fault:byzantine")
+
+    def __init__(self, strict: bool = True, grace: int = 1) -> None:
+        super().__init__()
+        self.strict = strict
+        self.grace = grace
+        self.onset: float | None = None
+        self._successes_after = 0
+
+    def _uncorrectable(self, event: ObsEvent) -> bool:
+        data = event.data
+        return (
+            data.get("mode") in self.UNCORRECTABLE_MODES
+            or data.get("name") in self.UNCORRECTABLE_NAMES
+        )
+
+    def on_event(self, event: ObsEvent) -> None:
+        if event.kind == FAULT:
+            if self.onset is None and self._uncorrectable(event):
+                self.onset = event.time
+        elif event.kind == PHASE_END:
+            if (
+                self.onset is not None
+                and event.data.get("success")
+                and event.time > self.onset
+            ):
+                self._successes_after += 1
+                if self.strict and self._successes_after > self.grace:
+                    self._violate(
+                        "wrongful-completion",
+                        f"successful instance of phase "
+                        f"{event.data.get('phase')} narrated after the "
+                        f"uncorrectable fault at t={self.onset:g} "
+                        f"({self._successes_after} > grace {self.grace})",
+                        event.time,
+                        phase=event.data.get("phase"),
+                        onset=self.onset,
+                        successes_after=self._successes_after,
+                        grace=self.grace,
+                    )
+
+    def finish(self, reached: bool, time: float) -> None:
+        if reached and self.onset is not None:
+            self._violate(
+                "completed-despite-uncorrectable",
+                f"run reported completion despite an uncorrectable fault "
+                f"at t={self.onset:g} (fail-safe means it must stop "
+                "instead of wrongly completing)",
+                time,
+                onset=self.onset,
+                successes_after=self._successes_after,
+            )
+
+
 class MonitorSet:
     """Wire monitors into one tracer; collect everything they find.
 

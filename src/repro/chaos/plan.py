@@ -25,6 +25,17 @@ import numpy as np
 PLAN_VERSION = 1
 
 
+#: Fault classes an event can carry.  ``reset`` is the paper's
+#: transient fault (correctable; ``detectable`` picks reset vs
+#: scramble); ``crash`` is a *permanent* fail-stop (the process never
+#: restarts -- the paper's Section 7 ``up`` variable); ``byzantine``
+#: turns the process malicious (protocol-valid but semantically wrong
+#: messages -- the ``good`` variable).  ``crash``/``byzantine`` are
+#: uncorrectable: tolerant targets are allowed to fail-safe stop, but
+#: must never *wrongly* report completion.
+EVENT_KINDS = ("reset", "crash", "byzantine")
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault: strike ``pid`` at ``when``.
@@ -33,15 +44,33 @@ class FaultEvent:
     the untimed guarded-command runs (adapters floor it), virtual time
     for the timed ones.  ``detectable`` selects the fault class: True is
     the paper's reset fault (``cp := error``), False the undetectable
-    arbitrary-state scramble.
+    arbitrary-state scramble.  ``kind`` extends the vocabulary with the
+    Section 7 uncorrectable classes (see :data:`EVENT_KINDS`).
     """
 
     when: float
     pid: int
     detectable: bool = True
+    kind: str = "reset"
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    @property
+    def uncorrectable(self) -> bool:
+        return self.kind != "reset"
 
     def to_json(self) -> dict[str, Any]:
-        return {"when": self.when, "pid": self.pid, "detectable": self.detectable}
+        record: dict[str, Any] = {
+            "when": self.when,
+            "pid": self.pid,
+            "detectable": self.detectable,
+        }
+        # Emitted conditionally so pre-adversarial plans stay byte-stable.
+        if self.kind != "reset":
+            record["kind"] = self.kind
+        return record
 
     @classmethod
     def from_json(cls, record: Mapping[str, Any]) -> "FaultEvent":
@@ -49,6 +78,7 @@ class FaultEvent:
             when=float(record["when"]),
             pid=int(record["pid"]),
             detectable=bool(record.get("detectable", True)),
+            kind=str(record.get("kind", "reset")),
         )
 
 
@@ -61,8 +91,12 @@ class LinkPlan:
 
     ``delay`` is the probability a message is held back for a seeded
     extra latency before delivery; ``reorder`` is the probability it is
-    re-queued behind later traffic.  Engines without a matching fault
-    channel ignore the rates they cannot express.
+    re-queued behind later traffic.  ``corruption`` flips seeded bytes
+    inside the encoded frame (the receiver must quarantine, not crash);
+    ``forge`` injects an adversarial extra envelope alongside the real
+    one -- a replayed copy or a src-spoofed impersonation.  Engines
+    without a matching fault channel ignore the rates they cannot
+    express.
     """
 
     loss: float = 0.0
@@ -70,8 +104,9 @@ class LinkPlan:
     corruption: float = 0.0
     reorder: float = 0.0
     delay: float = 0.0
+    forge: float = 0.0
 
-    _RATES = ("loss", "duplication", "corruption", "reorder", "delay")
+    _RATES = ("loss", "duplication", "corruption", "reorder", "delay", "forge")
 
     def __post_init__(self) -> None:
         for name in self._RATES:
@@ -81,22 +116,20 @@ class LinkPlan:
 
     @property
     def any(self) -> bool:
-        return bool(
-            self.loss
-            or self.duplication
-            or self.corruption
-            or self.reorder
-            or self.delay
-        )
+        return any(getattr(self, name) for name in self._RATES)
 
     def to_json(self) -> dict[str, float]:
-        return {
+        record = {
             "loss": self.loss,
             "duplication": self.duplication,
             "corruption": self.corruption,
             "reorder": self.reorder,
             "delay": self.delay,
         }
+        # Emitted conditionally so pre-adversarial plans stay byte-stable.
+        if self.forge:
+            record["forge"] = self.forge
+        return record
 
     @classmethod
     def from_json(cls, record: Mapping[str, Any]) -> "LinkPlan":
@@ -212,6 +245,28 @@ class FaultPlan:
     def undetectable_events(self) -> tuple[FaultEvent, ...]:
         return tuple(e for e in self.events if not e.detectable)
 
+    @property
+    def uncorrectable_events(self) -> tuple[FaultEvent, ...]:
+        """Permanent-crash and Byzantine strikes (Section 7 classes):
+        the run may legitimately fail-safe stop because of these."""
+        return tuple(e for e in self.events if e.uncorrectable)
+
+    @property
+    def byzantine_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind == "byzantine")
+
+    @property
+    def permanent_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind == "crash")
+
+    @property
+    def adversarial(self) -> bool:
+        """Whether the plan contains anything the protocols cannot
+        recover from: uncorrectable strikes or hostile link traffic."""
+        return bool(self.uncorrectable_events) or bool(
+            self.link and (self.link.corruption or self.link.forge)
+        )
+
     def with_events(self, events: Iterable[FaultEvent]) -> "FaultPlan":
         """The same plan (seed, link, nprocs) over a different event
         subset -- the shrinker's step."""
@@ -226,6 +281,8 @@ class FaultPlan:
         *,
         detectable: int = 0,
         undetectable: int = 0,
+        byzantine: int = 0,
+        permanent: int = 0,
         start: float = 1.0,
         stop: float = 30.0,
         steps: bool = False,
@@ -235,9 +292,12 @@ class FaultPlan:
 
         ``steps=True`` floors strike times to integers (the untimed
         engines' step clock).  The same arguments always produce the
-        same plan.
+        same plan.  ``byzantine``/``permanent`` draw the Section 7
+        uncorrectable classes; their victims never repeat (one process
+        cannot turn Byzantine twice), so they are drawn without
+        replacement and clamped to ``nprocs``.
         """
-        if detectable < 0 or undetectable < 0:
+        if min(detectable, undetectable, byzantine, permanent) < 0:
             raise ValueError("fault counts must be >= 0")
         rng = np.random.default_rng(seed)
         events = []
@@ -251,6 +311,32 @@ class FaultPlan:
                         when=when,
                         pid=int(rng.integers(0, nprocs)),
                         detectable=is_detectable,
+                    )
+                )
+        taken: set[int] = set()
+        for kind, is_detectable, n in (
+            ("crash", True, permanent),
+            ("byzantine", False, byzantine),
+        ):
+            # Byzantine victims exclude pid 0: the narrator reports
+            # phase outcomes, and a lying narrator cannot be monitored
+            # from its own narration (the checker must stay sound).
+            lo = 1 if kind == "byzantine" and nprocs > 1 else 0
+            avail = [p for p in range(lo, nprocs) if p not in taken]
+            for _ in range(min(n, len(avail))):
+                when = float(rng.uniform(start, stop))
+                if steps:
+                    when = float(int(when))
+                pid = lo + int(rng.integers(0, nprocs - lo))
+                while pid in taken:
+                    pid = lo + ((pid + 1 - lo) % (nprocs - lo))
+                taken.add(pid)
+                events.append(
+                    FaultEvent(
+                        when=when,
+                        pid=pid,
+                        detectable=is_detectable,
+                        kind=kind,
                     )
                 )
         return cls(nprocs=nprocs, events=tuple(events), seed=seed, link=link)
@@ -311,6 +397,8 @@ class CampaignConfig:
     target_phases: int = 5
     detectable: int = 2
     undetectable: int = 0
+    byzantine: int = 0
+    permanent: int = 0
     window: tuple[float, float] = (1.0, 30.0)
     link: LinkPlan | None = None
     #: Engine budget: max daemon steps (untimed) / virtual time (timed).
@@ -342,6 +430,11 @@ class CampaignConfig:
             "max_time": self.max_time,
             "shrink": self.shrink,
         }
+        # Emitted conditionally so pre-adversarial configs stay byte-stable.
+        if self.byzantine:
+            record["byzantine"] = self.byzantine
+        if self.permanent:
+            record["permanent"] = self.permanent
         if self.link is not None:
             record["link"] = self.link.to_json()
         return record

@@ -145,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="undetectable faults per campaign run",
     )
     chaos.add_argument(
+        "--permanent",
+        type=int,
+        default=None,
+        help="permanent (non-restarting) crash faults per campaign run",
+    )
+    chaos.add_argument(
         "--config",
         default=None,
         metavar="FILE",
@@ -247,6 +253,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PID:WHEN",
         help="crash-restart node PID at round/strike-time WHEN (repeatable)",
+    )
+    net.add_argument(
+        "--fail-stop",
+        action="append",
+        default=None,
+        metavar="PID:WHEN",
+        help="permanently fail-stop node PID at WHEN -- crash with no "
+        "restart, Section 7's detectable uncorrectable fault (repeatable)",
+    )
+    net.add_argument(
+        "--byzantine",
+        action="append",
+        default=None,
+        metavar="PID:WHEN|N",
+        help="net run: turn node PID Byzantine at WHEN -- protocol-valid "
+        "but semantically wrong frames, seeded lie palette (repeatable); "
+        "chaos run: a bare count of Byzantine faults per campaign run",
+    )
+    net.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="per-frame byte-corruption rate at the transport (the "
+        "receiver must quarantine, never raise)",
+    )
+    net.add_argument(
+        "--forge",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="per-send forged-envelope rate: a seeded replayed or "
+        "src-spoofed extra frame rides alongside the real one",
+    )
+    net.add_argument(
+        "--no-defense",
+        action="store_true",
+        help="trust every frame (adversarial control): skip validation, "
+        "suspicion strikes and the fail-safe degradation path",
     )
     net.add_argument(
         "--plan",
@@ -425,6 +470,20 @@ def chaos_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         overrides["detectable"] = args.detectable
     if args.undetectable is not None:
         overrides["undetectable"] = args.undetectable
+    if args.byzantine:
+        # The flag doubles as the net verb's PID:WHEN spec; a campaign
+        # takes a bare per-run count.
+        if len(args.byzantine) != 1 or ":" in args.byzantine[0]:
+            parser.error(
+                "chaos run takes --byzantine as a bare count "
+                "(PID:WHEN specs are for 'net run')"
+            )
+        try:
+            overrides["byzantine"] = int(args.byzantine[0])
+        except ValueError:
+            parser.error(f"bad --byzantine count {args.byzantine[0]!r}")
+    if args.permanent is not None:
+        overrides["permanent"] = args.permanent
     if args.seed:
         overrides["seed"] = args.seed
     if args.no_shrink:
@@ -477,18 +536,42 @@ def _net_plan(args: argparse.Namespace):
         with open(args.plan, encoding="utf-8") as fh:
             return FaultPlan.from_json(_json.load(fh))
     link = None
-    if args.drop or args.dup or args.delay or args.reorder:
+    if (
+        args.drop
+        or args.dup
+        or args.delay
+        or args.reorder
+        or args.corrupt
+        or args.forge
+    ):
         link = LinkPlan(
             loss=args.drop,
             duplication=args.dup,
             delay=args.delay,
             reorder=args.reorder,
+            corruption=args.corrupt,
+            forge=args.forge,
         )
     partitions = tuple(_parse_partition(s) for s in (args.partition or ()))
+
+    def pid_when(spec: str, flag: str) -> tuple[int, float]:
+        pid_s, sep, when_s = spec.partition(":")
+        if not sep:
+            raise ValueError(f"bad {flag} spec {spec!r} (expected PID:WHEN)")
+        return int(pid_s), float(when_s)
+
     events = []
     for spec in args.crash or ():
-        pid_s, _, when_s = spec.partition(":")
-        events.append(FaultEvent(pid=int(pid_s), when=float(when_s)))
+        pid, when = pid_when(spec, "--crash")
+        events.append(FaultEvent(pid=pid, when=when))
+    for spec in args.fail_stop or ():
+        pid, when = pid_when(spec, "--fail-stop")
+        events.append(FaultEvent(pid=pid, when=when, kind="crash"))
+    for spec in args.byzantine or ():
+        pid, when = pid_when(spec, "--byzantine")
+        events.append(
+            FaultEvent(pid=pid, when=when, detectable=False, kind="byzantine")
+        )
     if link is None and not partitions and not events:
         return None
     return FaultPlan(
@@ -549,6 +632,7 @@ def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             shards=args.shards,
             shard_transport=args.shard_transport,
             batch_bytes=args.batch_bytes,
+            defense=not args.no_defense,
         )
     except ValueError as exc:
         parser.error(str(exc))

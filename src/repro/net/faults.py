@@ -3,9 +3,13 @@
 :class:`FaultyTransport` wraps any :class:`~repro.net.transport.Transport`
 and perturbs the send path with the plan's link rates -- drop,
 duplicate, delay, reorder -- plus wholesale partition windows
-(:class:`~repro.chaos.plan.PartitionWindow`).  Crash-restart faults are
-the *runtime's* job (they kill protocol state, not messages); the
-wrapper owns everything that can happen to a frame in flight.
+(:class:`~repro.chaos.plan.PartitionWindow`) and the adversarial
+channels: ``corruption`` flips a seeded byte inside the encoded frame
+(the receiver must quarantine it, never crash), ``forge`` injects an
+extra hostile envelope next to the real one -- either an exact replay
+or a src-spoofed impersonation.  Crash-restart faults are the
+*runtime's* job (they kill protocol state, not messages); the wrapper
+owns everything that can happen to a frame in flight.
 
 Determinism: every per-message decision is a pure function of
 ``(plan.seed, src, dst, message identity, attempt)`` via SHA-256 -- no
@@ -15,7 +19,10 @@ incarnation, seq)`` (falling back to the body digest for non-envelope
 frames), and ``attempt`` counts how often this transport has sent that
 identity, so a resend of a dropped message is a *new* coin flip and
 repeated resends get through with probability 1.  A hard cap
-(``max_drop_attempts``) makes that liveness guarantee unconditional.
+(``max_drop_attempts``) makes that liveness guarantee unconditional,
+and it covers the adversarial channels too: no logical message is
+corrupted (or shadowed by forgeries) forever -- after the cap, resends
+deliver the clean frame only.
 
 With an empty plan (no link rates, no partitions) the wrapper is
 byte-identical to the inner transport: the send path forwards the
@@ -74,6 +81,8 @@ class FaultyTransport(Transport):
             "delayed": 0,
             "reordered": 0,
             "partitioned": 0,
+            "corrupted": 0,
+            "forged": 0,
         }
 
     # ------------------------------------------------------------------
@@ -124,11 +133,70 @@ class FaultyTransport(Transport):
             # Reordering is a short extra hold: later traffic overtakes.
             self.stats["reordered"] += 1
             hold += self.max_delay * _decision(self.seed, "reorder", key, attempt)
+        wire = body
+        if (
+            link.corruption
+            and attempt < MAX_DROP_ATTEMPTS
+            and _decision(self.seed, "corrupt?", key, attempt) < link.corruption
+        ):
+            self.stats["corrupted"] += 1
+            wire = self._corrupt(body, key, attempt)
         for _ in range(copies):
             if hold > 0.0:
-                self._spawn_delayed(dst, body, hold)
+                self._spawn_delayed(dst, wire, hold)
             else:
-                await self.inner.send(dst, body)
+                await self.inner.send(dst, wire)
+        if (
+            link.forge
+            and attempt < MAX_DROP_ATTEMPTS
+            and _decision(self.seed, "forge?", key, attempt) < link.forge
+        ):
+            forged = self._forge(dst, body, key, attempt)
+            if forged is not None:
+                self.stats["forged"] += 1
+                await self.inner.send(dst, forged)
+
+    def _corrupt(self, body: bytes, key: tuple, attempt: int) -> bytes:
+        """Flip one seeded byte.  The canonical encoding is pure ASCII,
+        so setting the high bit guarantees the result is invalid UTF-8:
+        a corrupted frame always fails decode (and gets quarantined)
+        rather than sometimes passing as a different valid frame."""
+        if not body:
+            return body
+        offset = int(_decision(self.seed, "corrupt-off", key, attempt) * len(body))
+        mask = 0x80 | (1 + int(_decision(self.seed, "corrupt-xor", key, attempt) * 127))
+        mutated = bytearray(body)
+        mutated[offset] ^= mask
+        return bytes(mutated)
+
+    def _forge(
+        self, dst: int, body: bytes, key: tuple, attempt: int
+    ) -> bytes | None:
+        """An adversarial extra envelope alongside the real one: an
+        exact replay (the dedup index must filter it) or a src-spoofed
+        impersonation (the receiver must quarantine the src mismatch).
+        Both decisions are pure hashes of the message identity."""
+        try:
+            msg = Message.from_bytes(body)
+        except FrameError:
+            return None  # non-envelope frame: nothing to impersonate
+        if _decision(self.seed, "forge-mode", key, attempt) < 0.5:
+            return body  # replay attack: byte-identical duplicate
+        if self.nprocs < 2:
+            return body
+        shift = 1 + int(
+            _decision(self.seed, "forge-src", key, attempt) * (self.nprocs - 1)
+        )
+        spoofed = Message(
+            kind=msg.kind,
+            src=(self.node_id + shift) % self.nprocs,
+            dst=dst,
+            seq=msg.seq,
+            incarnation=msg.incarnation,
+            lamport=msg.lamport,
+            payload=msg.payload,
+        )
+        return spoofed.to_bytes()
 
     def _spawn_delayed(self, dst: int, body: bytes, hold: float) -> None:
         async def deliver() -> None:

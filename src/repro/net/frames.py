@@ -146,24 +146,57 @@ class Message:
         }
         return encode_canonical(record).encode()
 
+    #: The envelope's wire keys; strict decode rejects anything else.
+    _KEYS = frozenset({"k", "s", "d", "q", "i", "lc", "p"})
+
     @classmethod
-    def from_bytes(cls, body: bytes) -> "Message":
+    def from_bytes(cls, body: bytes, strict: bool = False) -> "Message":
+        """Decode and schema-validate an envelope.
+
+        Every field is type- and range-checked (a hostile peer may send
+        anything), so a decoded :class:`Message` is safe to index on:
+        ``src``/``dst``/``seq``/``incarnation``/``lamport`` are
+        non-negative ints, ``kind`` a short string, ``payload`` a dict.
+        ``strict=True`` additionally rejects unknown keys and
+        non-canonical encodings (whitespace, key order, duplicate
+        keys), so one logical message keeps exactly one byte
+        representation even against an adversary.
+        """
         try:
             record = json.loads(body.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise FrameError(f"undecodable frame body: {exc}") from exc
-        try:
-            return cls(
-                kind=record["k"],
-                src=int(record["s"]),
-                dst=int(record["d"]),
-                seq=int(record["q"]),
-                incarnation=int(record.get("i", 0)),
-                lamport=int(record.get("lc", 0)),
-                payload=record.get("p", {}),
+        if not isinstance(record, dict):
+            raise FrameError(
+                f"envelope is not an object: {type(record).__name__}"
             )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise FrameError(f"bad message envelope: {exc}") from exc
+        kind = record.get("k")
+        if not isinstance(kind, str) or not 1 <= len(kind) <= 32:
+            raise FrameError(f"bad message kind {kind!r}")
+        fields: dict[str, int] = {}
+        for key, name, default in (
+            ("s", "src", None),
+            ("d", "dst", None),
+            ("q", "seq", None),
+            ("i", "incarnation", 0),
+            ("lc", "lamport", 0),
+        ):
+            value = record.get(key, default)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise FrameError(f"bad {name} field {value!r}")
+            fields[name] = value
+        payload = record.get("p", {})
+        if not isinstance(payload, dict):
+            raise FrameError(
+                f"payload is not an object: {type(payload).__name__}"
+            )
+        if strict:
+            unknown = set(record) - cls._KEYS
+            if unknown:
+                raise FrameError(f"unknown envelope keys {sorted(unknown)}")
+            if encode_canonical(record).encode() != body:
+                raise FrameError("non-canonical envelope encoding")
+        return cls(kind=kind, payload=payload, **fields)
 
     @property
     def dedup_key(self) -> tuple[int, int, int]:
@@ -175,6 +208,13 @@ def frame_digest(body: bytes) -> bytes:
     return hashlib.sha256(body).digest()
 
 
+#: Max tracked sequence numbers above the low-water mark per sender
+#: incarnation.  Legitimate gaps come from loss/reorder and stay tiny
+#: (resends advance the mark); a forged far-future seq would otherwise
+#: pin an entry in the sparse set for the rest of the run.
+MAX_SEQ_WINDOW = 4096
+
+
 class DedupIndex:
     """Receiver-side exactly-once filter over ``(src, inc, seq)``.
 
@@ -183,14 +223,24 @@ class DedupIndex:
     index keeps, per ``(src, inc)``, a low-water mark plus the sparse
     set of seen sequence numbers above it -- O(1) amortized and bounded
     by the reorder window rather than the run length.
+
+    Memory stays bounded against adversarial traffic too: dead
+    incarnations are pruned (and floored, so replays from a sender's
+    previous lives are filtered without re-tracking them) when the
+    runtime observes an incarnation bump, and sequence numbers more
+    than :data:`MAX_SEQ_WINDOW` above the mark are refused outright.
     """
 
     def __init__(self) -> None:
         #: (src, inc) -> [low-water mark, set of seen seqs > mark]
         self._seen: dict[tuple[int, int], list[Any]] = {}
+        #: src -> lowest incarnation still accepted.
+        self._floor: dict[int, int] = {}
 
     def accept(self, src: int, incarnation: int, seq: int) -> bool:
         """True exactly once per (src, incarnation, seq)."""
+        if incarnation < self._floor.get(src, 0):
+            return False  # replayed traffic from a pruned incarnation
         key = (src, incarnation)
         entry = self._seen.get(key)
         if entry is None:
@@ -198,6 +248,8 @@ class DedupIndex:
         mark, above = entry
         if seq <= mark or seq in above:
             return False
+        if seq > mark + MAX_SEQ_WINDOW:
+            return False  # forged far-future seq: refuse to track it
         above.add(seq)
         while mark + 1 in above:
             mark += 1
@@ -206,9 +258,16 @@ class DedupIndex:
         return True
 
     def forget_older_incarnations(self, src: int, incarnation: int) -> None:
-        """Drop state for a sender's previous lives (post-restart)."""
+        """Drop state for a sender's previous lives (post-restart) and
+        floor the sender so those lives cannot be re-tracked."""
+        self._floor[src] = max(self._floor.get(src, 0), incarnation)
         for key in [k for k in self._seen if k[0] == src and k[1] < incarnation]:
             del self._seen[key]
+
+    @property
+    def tracked(self) -> int:
+        """Live (src, incarnation) entries (memory-bound tests)."""
+        return len(self._seen)
 
 
 class LamportClock:

@@ -69,10 +69,24 @@ class MBRingNode(NetNode):
         barriers: int,
         nphases: int = 4,
         crash_times: Sequence[float] = (),
+        permanent_times: Sequence[float] = (),
+        byzantine_times: Sequence[float] = (),
         tracer: Tracer | NullTracer | None = None,
         timing: Timing | None = None,
+        defense: bool = True,
+        plan_seed: int = 0,
+        fail_stop_aware: bool = False,
     ) -> None:
-        super().__init__(node_id, nprocs, transport, tracer, timing)
+        super().__init__(
+            node_id,
+            nprocs,
+            transport,
+            tracer,
+            timing,
+            defense=defense,
+            plan_seed=plan_seed,
+            fail_stop_aware=fail_stop_aware,
+        )
         self.barriers = barriers
         self.machine = MBMachine(
             rank=node_id,
@@ -81,6 +95,10 @@ class MBRingNode(NetNode):
             l_domain=2 * nprocs,
         )
         self._crash_times = sorted(crash_times)
+        #: Progress marks at which this rank dies for good / turns
+        #: Byzantine (same completed-barriers clock as ``crash_times``).
+        self._permanent_times = sorted(permanent_times)
+        self._byz_times = sorted(byzantine_times)
         self.completed = 0
         self.reexecutions = 0
         self._open_phase: int | None = None
@@ -122,13 +140,89 @@ class MBRingNode(NetNode):
                     incarnation=msg.incarnation,
                 )
         p = msg.payload
+        sn, cp, ph = p.get("sn"), p.get("cp"), p.get("ph")
+        if isinstance(sn, str) and sn not in _SPECIAL:
+            return  # trusting mode: ignore garbage rather than raise
+        if cp not in _CP_BY_NAME:
+            return
+        if not isinstance(ph, int) or isinstance(ph, bool):
+            return
         self.machine.on_neighbor_state(
             msg.src,
-            _decode_sn(p["sn"]),
-            _CP_BY_NAME[p["cp"]],
-            int(p["ph"]),
+            _decode_sn(sn),
+            _CP_BY_NAME[cp],
+            ph,
             bool(p.get("done", False)),
         )
+
+    # -- defense -------------------------------------------------------
+    def validate_msg(self, msg: Message) -> str | None:
+        """Schema-only validation for the MB ring.
+
+        MB's narration legitimately depends on message interleaving, so
+        (unlike the tree's durable-round rule) there is no semantic
+        predicate that is provably hostile without false-strike risk on
+        honest ranks.  The schema envelope is still exact: an honest
+        rank's exported state always wire-encodes inside it.
+        """
+        kind, src, p = msg.kind, msg.src, msg.payload
+        if kind == "hb":
+            return None
+        if kind != "push":
+            return "unknown-kind"
+        if src not in self.neighbors():
+            return "topology"
+        sn = p.get("sn")
+        if isinstance(sn, str):
+            if sn not in _SPECIAL:
+                return "schema"
+        elif not isinstance(sn, int) or isinstance(sn, bool) or not (
+            0 <= sn < self.machine.l_domain
+        ):
+            return "schema"
+        if p.get("cp") not in _CP_BY_NAME:
+            return "schema"
+        ph = p.get("ph")
+        if (
+            not isinstance(ph, int)
+            or isinstance(ph, bool)
+            or not 0 <= ph < self.machine.nphases
+        ):
+            return "schema"
+        if not isinstance(p.get("done", False), bool):
+            return "schema"
+        return None
+
+    # -- Byzantine lie palette -----------------------------------------
+    def distort(self, dst, kind, payload):
+        """Lie in the state pushes; leave the framework channel alone.
+
+        A Byzantine rank's exported state is arbitrary (the paper's
+        ``?`` assignments), and arbitrary values land outside the honest
+        wire envelope, so every variant is schema-invalid at a defending
+        receiver: condemnation -- never a silent wrong phase count -- is
+        the deterministic outcome.  Keyed on the exported protocol
+        position, not the attempt, so every retransmission of one state
+        lies identically.
+        """
+        if kind != "push":
+            return kind, payload
+        from repro.net.faults import _decision
+
+        pick = int(
+            _decision(
+                self.plan_seed,
+                "byz-mb",
+                (self.node_id, payload.get("ph"), payload.get("cp")),
+                0,
+            )
+            * 3
+        )
+        if pick == 0:
+            return kind, {**payload, "cp": "?"}
+        if pick == 1:
+            return kind, {**payload, "ph": self.machine.nphases + 1}
+        return kind, {**payload, "sn": "?"}
 
     # -- crash path ----------------------------------------------------
     def _crash_due(self) -> bool:
@@ -217,6 +311,18 @@ class MBRingNode(NetNode):
         interval = self.timing.push_interval
         await self._push()
         while True:
+            if self.failsafe:
+                # Fail-safe stop: close rank 0's in-flight instance as
+                # failed and stop progressing -- the ring may end short
+                # of ``barriers`` but never wrongly reports one.
+                self._narrate_crash()
+                return
+            if self._byz_times and self.completed >= self._byz_times[0]:
+                self._byz_times.pop(0)
+                self.activate_byzantine()
+            if self._permanent_times and self.completed >= self._permanent_times[0]:
+                await self.fail_stop()
+                return
             if self._crash_due():
                 await self._apply_crash()
                 await self._push()

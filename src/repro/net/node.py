@@ -6,6 +6,22 @@ dedup, the Lamport clock that stamps every traced event, heartbeats,
 bounded-exponential-backoff reliable sends, and the crash-restart
 scaffolding (volatile-state wipe + inbox drain + incarnation bump).
 
+It also owns the *defensive frame layer* (on by default): every
+received frame is strictly decoded and schema-validated, and anything a
+hostile peer could have sent -- garbage bytes, a src-spoofed envelope,
+a protocol-invalid payload -- is rejected with a structured
+``quarantine`` trace event instead of an exception.  Provably-invalid
+frames whose source is authentic (the transport's channel attribution
+matches the envelope) accrue *suspicion strikes* against that peer,
+with seeded-jitter backoff between strikes; at :data:`STRIKE_LIMIT` the
+peer is condemned (one ``detect`` per node per condemned peer -- a
+deterministic, race-free digest row set) and the node degrades into a
+*fail-safe stop*: it floods ``fsafe`` to its neighbours, stops making
+progress, and the run ends having never wrongly reported a barrier
+completion (the paper's Section 7 fail-safe guarantee).  Spoofed or
+undecodable frames do *not* strike -- they are network faults, and
+honest peers must never be condemned for them.
+
 Protocols subclass it twice: :class:`repro.net.tree.TreeBarrierNode`
 (the RB-on-trees discipline as explicit arrive/release waves) and
 :class:`repro.net.mbnode.MBRingNode` (the MB machine over retransmitted
@@ -33,7 +49,16 @@ KIND_TAGS: dict[str, int] = {
     "sync": 5,
     "hb": 6,
     "push": 7,
+    "fsafe": 8,
+    "fack": 9,
 }
+
+#: Authentic provably-invalid frames from one peer before condemnation.
+STRIKE_LIMIT = 3
+
+#: Base backoff applied to a struck peer (doubles per strike, plus a
+#: seeded jitter drawn from the plan seed).
+STRIKE_BACKOFF = 0.05
 
 
 @dataclass(frozen=True)
@@ -65,6 +90,9 @@ class NetNode:
         transport: Transport,
         tracer: Tracer | NullTracer | None = None,
         timing: Timing | None = None,
+        defense: bool = True,
+        plan_seed: int = 0,
+        fail_stop_aware: bool = False,
     ) -> None:
         self.node_id = node_id
         self.nprocs = nprocs
@@ -81,6 +109,28 @@ class NetNode:
         #: Highest incarnation seen per peer (survives our own crash so
         #: detect events stay exactly-once per restart).
         self._peer_inc: dict[int, int] = {}
+        # -- defensive frame layer --
+        #: Validate frames and strike hostile peers (off = the trusting
+        #: pre-adversarial behaviour, kept as the intolerant control).
+        self.defense = defense
+        #: Seeds the strike-backoff jitter and Byzantine lie palette.
+        self.plan_seed = plan_seed
+        #: Watch for permanently-silent neighbours (set only when the
+        #: plan contains permanent crashes, so benign runs are
+        #: byte-identical to the pre-adversarial runtime).
+        self.fail_stop_aware = fail_stop_aware
+        #: Peers this node has condemned (Byzantine or permanently dead).
+        self.condemned: set[int] = set()
+        #: Fail-safe stop engaged: stop making progress, never complete.
+        self.failsafe = False
+        #: Permanently stopped (the Section 7 ``up := false`` state).
+        self.dead = False
+        #: This node sends protocol-valid but semantically wrong frames.
+        self.byzantine_active = False
+        self._strikes: dict[int, int] = {}
+        self._suspect_until: dict[int, float] = {}
+        self._fsafe_acked: dict[int, bool] = {}
+        self._last_heard: dict[int, float] = {}
         self.stats = {
             "sent": 0,
             "received": 0,
@@ -88,6 +138,8 @@ class NetNode:
             "resends": 0,
             "hb_sent": 0,
             "crashes": 0,
+            "quarantined": 0,
+            "strikes": 0,
         }
 
     # -- task management -----------------------------------------------
@@ -119,6 +171,9 @@ class NetNode:
         self, dst: int, kind: str, payload: Mapping[str, Any] | None = None
     ) -> None:
         """One best-effort message (reliability is the caller's loop)."""
+        payload = dict(payload or {})
+        if self.byzantine_active:
+            kind, payload = self.distort(dst, kind, payload)
         msg = Message(
             kind=kind,
             src=self.node_id,
@@ -126,7 +181,7 @@ class NetNode:
             seq=self._next_seq(dst),
             incarnation=self.incarnation,
             lamport=self.clock.tick(),
-            payload=payload or {},
+            payload=payload,
         )
         self.stats["sent"] += 1
         if self.tracer.enabled and kind != "hb":
@@ -167,10 +222,33 @@ class NetNode:
             if item is None:
                 continue
             src, body = item
+            # Any frame on this channel -- even garbage -- proves the
+            # channel peer's process is alive (a permanently-crashed
+            # node sends nothing at all), so it feeds silence tracking.
+            self._last_heard[src] = self._now()
             try:
-                msg = Message.from_bytes(body)
-            except FrameError:
-                continue  # corrupted or foreign frame: drop (loss-tolerant)
+                msg = Message.from_bytes(body, strict=self.defense)
+            except FrameError as exc:
+                # Corrupted or foreign frame.  A decode failure is a
+                # *network* fault (nobody's authenticated identity is
+                # attached to garbage bytes), so it quarantines without
+                # striking anyone.
+                self.quarantine("decode", peer=src, detail=str(exc)[:80])
+                continue
+            if self.defense and msg.src != src:
+                # The envelope claims a sender the channel disproves: a
+                # forged impersonation.  The *channel* peer is not the
+                # forger (the network injected it), so no strike -- but
+                # the frame must never reach dedup or the protocol,
+                # else it poisons the claimed sender's sequence space.
+                self.quarantine("src-spoof", peer=src, claimed=msg.src)
+                continue
+            if self.defense and src in self.condemned:
+                self.quarantine("condemned", peer=src)
+                continue
+            if self.defense and self._backing_off(src):
+                self.quarantine("backoff", peer=src)
+                continue
             if not self.dedup.accept(msg.src, msg.incarnation, msg.seq):
                 self.stats["dup_filtered"] += 1
                 continue
@@ -183,11 +261,184 @@ class NetNode:
                     self.node_id,
                     tag=KIND_TAGS.get(msg.kind, 0),
                 )
+            if self._handle_system(msg):
+                self._wake.set()
+                continue
+            if self.defense:
+                reason = self.validate_msg(msg)
+                if reason is not None:
+                    self.quarantine(reason, peer=src, msg_kind=msg.kind)
+                    self._strike(src)
+                    continue
             self.handle(msg)
             self._wake.set()
 
     def handle(self, msg: Message) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def validate_msg(self, msg: Message) -> str | None:
+        """Protocol-level payload validation hook (defense on only).
+
+        Returns None for a frame an honest peer could have sent *right
+        now*, else a short quarantine reason.  A non-None return is a
+        proof of misbehaviour: the frame's source is authentic (the
+        channel attribution matched), so the peer is struck.
+        """
+        return None
+
+    # -- defensive layer -----------------------------------------------
+    def _now(self) -> float:
+        return asyncio.get_event_loop().time()
+
+    def quarantine(self, reason: str, peer: int | None = None, **data: Any) -> None:
+        """Reject a frame with a structured trace event, never a raise."""
+        self.stats["quarantined"] += 1
+        if self.tracer.enabled:
+            self.tracer.quarantine(
+                float(self.clock.value), self.node_id, reason, peer=peer, **data
+            )
+
+    def _backing_off(self, peer: int) -> bool:
+        until = self._suspect_until.get(peer)
+        return until is not None and self._now() < until
+
+    def _strike(self, peer: int) -> None:
+        """One suspicion strike; condemnation at :data:`STRIKE_LIMIT`."""
+        count = self._strikes.get(peer, 0) + 1
+        self._strikes[peer] = count
+        self.stats["strikes"] += 1
+        if count >= STRIKE_LIMIT:
+            self.condemn(peer)
+            return
+        from repro.net.faults import _decision
+
+        jitter = _decision(
+            self.plan_seed, "strike-backoff", (self.node_id, peer), count
+        )
+        hold = STRIKE_BACKOFF * (2 ** (count - 1)) * (1.0 + jitter)
+        self._suspect_until[peer] = self._now() + hold
+
+    def condemn(self, peer: int) -> None:
+        """Mark ``peer`` hostile/dead and degrade into fail-safe stop.
+
+        Every node emits exactly one ``detect`` per condemned peer
+        (locally or on learning it from the ``fsafe`` flood), so the
+        digest rows this adds are a pure function of the condemned set,
+        not of message timing.
+        """
+        if peer in self.condemned:
+            return
+        self.condemned.add(peer)
+        if self.tracer.enabled:
+            self.tracer.detect(
+                float(self.clock.tick()),
+                self.node_id,
+                peer=peer,
+                condemned=True,
+            )
+        self._enter_failsafe()
+
+    def _enter_failsafe(self) -> None:
+        if self.failsafe:
+            self._wake.set()
+            return
+        self.failsafe = True
+        for nb in self.neighbors():
+            self.spawn(
+                self.send_until(
+                    nb,
+                    "fsafe",
+                    {"c": sorted(self.condemned)},
+                    lambda nb=nb: self._fsafe_acked.get(nb, False),
+                )
+            )
+        self._wake.set()
+
+    def _handle_system(self, msg: Message) -> bool:
+        """Base-layer kinds (the fail-safe flood); True when consumed."""
+        if msg.kind == "fsafe":
+            pids = msg.payload.get("c")
+            if not isinstance(pids, list) or not all(
+                isinstance(p, int) and not isinstance(p, bool) and 0 <= p < self.nprocs
+                for p in pids
+            ):
+                self.quarantine("schema", peer=msg.src, msg_kind="fsafe")
+                return True
+            self.spawn(self.send_msg(msg.src, "fack", {"c": pids}))
+            for pid in pids:
+                self.condemn(pid)
+            return True
+        if msg.kind == "fack":
+            self._fsafe_acked[msg.src] = True
+            return True
+        return False
+
+    # -- Byzantine mode ------------------------------------------------
+    def distort(
+        self, dst: int, kind: str, payload: dict[str, Any]
+    ) -> tuple[str, dict[str, Any]]:
+        """The Byzantine lie palette; subclasses override per protocol.
+
+        Every decision must be a pure hash of ``(plan_seed, identity,
+        protocol position)`` -- never of attempt counts or wall time --
+        so sharded and single-loop runs distort identically.
+        """
+        return kind, payload
+
+    def activate_byzantine(self) -> None:
+        """Turn hostile (the Section 7 ``good := false`` moment); emits
+        the fault event exactly once.  The node keeps *running* the
+        protocol -- its narration and receive path stay framework-honest
+        -- but every outgoing protocol frame goes through the lie
+        palette from here on."""
+        if self.byzantine_active:
+            return
+        self.byzantine_active = True
+        if self.tracer.enabled:
+            self.tracer.fault(
+                float(self.clock.tick()),
+                self.node_id,
+                detectable=False,
+                mode="byzantine",
+            )
+
+    # -- permanent crash -----------------------------------------------
+    async def fail_stop(self) -> None:
+        """A *permanent* crash (Section 7 ``up := false``): lose
+        everything and never come back.  Peers notice only through
+        silence (see ``_silence_loop``)."""
+        self.stats["crashes"] += 1
+        if self.tracer.enabled:
+            self.tracer.fault(
+                float(self.clock.tick()),
+                self.node_id,
+                detectable=True,
+                mode="crash",
+            )
+        self._narrate_crash()
+        self.dead = True
+        await self.stop()
+        self.transport.drain()
+
+    async def _silence_loop(self) -> None:
+        """Condemn a neighbour that has been silent far longer than the
+        heartbeat interval -- the only way a permanent crash is ever
+        observable.  Spawned only when ``fail_stop_aware`` (the plan
+        schedules permanent crashes), so benign runs are untouched."""
+        dead_after = 4.0 * self.timing.hb_interval
+        for nb in self.neighbors():
+            self._last_heard.setdefault(nb, self._now())
+        while self._running and not self.failsafe:
+            await asyncio.sleep(self.timing.hb_interval)
+            now = self._now()
+            for nb in self.neighbors():
+                heard = self._last_heard.get(nb)
+                if (
+                    heard is not None
+                    and now - heard > dead_after
+                    and nb not in self.condemned
+                ):
+                    self.condemn(nb)
 
     # -- heartbeats ----------------------------------------------------
     def neighbors(self) -> list[int]:  # pragma: no cover - interface
@@ -203,6 +454,8 @@ class NetNode:
     def start_loops(self) -> None:
         self.spawn(self._recv_loop())
         self.spawn(self._hb_loop())
+        if self.fail_stop_aware:
+            self.spawn(self._silence_loop())
 
     # -- waiting -------------------------------------------------------
     async def wait_for(
@@ -224,6 +477,9 @@ class NetNode:
         """Protocol-specific state wipe; extended by subclasses."""
         self.dedup = DedupIndex()
         self._seq = {}
+        self._strikes = {}
+        self._suspect_until = {}
+        self._fsafe_acked = {}
 
     def _narrate_crash(self) -> None:
         """Hook: close any narration the fault interrupts.  Runs right
@@ -250,8 +506,16 @@ class NetNode:
     # -- resync narration ----------------------------------------------
     def note_peer_incarnation(self, peer: int, incarnation: int) -> bool:
         """Record a peer's restart; True (exactly once per restart) when
-        this is news -- the caller emits the ``detect`` event."""
+        this is news -- the caller emits the ``detect`` event.
+
+        A restart is also the memory-bound point: the dedup index drops
+        (and floors) the peer's dead incarnations, and the peer's
+        strike history resets -- a fresh incarnation starts trusted.
+        """
         if incarnation > self._peer_inc.get(peer, 0):
             self._peer_inc[peer] = incarnation
+            self.dedup.forget_older_incarnations(peer, incarnation)
+            self._strikes.pop(peer, None)
+            self._suspect_until.pop(peer, None)
             return True
         return False

@@ -77,6 +77,11 @@ class NetConfig:
     nphases: int = 4  # MB phase-counter wrap
     seed: int = 0
     plan: FaultPlan | None = None
+    #: The defensive frame layer (strict decode, payload validation,
+    #: suspicion strikes, fail-safe degradation).  ``False`` restores
+    #: the trusting pre-adversarial receive path -- the intolerant
+    #: control that Byzantine chaos campaigns are expected to flag.
+    defense: bool = True
     timing: Timing = field(default_factory=Timing)
     max_delay: float = 0.05
     timeout_s: float = 60.0
@@ -150,6 +155,11 @@ class NetResult:
     digest: str
     end_time: float
     wall_s: float
+    #: The run degraded into a fail-safe stop (some node condemned a
+    #: peer, or died permanently).  A legitimate end state under
+    #: uncorrectable faults: the barrier may go unreached, but a
+    #: wrongful completion was never reported.
+    failsafe_stop: bool = False
     violations: list[Any] = field(default_factory=list)
     spans: list[float] = field(default_factory=list)
     node_stats: dict[int, dict[str, int]] = field(default_factory=dict)
@@ -163,7 +173,7 @@ class NetResult:
 
     @property
     def ok(self) -> bool:
-        return self.reached and not self.violations
+        return (self.reached or self.failsafe_stop) and not self.violations
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -173,6 +183,7 @@ class NetResult:
             "barriers": self.config.barriers,
             "seed": self.config.seed,
             "reached": self.reached,
+            "failsafe_stop": self.failsafe_stop,
             "completed": self.completed,
             "successful_phases": self.successful_phases,
             "faults_fired": self.faults_fired,
@@ -193,6 +204,7 @@ class NetResult:
             f"{self.config.transport}, {self.config.barriers} barriers "
             f"(seed {self.config.seed})",
             f"  completed={self.completed} reached={self.reached} "
+            f"failsafe_stop={self.failsafe_stop} "
             f"faults={self.faults_fired} wall={self.wall_s:.2f}s",
             f"  digest={self.digest}",
         ]
@@ -214,14 +226,24 @@ class NetResult:
         return "\n".join(lines)
 
 
-def _crash_schedule(plan: FaultPlan | None) -> dict[int, list[float]]:
-    """Per-node strike times; every plan event is a crash-restart (the
-    runtime's only process-level fault class)."""
-    schedule: dict[int, list[float]] = {}
+def _fault_schedules(
+    plan: FaultPlan | None,
+) -> tuple[dict[int, list[float]], dict[int, list[float]], dict[int, list[float]]]:
+    """Per-node strike times split by fault class: ``reset`` events are
+    crash-restarts, ``crash`` events are permanent fail-stops, and
+    ``byzantine`` events are lie-mode activations."""
+    resets: dict[int, list[float]] = {}
+    permanents: dict[int, list[float]] = {}
+    byzantines: dict[int, list[float]] = {}
     if plan is not None:
         for event in plan.events:
-            schedule.setdefault(event.pid, []).append(event.when)
-    return schedule
+            bucket = {
+                "reset": resets,
+                "crash": permanents,
+                "byzantine": byzantines,
+            }[event.kind]
+            bucket.setdefault(event.pid, []).append(event.when)
+    return resets, permanents, byzantines
 
 
 async def run_async(config: NetConfig) -> NetResult:
@@ -288,7 +310,9 @@ async def run_async(config: NetConfig) -> NetResult:
         tracers = {pid: Tracer() for pid in range(config.nodes)}
 
     # -- nodes ---------------------------------------------------------
-    crashes = _crash_schedule(plan)
+    crashes, permanents, byzantines = _fault_schedules(plan)
+    plan_seed = plan.seed if plan is not None else config.seed
+    fail_stop_aware = bool(permanents)
     nodes: list[Any] = []
     mains = []
     for pid in range(config.nodes):
@@ -300,8 +324,17 @@ async def run_async(config: NetConfig) -> NetResult:
                 barriers=config.barriers,
                 arity=config.arity,
                 crash_rounds=[max(0, int(w)) for w in crashes.get(pid, ())],
+                permanent_rounds=[
+                    max(0, int(w)) for w in permanents.get(pid, ())
+                ],
+                byzantine_rounds=[
+                    max(0, int(w)) for w in byzantines.get(pid, ())
+                ],
                 tracer=tracers[pid],
                 timing=config.timing,
+                defense=config.defense,
+                plan_seed=plan_seed,
+                fail_stop_aware=fail_stop_aware,
             )
             mains.append(node.run_rounds())
         else:
@@ -312,8 +345,13 @@ async def run_async(config: NetConfig) -> NetResult:
                 barriers=config.barriers,
                 nphases=config.nphases,
                 crash_times=crashes.get(pid, ()),
+                permanent_times=permanents.get(pid, ()),
+                byzantine_times=byzantines.get(pid, ()),
                 tracer=tracers[pid],
                 timing=config.timing,
+                defense=config.defense,
+                plan_seed=plan_seed,
+                fail_stop_aware=fail_stop_aware,
             )
             mains.append(node.run_protocol())
         nodes.append(node)
@@ -360,6 +398,10 @@ async def run_async(config: NetConfig) -> NetResult:
         completed = nodes[0].completed
         reached = nodes[0].completed >= config.barriers
     reached = reached and not timed_out
+    failsafe_stop = any(
+        getattr(node, "failsafe", False) or getattr(node, "dead", False)
+        for node in nodes
+    )
 
     if plane is not None:
         # The streaming path already merged, monitored and digested;
@@ -427,6 +469,7 @@ async def run_async(config: NetConfig) -> NetResult:
         digest=digest,
         end_time=merged[-1].time if merged else 0.0,
         wall_s=wall_s,
+        failsafe_stop=failsafe_stop,
         violations=list(violations),
         spans=list(spans),
         node_stats={node.node_id: dict(node.stats) for node in nodes},
@@ -450,7 +493,12 @@ def _metrics_summary(
     plus ring/merge accounting when the live plane ran."""
     from repro.chaos.adapters import monitors_for
 
-    checked = sorted({m.guarantee for m in monitors_for(check_plan, nphases)})
+    checked = sorted(
+        {
+            m.guarantee
+            for m in monitors_for(check_plan, nphases, strict=nphases is None)
+        }
+    )
     verdicts = {guarantee: "pass" for guarantee in checked}
     for violation in violations:
         verdicts[violation.guarantee] = "fail"

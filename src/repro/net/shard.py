@@ -407,7 +407,7 @@ def _worker_main(spec: ShardSpec, conn: Any) -> None:
 async def _worker_async(spec: ShardSpec, conn: Any) -> dict[str, Any]:
     from repro.net.faults import FaultyTransport
     from repro.net.mbnode import MBRingNode
-    from repro.net.runtime import _crash_schedule
+    from repro.net.runtime import _fault_schedules
     from repro.net.tree import TreeBarrierNode
     from repro.obs.recorder import FlightRecorder
     from repro.obs.tracer import NullTracer
@@ -451,7 +451,12 @@ async def _worker_async(spec: ShardSpec, conn: Any) -> dict[str, Any]:
             for pid in fabric.local_pids
         }
 
-    crashes = _crash_schedule(plan)
+    crashes, permanents, byzantines = _fault_schedules(plan)
+    # Mirrors the single-loop runtime's node wiring exactly: fault
+    # schedules, defense switch, plan seed and fail-stop awareness must
+    # match or sharded digests diverge from single-loop ones.
+    plan_seed = plan.seed if plan is not None else config.seed
+    fail_stop_aware = bool(permanents)
     nodes: dict[int, Any] = {}
     mains = []
     for pid in fabric.local_pids:
@@ -463,8 +468,17 @@ async def _worker_async(spec: ShardSpec, conn: Any) -> dict[str, Any]:
                 barriers=config.barriers,
                 arity=config.arity,
                 crash_rounds=[max(0, int(w)) for w in crashes.get(pid, ())],
+                permanent_rounds=[
+                    max(0, int(w)) for w in permanents.get(pid, ())
+                ],
+                byzantine_rounds=[
+                    max(0, int(w)) for w in byzantines.get(pid, ())
+                ],
                 tracer=tracers[pid],
                 timing=config.timing,
+                defense=config.defense,
+                plan_seed=plan_seed,
+                fail_stop_aware=fail_stop_aware,
             )
             mains.append(node.run_rounds())
         else:
@@ -475,8 +489,13 @@ async def _worker_async(spec: ShardSpec, conn: Any) -> dict[str, Any]:
                 barriers=config.barriers,
                 nphases=config.nphases,
                 crash_times=crashes.get(pid, ()),
+                permanent_times=permanents.get(pid, ()),
+                byzantine_times=byzantines.get(pid, ()),
                 tracer=tracers[pid],
                 timing=config.timing,
+                defense=config.defense,
+                plan_seed=plan_seed,
+                fail_stop_aware=fail_stop_aware,
             )
             mains.append(node.run_protocol())
         nodes[pid] = node
@@ -527,6 +546,10 @@ async def _worker_async(spec: ShardSpec, conn: Any) -> dict[str, Any]:
     return {
         "shard_id": spec.shard_id,
         "timed_out": timed_out,
+        "failsafe_stop": any(
+            getattr(node, "failsafe", False) or getattr(node, "dead", False)
+            for node in nodes.values()
+        ),
         "rounds": {
             pid: (node.round if config.protocol == "tree" else node.completed)
             for pid, node in nodes.items()
@@ -644,8 +667,10 @@ def run_sharded(config: Any) -> Any:
     shard_walls: list[float] = []
     trace_paths: list[str] = []
     timed_out = False
+    failsafe_stop = False
     for payload in payloads:
         timed_out = timed_out or payload["timed_out"]
+        failsafe_stop = failsafe_stop or payload.get("failsafe_stop", False)
         rounds.update(payload["rounds"])
         rows_by_pid.update(payload["rows"])
         events_by_pid.update(payload["events"])
@@ -712,6 +737,7 @@ def run_sharded(config: Any) -> Any:
         # Protocol wall: the slowest shard's run phase; spawn/import
         # overhead is excluded (reported separately in metrics).
         wall_s=max(shard_walls) if shard_walls else wall_total,
+        failsafe_stop=failsafe_stop,
         violations=list(violations),
         spans=list(spans),
         node_stats=node_stats,

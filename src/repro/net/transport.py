@@ -29,7 +29,7 @@ import os
 import socket
 from typing import Mapping, Union
 
-from repro.net.frames import FrameDecoder, encode_frame
+from repro.net.frames import FrameDecoder, FrameError, encode_frame
 
 #: One transport address: ``"tcp://host:port"`` or ``"unix://path"``
 #: (legacy ``(host, port)`` tuples are accepted and normalized).
@@ -183,6 +183,9 @@ class TcpTransport(Transport):
         self._reader_tasks: set[asyncio.Task] = set()
         self._dial_locks: dict[int, asyncio.Lock] = {}
         self._closed = False
+        #: Hostile/garbage connections dropped by the reader (bad
+        #: framing, oversized length header, unparseable HELLO).
+        self.quarantined = 0
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> str:
@@ -221,20 +224,46 @@ class TcpTransport(Transport):
                     break
                 for body in decoder.feed(chunk):
                     if src is None:
-                        record = json.loads(body.decode())
-                        if record.get("k") != _HELLO_KIND:
-                            return  # not one of ours
-                        src = int(record["node"])
+                        src = self._attribute(body)
+                        if src is None:
+                            return  # not one of ours: drop the stream
                         continue
                     self._inbox.put_nowait((src, body))
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
+        except FrameError:
+            # A peer sent garbage framing (oversized length header,
+            # unframeable bytes).  The stream cannot resync, so the
+            # defensive move is to drop the connection -- never to let
+            # the error escape through this reader task.
+            self.quarantined += 1
         except asyncio.CancelledError:
             # Teardown: close() cancels pending readers; finish quietly
             # so the event loop doesn't log the cancellation.
             pass
         finally:
             writer.close()
+
+    def _attribute(self, body: bytes) -> int | None:
+        """Validate a HELLO frame; None (and a quarantine count) for
+        anything a hostile dialer could send instead."""
+        try:
+            record = json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self.quarantined += 1
+            return None
+        if not isinstance(record, dict) or record.get("k") != _HELLO_KIND:
+            self.quarantined += 1
+            return None
+        node = record.get("node")
+        if (
+            not isinstance(node, int)
+            or isinstance(node, bool)
+            or not 0 <= node < self.nprocs
+        ):
+            self.quarantined += 1
+            return None
+        return node
 
     # -- sending -------------------------------------------------------
     async def _writer_for(self, dst: int) -> asyncio.StreamWriter:

@@ -62,15 +62,33 @@ class TreeBarrierNode(NetNode):
         barriers: int,
         arity: int = 2,
         crash_rounds: Sequence[int] = (),
+        permanent_rounds: Sequence[int] = (),
+        byzantine_rounds: Sequence[int] = (),
         tracer: Tracer | NullTracer | None = None,
         timing: Timing | None = None,
+        defense: bool = True,
+        plan_seed: int = 0,
+        fail_stop_aware: bool = False,
     ) -> None:
-        super().__init__(node_id, nprocs, transport, tracer, timing)
+        super().__init__(
+            node_id,
+            nprocs,
+            transport,
+            tracer,
+            timing,
+            defense=defense,
+            plan_seed=plan_seed,
+            fail_stop_aware=fail_stop_aware,
+        )
         self.barriers = barriers
         self.arity = arity
         self.parent = tree_parent(node_id, arity)
         self.children = tree_children(node_id, arity, nprocs)
         self._crashes = sorted(crash_rounds)
+        #: Rounds at whose entry this node crashes *permanently*.
+        self._permanent = sorted(permanent_rounds)
+        #: Rounds at whose entry this node turns Byzantine.
+        self._byz_rounds = sorted(byzantine_rounds)
         #: Durable round counter (the stable phase clock): the next
         #: round to complete.  Everything else is volatile.
         self.round = 0
@@ -99,8 +117,11 @@ class TreeBarrierNode(NetNode):
     # -- handlers ------------------------------------------------------
     def handle(self, msg: Message) -> None:
         kind, src, p = msg.kind, msg.src, msg.payload
+        if kind in ("arrive", "release", "rack"):
+            r = p.get("round")
+            if not isinstance(r, int) or isinstance(r, bool):
+                return  # trusting mode: ignore garbage rather than raise
         if kind == "arrive":
-            r = int(p["round"])
             if r > self._last_arrive.get(src, -1):
                 self._last_arrive[src] = r
             if r < self.round:
@@ -108,12 +129,10 @@ class TreeBarrierNode(NetNode):
                 # release for a finished round -- answer directly.
                 self.spawn(self.send_msg(src, "release", {"round": r}))
         elif kind == "release":
-            r = int(p["round"])
             if r > self._max_release:
                 self._max_release = r
             self.spawn(self.send_msg(src, "rack", {"round": r}))
         elif kind == "rack":
-            r = int(p["round"])
             if r > self._release_acked.get(src, -1):
                 self._release_acked[src] = r
         elif kind == "resync":
@@ -131,9 +150,76 @@ class TreeBarrierNode(NetNode):
                 )
             )
         elif kind == "sync":
-            if int(p.get("ack", -1)) == self.incarnation:
+            if p.get("ack", -1) == self.incarnation:
                 self._synced.add(src)
         # hb needs no handler: receipt already fed dedup and the clock.
+
+    # -- defense -------------------------------------------------------
+    def validate_msg(self, msg: Message) -> str | None:
+        """Reject every frame an honest peer could not send *right now*.
+
+        The load-bearing invariant is the durable round counter: it
+        survives crash-restart (only the volatile tables reset), and a
+        child can never be ahead of its parent (releases gate round
+        advance), so every honest ``arrive``/``release``/``rack``
+        carries ``round <= self.round`` -- even mid-recovery.  A higher
+        round is therefore a *proof* of misbehaviour, never a race.
+        """
+        kind, src, p = msg.kind, msg.src, msg.payload
+        if kind == "hb":
+            return None
+        if kind in ("arrive", "release", "rack"):
+            r = p.get("round")
+            if not isinstance(r, int) or isinstance(r, bool) or r < 0:
+                return "schema"
+            if kind == "release":
+                if src != self.parent:
+                    return "topology"
+            elif src not in self.children:
+                return "topology"
+            if r > self.round:
+                return "future-round"
+            return None
+        if kind == "resync":
+            return None if src in self.neighbors() else "topology"
+        if kind == "sync":
+            if src not in self.neighbors():
+                return "topology"
+            for key in ("round", "ack"):
+                v = p.get(key)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    return "schema"
+            return None
+        return "unknown-kind"
+
+    # -- Byzantine lie palette -----------------------------------------
+    def distort(self, dst, kind, payload):
+        """Lie on the protocol waves; leave the framework channel alone.
+
+        Each lie is keyed on ``(plan_seed, pid, kind, round)`` -- *not*
+        on the attempt -- so every resend of a round's wave lies
+        identically and the barrier pinches at the first lying round,
+        a pure function of the seed.  Every variant is invalid at *any*
+        receiver state (non-int, negative, or a round no honest run can
+        reach): invalidity must not depend on the receiver's current
+        round, because activation also distorts the previous round's
+        still-resending wave, and a relative lie like ``r+1`` riding
+        such a resend would be receiver-valid -- a forged arrival that
+        wrongly completes a round and makes the pinch timing-dependent.
+        """
+        if kind not in ("arrive", "release", "rack"):
+            return kind, payload
+        from repro.net.faults import _decision
+
+        r = payload.get("round", 0)
+        pick = int(
+            _decision(self.plan_seed, "byz-tree", (self.node_id, kind, r), 0) * 3
+        )
+        if pick == 0:
+            return kind, {"round": "?"}
+        if pick == 1:
+            return kind, {"round": -1}
+        return kind, {"round": 1_000_000_000 + r}
 
     # -- crash path ----------------------------------------------------
     def _narrate_crash(self) -> None:
@@ -154,6 +240,15 @@ class TreeBarrierNode(NetNode):
         await self._resync()
         return True
 
+    def _maybe_byzantine(self) -> None:
+        """Turn hostile at the scheduled round's entry."""
+        if self._byz_rounds and self._byz_rounds[0] <= self.round:
+            self._byz_rounds.pop(0)
+            self.activate_byzantine()
+
+    def _permanent_due(self) -> bool:
+        return bool(self._permanent and self._permanent[0] <= self.round)
+
     async def _resync(self) -> None:
         """Announce the new incarnation until every neighbour confirms."""
         inc = self.incarnation
@@ -164,10 +259,17 @@ class TreeBarrierNode(NetNode):
                     "resync",
                     {},
                     lambda peer=peer: peer in self._synced
-                    or self.incarnation != inc,
+                    or peer in self.condemned
+                    or self.incarnation != inc
+                    or self.failsafe,
                 )
             )
-        await self.wait_for(lambda: self._synced >= set(self.neighbors()))
+        # Condemned neighbours (permanently dead or Byzantine) can never
+        # confirm; a fail-safe stop abandons the handshake entirely.
+        await self.wait_for(
+            lambda: self._synced >= (set(self.neighbors()) - self.condemned)
+            or self.failsafe
+        )
         if self.tracer.enabled:
             self.tracer.recovery(
                 float(self.clock.tick()), self.node_id, round=self.round
@@ -178,12 +280,16 @@ class TreeBarrierNode(NetNode):
         """Complete ``barriers`` rounds, surviving the configured faults."""
         self.start_loops()
         work = self.timing.work
-        while self.round < self.barriers:
+        while self.round < self.barriers and not self.failsafe:
             r = self.round
             if self.parent is None and self._open_phase is None:
                 self._open_phase = r
                 if self.tracer.enabled:
                     self.tracer.phase_start(float(self.clock.tick()), r)
+            self._maybe_byzantine()
+            if self._permanent_due():
+                await self.fail_stop()
+                return
             if await self._maybe_crash():
                 continue  # re-enter the (re-executed) current round
             if work:
@@ -193,7 +299,10 @@ class TreeBarrierNode(NetNode):
                 lambda: all(
                     self._last_arrive.get(c, -1) >= r for c in self.children
                 )
+                or self.failsafe
             )
+            if self.failsafe:
+                break
             if self.parent is None:
                 if self.tracer.enabled:
                     self.tracer.phase_end(float(self.clock.tick()), r, True)
@@ -205,10 +314,15 @@ class TreeBarrierNode(NetNode):
                         "arrive",
                         {"round": r},
                         lambda: self._max_release >= r
-                        or self.round > r,  # a crash re-arms via resync
+                        or self.round > r  # a crash re-arms via resync
+                        or self.failsafe,
                     )
                 )
-                await self.wait_for(lambda: self._max_release >= r)
+                await self.wait_for(
+                    lambda: self._max_release >= r or self.failsafe
+                )
+                if self.failsafe:
+                    break
             self.round = r + 1
             self.completed = self.round
             # Release wave: resend to each child until acked.
@@ -219,9 +333,21 @@ class TreeBarrierNode(NetNode):
                         "release",
                         {"round": r},
                         lambda child=child: self._release_acked.get(child, -1)
-                        >= r,
+                        >= r
+                        or self.failsafe,
                     )
                 )
+        if self.failsafe:
+            # Fail-safe stop (Section 7): the run may end without the
+            # barrier, but a wrongful completion is never narrated --
+            # the root closes its in-flight instance as *failed*.
+            if self._open_phase is not None:
+                if self.tracer.enabled:
+                    self.tracer.phase_end(
+                        float(self.clock.tick()), self._open_phase, False
+                    )
+                self._open_phase = None
+            return
         # Let the final release wave settle (bounded; acks normally
         # arrive within one resend interval).
         try:

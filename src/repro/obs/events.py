@@ -3,8 +3,8 @@
 Every trace is a flat sequence of :class:`ObsEvent` records.  The kind
 vocabulary is fixed: the paper's quantities (instances per phase,
 recovery latency, token circulation overhead, messages per barrier --
-Figures 3-7 and Table 1) are all reductions over these eight kinds, so
-the summarizer and the cross-implementation conformance suite can treat
+Figures 3-7 and Table 1) are all reductions over these kinds, so the
+summarizer and the cross-implementation conformance suite can treat
 traces from any engine uniformly.
 
 Events serialize to flat JSON objects (one per line in JSONL exports):
@@ -36,6 +36,12 @@ TOKEN_PASS = "token_pass"
 MSG_SEND = "msg_send"
 #: A message was delivered.  data: ``src``, ``dst``, ``tag``.
 MSG_RECV = "msg_recv"
+#: A frame was rejected by the defensive decode/validation layer
+#: instead of raising.  data: ``reason`` (e.g. ``decode``, ``schema``,
+#: ``src-spoof``, ``semantic``), ``peer`` when attributable.  Like the
+#: message kinds, quarantines are observational -- they never enter the
+#: replay digest (their count can depend on resend timing).
+QUARANTINE = "quarantine"
 
 EVENT_KINDS = frozenset(
     {
@@ -47,6 +53,7 @@ EVENT_KINDS = frozenset(
         TOKEN_PASS,
         MSG_SEND,
         MSG_RECV,
+        QUARANTINE,
     }
 )
 

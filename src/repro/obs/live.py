@@ -169,7 +169,9 @@ class LivePlane:
             for pid in range(nodes)
         }
         self.merger = StreamingMerger(range(nodes), self._on_merged)
-        self.monitor_set = MonitorSet(None, monitors_for(check_plan, nphases))
+        self.monitor_set = MonitorSet(
+            None, monitors_for(check_plan, nphases, strict=nphases is None)
+        )
         self.folder = SpanFolder(recent=recent_spans, sink=span_sink)
         self.observer: MetricsObserver | None = (
             MetricsObserver() if metrics else None
@@ -349,7 +351,9 @@ def run_monitors_streaming(
     from repro.chaos.adapters import monitors_for
     from repro.chaos.monitors import MonitorSet
 
-    monitor_set = MonitorSet(None, monitors_for(plan, nphases))
+    monitor_set = MonitorSet(
+        None, monitors_for(plan, nphases, strict=nphases is None)
+    )
     last_time = 0.0
 
     def sink(event: ObsEvent) -> None:

@@ -23,6 +23,7 @@ from repro.obs.events import (
     MSG_SEND,
     PHASE_END,
     PHASE_START,
+    QUARANTINE,
     RECOVERY,
     TOKEN_PASS,
     ObsEvent,
@@ -84,6 +85,16 @@ class NullTracer:
 
     def msg_recv(
         self, time: float, src: int, dst: int, tag: int = 0, **data: Any
+    ) -> None:
+        pass
+
+    def quarantine(
+        self,
+        time: float,
+        pid: int | None,
+        reason: str,
+        peer: int | None = None,
+        **data: Any,
     ) -> None:
         pass
 
@@ -199,6 +210,19 @@ class Tracer(NullTracer):
         self, time: float, src: int, dst: int, tag: int = 0, **data: Any
     ) -> None:
         self.emit(MSG_RECV, time, dst, src=src, tag=tag, **data)
+
+    def quarantine(
+        self,
+        time: float,
+        pid: int | None,
+        reason: str,
+        peer: int | None = None,
+        **data: Any,
+    ) -> None:
+        """A frame was rejected by the defensive layer at ``pid``."""
+        if peer is not None:
+            data["peer"] = peer
+        self.emit(QUARANTINE, time, pid, reason=reason, **data)
 
     # -- counters ------------------------------------------------------
     def incr(self, name: str, amount: int | float = 1) -> None:

@@ -321,3 +321,65 @@ class TestPhaseSync:
         result = sim.run(max_steps=10_000)
         report = BarrierSpecChecker(3, 4).check(result.trace, prog.initial_state())
         assert no_phase_skipped(report)
+
+
+class TestCompiledBackend:
+    """Section 7's auxiliary-variable constructions under the compiled
+    step path: the ``up``/``good`` guards and the BYZ action must
+    execute identically to the interpreter (same schedule, same trace),
+    so the chaos targets ``gc:failsafe+compiled`` and
+    ``gc:cb+byzantine+compiled`` test the same program, not a fork."""
+
+    @staticmethod
+    def _trace_under(backend, prog_factory, spec_factory):
+        prog = prog_factory()
+        injector = FaultInjector(
+            prog, spec_factory(), OneShotSchedule(at_step=5), targets=[1], seed=0
+        )
+        sim = Simulator(prog, RoundRobinDaemon(backend=backend), injector=injector)
+        result = sim.run(max_steps=400)
+        return result, [(e.step, e.pid, e.action) for e in result.trace]
+
+    @pytest.mark.parametrize(
+        "prog_factory,spec_factory",
+        [
+            (lambda: with_crash(make_cb(3, 2)), crash_fault),
+            (lambda: make_failsafe_cb(4, 2), crash_fault),
+            (lambda: with_byzantine(make_cb(3, 2)), byzantine_fault),
+        ],
+        ids=["crash", "failsafe", "byzantine"],
+    )
+    def test_interpreter_and_compiled_traces_agree(
+        self, prog_factory, spec_factory
+    ):
+        _, interpreted = self._trace_under(
+            "interpreter", prog_factory, spec_factory
+        )
+        _, compiled = self._trace_under("compiled", prog_factory, spec_factory)
+        assert compiled == interpreted
+
+    def test_compiled_crash_still_silences_the_process(self):
+        result, _ = self._trace_under(
+            "compiled", lambda: with_crash(make_cb(3, 2)), crash_fault
+        )
+        assert crashed_processes(result.state) == [1]
+        post_crash = [
+            e for e in result.trace if e.pid == 1 and not e.is_fault and e.step > 5
+        ]
+        assert post_crash == []
+
+    def test_compiled_failsafe_verdict_matches(self):
+        prog = make_failsafe_cb(4, 2)
+        injector = FaultInjector(
+            prog, crash_fault(), OneShotSchedule(at_step=50), seed=3
+        )
+        sim = Simulator(
+            prog, RoundRobinDaemon(backend="compiled"), injector=injector
+        )
+        result = sim.run(max_steps=3000)
+        verdict = FailSafeMonitor(4, 2).verdict(
+            result.trace, prog.initial_state(), result.state
+        )
+        assert verdict.fatal_reported
+        assert verdict.safety_ok
+        assert verdict.completions_after_crash <= 1

@@ -48,8 +48,9 @@ class TestObsEvent:
         assert "pid" not in d
         assert ObsEvent.from_dict(d).pid is None
 
-    def test_schema_is_the_eight_paper_kinds(self):
-        assert len(EVENT_KINDS) == 8
+    def test_schema_is_the_paper_kinds_plus_quarantine(self):
+        assert len(EVENT_KINDS) == 9
+        assert "quarantine" in EVENT_KINDS
 
 
 class TestTracer:

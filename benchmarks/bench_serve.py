@@ -1,0 +1,308 @@
+"""Barrier-service benchmarks and the serve perf gate.
+
+Three roles (mirroring ``bench_net.py``):
+
+* under pytest, asserts the service's CI contract -- the seeded load
+  generator replays to an identical digest on a fresh daemon, and both
+  the client-side digest and the server-side outcome digest exactly
+  equal the committed ``BASELINE_serve.json``;
+* as a script (``python benchmarks/bench_serve.py [--quick]``), boots
+  an in-process daemon, runs the digest and latency workloads, writes
+  ``BENCH_serve.json`` at the repo root, and exits non-zero if the gate
+  fails;
+* ``--update-baseline`` rewrites ``benchmarks/BASELINE_serve.json``
+  from the current run.
+
+Gating philosophy (same as the other benches): wall-clock latencies
+are recorded, never gated against the baseline -- machines differ.
+What *is* gated:
+
+* deterministic quantities exactly -- the loadgen replay digest and the
+  daemon's logical outcome digest are pure functions of (config, seed),
+  identical in ``--quick`` and full mode, so both gate against one
+  committed baseline;
+* within-run ratios, machine-independent because both sides ran in this
+  process: the p99/p50 barrier-completion-latency tail ratio stays
+  under :data:`TAIL_MAX_RATIO` (a generous bound -- it catches resend
+  storms and scheduling collapse, not CI jitter), and the two
+  back-to-back digest runs agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.net.frames import encode_canonical
+from repro.obs.regress import GateCheck, GateResult, load_json, write_report
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.loadgen import LoadConfig, LoadResult, run_load
+
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "BASELINE_serve.json"
+
+#: p99/p50 barrier-completion tail bound (within-run; generous on
+#: purpose -- crash-restart reconnects and scripted slow clients sit in
+#: the tail by design, CI machines jitter, and the gate exists to catch
+#: collapse, not noise).
+TAIL_MAX_RATIO = 200.0
+
+#: The digest workload: fixed size in both quick and full mode, so one
+#: committed baseline covers both (determinism must not depend on
+#: scale).
+DIGEST_CONFIG = dict(
+    groups=2,
+    clients_per_group=10,
+    barriers=6,
+    seed=42,
+    leavers=1,
+    crashers=1,
+    slow=1,
+    byzantine=1,
+    probes=2,
+    timeout_s=60.0,
+)
+
+
+async def _daemon_run(config_kwargs: dict) -> tuple[LoadResult, dict]:
+    """One loadgen run against a fresh in-process daemon; returns the
+    client-side result and the daemon's logical outcome slice."""
+    daemon = await ServeDaemon(ServeConfig(port=0)).start()
+    port = int(daemon.address.rsplit(":", 1)[1])
+    try:
+        result = await run_load(LoadConfig(port=port, **config_kwargs))
+        outcomes = daemon.outcomes()
+    finally:
+        await daemon.shutdown()
+    return result, outcomes
+
+
+def _outcome_digest(outcomes: dict) -> str:
+    return hashlib.sha256(encode_canonical(outcomes).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def bench_digests() -> dict:
+    """Replay determinism over real sockets, exactly gated: two
+    back-to-back seeded runs on fresh daemons must agree with each
+    other (within-run) and with the committed baseline (exact)."""
+    first, first_outcomes = asyncio.run(_daemon_run(DIGEST_CONFIG))
+    second, second_outcomes = asyncio.run(_daemon_run(DIGEST_CONFIG))
+    clean = not first.errors and not second.errors
+    return {
+        "deterministic": {
+            "loadgen_digest": first.digest,
+            "server_outcome_digest": _outcome_digest(first_outcomes),
+            "clean": clean,
+        },
+        "ratios": {
+            "replay_identical": float(first.digest == second.digest),
+            "server_replay_identical": float(
+                _outcome_digest(first_outcomes)
+                == _outcome_digest(second_outcomes)
+            ),
+        },
+        "wall": {"first_s": first.wall_s, "second_s": second.wall_s},
+    }
+
+
+def bench_latency(quick: bool) -> dict:
+    """Barrier-completion latency under churn at the serve-smoke scale
+    (client-observed arrive -> release, all members, all rounds)."""
+    if quick:
+        kwargs = dict(
+            groups=2, clients_per_group=12, barriers=8, seed=7,
+            leavers=1, crashers=1, slow=1, byzantine=1, probes=2,
+            timeout_s=60.0,
+        )
+    else:
+        kwargs = dict(
+            groups=3, clients_per_group=50, barriers=20, seed=7,
+            leavers=2, crashers=2, slow=2, byzantine=1, probes=2,
+            timeout_s=120.0,
+        )
+    start = time.perf_counter()
+    result, outcomes = asyncio.run(_daemon_run(kwargs))
+    wall = time.perf_counter() - start
+    p50 = result.quantile(0.50)
+    p99 = result.quantile(0.99)
+    all_done = all(g["done"] for g in outcomes.values())
+    return {
+        "ratios": {
+            "tail_p99_over_p50": p99 / p50 if p50 else float("inf"),
+            "clean_run": float(not result.errors and all_done),
+        },
+        "info": {
+            "groups": kwargs["groups"],
+            "clients_per_group": kwargs["clients_per_group"],
+            "barriers": kwargs["barriers"],
+            "rounds_measured": len(result.latencies),
+            "outcome_counts": result.to_dict()["outcome_counts"],
+        },
+        "wall": {
+            "p50_s": p50,
+            "p99_s": p99,
+            "total_s": wall,
+            "loadgen_s": result.wall_s,
+        },
+    }
+
+
+def measure(quick: bool = False) -> dict:
+    report: dict = {"version": 1, "quick": quick, "workloads": {}}
+    report["workloads"]["digests"] = bench_digests()
+    report["workloads"]["latency"] = bench_latency(quick)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------------
+
+def compare_reports(report: dict, baseline: dict | None = None) -> GateResult:
+    """Within-run ratio gates, plus exact baseline equality when given."""
+    checks: list[GateCheck] = []
+    workloads = report.get("workloads", {})
+
+    digests = workloads.get("digests", {})
+    for key in ("replay_identical", "server_replay_identical"):
+        value = digests.get("ratios", {}).get(key, 0.0)
+        checks.append(
+            GateCheck(
+                f"digests.{key}",
+                value == 1.0,
+                "digest identical" if value == 1.0 else "digest MISMATCH",
+            )
+        )
+    checks.append(
+        GateCheck(
+            "digests.clean",
+            bool(digests.get("deterministic", {}).get("clean")),
+            "both seeded runs finished with zero loadgen errors",
+        )
+    )
+
+    latency = workloads.get("latency", {})
+    ratios = latency.get("ratios", {})
+    tail = ratios.get("tail_p99_over_p50", float("inf"))
+    checks.append(
+        GateCheck(
+            "latency.tail_p99_over_p50",
+            tail <= TAIL_MAX_RATIO,
+            f"p99/p50 = {tail:.1f} (ceiling {TAIL_MAX_RATIO})",
+        )
+    )
+    checks.append(
+        GateCheck(
+            "latency.clean_run",
+            ratios.get("clean_run", 0.0) == 1.0,
+            "every group completed, zero loadgen errors",
+        )
+    )
+    checks.append(
+        GateCheck(
+            "latency.rounds_measured",
+            latency.get("info", {}).get("rounds_measured", 0) > 0,
+            f"{latency.get('info', {}).get('rounds_measured', 0)} "
+            "arrive->release samples",
+        )
+    )
+
+    if baseline is not None:
+        for name, base_wl in baseline.get("workloads", {}).items():
+            cur_wl = workloads.get(name, {})
+            for key, base_value in base_wl.get("deterministic", {}).items():
+                cur_value = cur_wl.get("deterministic", {}).get(key)
+                checks.append(
+                    GateCheck(
+                        f"baseline.{name}.{key}",
+                        cur_value == base_value,
+                        f"current={cur_value!r} baseline={base_value!r} "
+                        "(exact)",
+                    )
+                )
+    return GateResult(checks)
+
+
+def baseline_from(report: dict) -> dict:
+    """The committed slice: deterministic quantities only."""
+    return {
+        "version": report["version"],
+        "workloads": {
+            name: {"deterministic": wl["deterministic"]}
+            for name, wl in report["workloads"].items()
+            if wl.get("deterministic")
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest contract (cheap: the digest workload only)
+# ---------------------------------------------------------------------------
+
+def test_serve_digests_match_committed_baseline():
+    digests = bench_digests()
+    assert digests["ratios"]["replay_identical"] == 1.0
+    assert digests["ratios"]["server_replay_identical"] == 1.0
+    base = load_json(BASELINE_PATH)["workloads"]["digests"]["deterministic"]
+    assert digests["deterministic"] == base
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_serve.py",
+        description="barrier-service perf harness + serve gate",
+    )
+    parser.add_argument("--out", default=str(OUT_PATH), help="report path")
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="committed baseline"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="2 groups x 12 clients latency point instead of 3 x 50",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the baseline's deterministic slice from this run",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(quick=args.quick)
+    out = write_report(report, args.out)
+    print(f"wrote {out}")
+    wall = report["workloads"]["latency"]["wall"]
+    info = report["workloads"]["latency"]["info"]
+    print(
+        f"  latency {info['groups']}x{info['clients_per_group']} clients, "
+        f"{info['barriers']} barriers: "
+        f"p50={wall['p50_s'] * 1e3:.2f}ms p99={wall['p99_s'] * 1e3:.2f}ms "
+        f"({info['rounds_measured']} samples)"
+    )
+    if args.update_baseline:
+        base = write_report(baseline_from(report), args.baseline)
+        print(f"baseline updated: {base}")
+        gate = compare_reports(report)
+    else:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; run --update-baseline first")
+            return 1
+        gate = compare_reports(report, load_json(baseline_path))
+    print(gate.render())
+    return 0 if gate.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

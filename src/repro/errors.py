@@ -24,3 +24,19 @@ class SimulationError(ReproError):
 
 class TopologyError(ReproError):
     """An invalid topology was supplied (disconnected graph, bad tree)."""
+
+
+class ObsPortInUseError(ReproError):
+    """The observability HTTP port is already bound by another process.
+
+    Raised instead of a raw ``OSError`` so callers (CLI, daemon) can
+    print one actionable line -- which port, and that ``--obs-port 0``
+    picks a free ephemeral port -- rather than a traceback."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        super().__init__(
+            f"observability port {host}:{port} is already in use "
+            "(pass --obs-port 0 for an ephemeral port)"
+        )

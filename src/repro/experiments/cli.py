@@ -595,6 +595,9 @@ def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     action = args.path or "run"
     if action != "run":
         parser.error(f"unknown net action {action!r} (use: run)")
+    from dataclasses import replace
+
+    from repro.errors import ObsPortInUseError
     from repro.net.node import Timing
     from repro.net.runtime import NetConfig, run_sync
 
@@ -636,13 +639,22 @@ def net_cmd(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
-    if args.obs_port:
-        print(
-            f"serving live telemetry on http://127.0.0.1:{args.obs_port} "
-            "(/metrics /health /spans/recent)",
-            flush=True,
+    if args.obs_port is not None:
+        # The URL is announced at bind time (not guessed up front), so
+        # --obs-port 0 reports the ephemeral port the kernel picked.
+        config = replace(
+            config,
+            obs_announce=lambda url: print(
+                f"serving live telemetry on {url} "
+                "(/metrics /health /spans/recent)",
+                flush=True,
+            ),
         )
-    result = run_sync(config)
+    try:
+        result = run_sync(config)
+    except ObsPortInUseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(result.render())
     for path in result.trace_paths:
         print(f"wrote {path}")

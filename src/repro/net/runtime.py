@@ -87,6 +87,10 @@ class NetConfig:
     timeout_s: float = 60.0
     trace_dir: str | None = None
     obs_port: int | None = None
+    #: Called with the bound obs URL as soon as the HTTP plane is up --
+    #: the only way to learn the port when ``obs_port=0`` (ephemeral),
+    #: since the run blocks until completion.
+    obs_announce: Any = None
     live: bool = False
     ring_capacity: int = 4096
     tracing: bool = True
@@ -302,6 +306,8 @@ async def run_async(config: NetConfig) -> NetResult:
             from repro.obs.http import ObsHttpServer
 
             server = await ObsHttpServer(plane, port=config.obs_port).start()
+            if config.obs_announce is not None:
+                config.obs_announce(server.url)
     elif config.tracer_factory is not None:
         tracers = {pid: config.tracer_factory(pid) for pid in range(config.nodes)}
     elif not config.tracing:

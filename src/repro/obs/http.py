@@ -21,30 +21,51 @@ scraper cannot perturb the protocol (beyond sharing the loop).
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
-from typing import Any
+from typing import Any, Callable
 
-from repro.obs.live import LivePlane
+from repro.errors import ObsPortInUseError
 
 _MAX_REQUEST = 16 * 1024  # request line + headers; we never read bodies
 
+#: An extra route handler: () -> (status, content-type, body).
+RouteFn = Callable[[], tuple[int, str, str]]
+
 
 class ObsHttpServer:
-    """Serve a :class:`~repro.obs.live.LivePlane` over HTTP/1.0."""
+    """Serve a telemetry *provider* over HTTP/1.0.
+
+    The provider is duck-typed: anything with ``metrics_text()`` and
+    ``health()`` works (:class:`~repro.obs.live.LivePlane`, the serve
+    daemon...).  Providers that also expose ``folder`` and
+    ``live_violations`` get the ``/spans/recent`` route; ``routes``
+    adds caller-defined endpoints (e.g. the daemon's ``/groups``).
+    """
 
     def __init__(
-        self, plane: LivePlane, port: int = 0, host: str = "127.0.0.1"
+        self,
+        plane: Any,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        routes: dict[str, RouteFn] | None = None,
     ) -> None:
         self.plane = plane
         self.host = host
         self.port = port  # 0 = ephemeral; replaced by the bound port
+        self.routes = dict(routes or {})
         self._server: asyncio.AbstractServer | None = None
         self.requests = 0
 
     async def start(self) -> "ObsHttpServer":
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
-        )
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port
+            )
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                raise ObsPortInUseError(self.host, self.port) from exc
+            raise
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
@@ -95,6 +116,9 @@ class ObsHttpServer:
 
     def _route(self, path: str) -> tuple[int, str, str]:
         plane = self.plane
+        extra = self.routes.get(path)
+        if extra is not None:
+            return extra()
         if path == "/metrics":
             return (
                 200,
@@ -103,7 +127,7 @@ class ObsHttpServer:
             )
         if path == "/health":
             return 200, "application/json", _dumps(plane.health())
-        if path in ("/spans/recent", "/spans"):
+        if path in ("/spans/recent", "/spans") and hasattr(plane, "folder"):
             payload = {
                 "recent": plane.folder.recent_dicts(),
                 "open": [s.to_dict() for s in plane.folder.open_spans],
@@ -114,10 +138,14 @@ class ObsHttpServer:
             }
             return 200, "application/json", _dumps(payload)
         if path == "/":
+            known = ["/metrics", "/health"]
+            if hasattr(plane, "folder"):
+                known.append("/spans/recent")
+            known.extend(sorted(self.routes))
             return (
                 200,
                 "text/plain",
-                "repro live telemetry: /metrics /health /spans/recent\n",
+                "repro live telemetry: " + " ".join(known) + "\n",
             )
         return 404, "text/plain", f"no route {path}\n"
 

@@ -1,0 +1,584 @@
+"""``repro-serve``: the multi-tenant barrier daemon.
+
+One asyncio process hosts many independent :class:`BarrierGroup`
+tenants.  Clients connect over TCP or a Unix domain socket and speak
+the PR-5 frame protocol (:mod:`repro.serve.protocol`); every inbound
+frame is strictly decoded and schema-validated at the boundary, with
+structured quarantine instead of exceptions -- a hostile client can be
+rejected, struck, and condemned, but never crash the daemon.
+
+Isolation model (the load-bearing design):
+
+* each group owns a **bounded inbox** and its own worker task -- a slow
+  or flooded group backpressures its *own* clients (transient
+  ``reject(backpressure)`` frames, retried by the client's resend loop)
+  and cannot stall any other group;
+* each client owns a **bounded outbox** drained by its own writer task
+  -- a slow reader sheds frames instead of blocking a group worker, and
+  every shed frame is healed by protocol idempotence (stale arrives are
+  answered with direct releases; requests are retried by rid);
+* the daemon-wide :class:`~repro.net.frames.DedupIndex` keeps
+  exactly-once semantics across client crash-restarts: a reconnect with
+  a bumped incarnation supersedes the dead session and floors the old
+  one, so replayed frames from a client's previous life are refused.
+
+The PR-7 observability plane is wired in: ``/metrics`` (Prometheus
+0.0.4), ``/health`` and ``/groups`` are served by
+:class:`~repro.obs.http.ObsHttpServer` from inside the daemon's loop,
+with ``obs_port=0`` binding an ephemeral port that is reported in the
+endpoints file (see :meth:`ServeDaemon.endpoints`) so CI scrapers never
+race on fixed ports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.net.frames import (
+    DedupIndex,
+    FrameDecoder,
+    FrameError,
+    Message,
+    encode_frame,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.groups import BarrierGroup, GroupLimits
+from repro.serve.protocol import (
+    ARRIVE,
+    BYE,
+    CREATE,
+    GOODBYE,
+    HELLO,
+    JOIN,
+    LEAVE,
+    REJECT,
+    SERVE_VERSION,
+    SERVER_ID,
+    SHUTDOWN,
+    STRIKE_LIMIT,
+    WELCOME,
+    check_group_name,
+    check_hello,
+    check_round,
+)
+
+#: Barrier-latency histogram buckets (seconds).
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One daemon instance, fully specified."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    #: 0 = ephemeral (reported)
+    unix_path: str | None = None     #: serve a Unix socket instead
+    obs_port: int | None = None      #: /metrics /health /groups (0 = ephemeral)
+    max_groups: int = 64
+    max_clients: int = 100_000       #: highest admissible client id
+    max_members: int = 1024          #: per-group capacity ceiling
+    default_capacity: int = 64       #: capacity when g.create omits it
+    queue_depth: int = 256           #: per-group inbox bound
+    outbox_depth: int = 256          #: per-client outbox bound
+    lease_s: float = 30.0            #: silent-member eviction grace
+    default_barriers: int = 100      #: barriers when g.create omits it
+    max_barriers: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.max_groups < 1:
+            raise ValueError("max_groups must be >= 1")
+        if self.queue_depth < 1 or self.outbox_depth < 1:
+            raise ValueError("queue/outbox depths must be >= 1")
+        if not 1 <= self.default_capacity <= self.max_members:
+            raise ValueError("default_capacity must be in [1, max_members]")
+
+
+class _ClientConn:
+    """One live client session: the connection, its outbox, its writer."""
+
+    def __init__(
+        self,
+        client: int,
+        incarnation: int,
+        writer: asyncio.StreamWriter,
+        depth: int,
+    ) -> None:
+        self.client = client
+        self.incarnation = incarnation
+        self.writer = writer
+        self.outbox: asyncio.Queue[bytes | None] = asyncio.Queue(maxsize=depth)
+        self.dropped = 0
+        self.closed = False
+        self.task: asyncio.Task | None = None
+
+    def offer(self, frame: bytes) -> bool:
+        """Queue a frame for the writer; False = slow client, shed."""
+        if self.closed:
+            return False
+        try:
+            self.outbox.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            self.dropped += 1
+            return False
+
+    async def drain_loop(self) -> None:
+        """The per-client writer: the only task that touches the socket,
+        so a stalled peer never blocks a group worker."""
+        try:
+            while True:
+                frame = await self.outbox.get()
+                if frame is None:
+                    break
+                self.writer.write(frame)
+                await self.writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self.closed = True
+            try:
+                self.writer.close()
+            except RuntimeError:
+                pass
+
+    def close(self) -> None:
+        self.closed = True
+        if self.task is not None:
+            self.task.cancel()
+        try:
+            self.writer.close()
+        except RuntimeError:
+            pass
+
+
+class ServeDaemon:
+    """The barrier-as-a-service daemon (see module docstring)."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.groups: dict[str, BarrierGroup] = {}
+        self.clients: dict[int, _ClientConn] = {}
+        self.dedup = DedupIndex()
+        self.condemned: set[int] = set()
+        self._strikes: dict[int, int] = {}
+        self._seq: dict[int, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._obs: Any = None
+        self._draining = False
+        self._started = time.monotonic()
+        self.address: str | None = None
+        self.stats = {
+            "connections": 0,
+            "frames": 0,
+            "quarantined": 0,
+            "dup_filtered": 0,
+            "rejects": 0,
+            "shed_frames": 0,
+        }
+        self._build_metrics()
+
+    # -- metrics / obs plane -------------------------------------------
+    def _build_metrics(self) -> None:
+        registry = MetricsRegistry()
+        self.registry = registry
+        self._m_frames = registry.counter(
+            "serve_frames_total", "inbound frames by verb", ("kind",)
+        )
+        self._m_rejects = registry.counter(
+            "serve_rejects_total", "reject frames by reason", ("reason",)
+        )
+        self._m_quarantined = registry.counter(
+            "serve_quarantined_total", "frames quarantined at the boundary"
+        )
+        self._m_completions = registry.counter(
+            "serve_barriers_completed_total", "completed rounds per group",
+            ("group",),
+        )
+        self._m_latency = registry.histogram(
+            "serve_barrier_latency_seconds",
+            "first-arrive to completion per round",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._g_clients = registry.gauge(
+            "serve_clients_connected", "live client sessions"
+        )
+        self._g_groups = registry.gauge("serve_groups_active", "live groups")
+
+    def metrics_text(self) -> str:
+        """Prometheus 0.0.4 exposition (the ``/metrics`` provider)."""
+        for group in self.groups.values():
+            self._watch_latency(group)  # fold rounds closed since last scrape
+        self._g_clients.set(len(self.clients))
+        self._g_groups.set(
+            sum(1 for g in self.groups.values() if not g.done)
+        )
+        return self.registry.render_prometheus()
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "running",
+            "uptime_s": time.monotonic() - self._started,
+            "clients": len(self.clients),
+            "groups": len(self.groups),
+            "groups_active": sum(
+                1 for g in self.groups.values() if not g.done
+            ),
+            "condemned": sorted(self.condemned),
+            "stats": dict(self.stats),
+        }
+
+    def groups_snapshot(self) -> dict[str, Any]:
+        """The ``/groups`` endpoint payload."""
+        return {
+            "groups": [
+                g.snapshot() for _, g in sorted(self.groups.items())
+            ],
+            "clients": len(self.clients),
+        }
+
+    def outcomes(self) -> dict[str, Any]:
+        """Deterministic per-group outcome slice (replay digests)."""
+        return {
+            name: g.outcome() for name, g in sorted(self.groups.items())
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "ServeDaemon":
+        if self.config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, self.config.unix_path
+            )
+            self.address = f"unix://{self.config.unix_path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.config.host, self.config.port
+            )
+            port = self._server.sockets[0].getsockname()[1]
+            self.address = f"tcp://{self.config.host}:{port}"
+        if self.config.obs_port is not None:
+            from repro.obs.http import ObsHttpServer
+
+            self._obs = await ObsHttpServer(
+                self,
+                port=self.config.obs_port,
+                routes={"/groups": self._groups_route},
+            ).start()
+        return self
+
+    def _groups_route(self) -> tuple[int, str, str]:
+        return (
+            200,
+            "application/json",
+            json.dumps(self.groups_snapshot(), sort_keys=True) + "\n",
+        )
+
+    @property
+    def obs_url(self) -> str | None:
+        return self._obs.url if self._obs is not None else None
+
+    def endpoints(self) -> dict[str, Any]:
+        """What a supervisor (or the CI job) needs to reach the daemon."""
+        return {"address": self.address, "obs": self.obs_url}
+
+    def write_endpoints(self, path: str | Path) -> None:
+        """Atomic endpoints file: scrapers see either nothing or all."""
+        target = Path(path)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.endpoints(), sort_keys=True) + "\n")
+        tmp.replace(target)
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new work, notify clients, tear down."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self.clients.values()):
+            self.send(conn.client, SHUTDOWN, {})
+        # Let the writers flush the shutdown notice.
+        await asyncio.sleep(0)
+        for group in self.groups.values():
+            await group.stop()
+        for conn in list(self.clients.values()):
+            conn.offer(None) or conn.close()  # sentinel ends the writer
+        for conn in list(self.clients.values()):
+            if conn.task is not None:
+                try:
+                    await asyncio.wait_for(conn.task, timeout=1.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    conn.close()
+        self.clients.clear()
+        if self._obs is not None:
+            await self._obs.stop()
+            self._obs = None
+
+    # -- outbound ------------------------------------------------------
+    def _next_seq(self, client: int) -> int:
+        seq = self._seq.get(client, 0)
+        self._seq[client] = seq + 1
+        return seq
+
+    def send(self, client: int, kind: str, payload: dict[str, Any]) -> bool:
+        """Queue one frame for ``client``; False = not deliverable (no
+        session, or its outbox is full -- shed, healed by idempotence)."""
+        if kind == REJECT:
+            # Counted here so group-level rejections (which call this
+            # SendFn directly) land in the same metric as daemon ones.
+            self.stats["rejects"] += 1
+            self._m_rejects.inc(reason=str(payload.get("reason", "?")))
+        conn = self.clients.get(client)
+        if conn is None or conn.closed:
+            return False
+        msg = Message(
+            kind=kind,
+            src=SERVER_ID,
+            dst=client,
+            seq=self._next_seq(client),
+            payload=payload,
+        )
+        if conn.offer(encode_frame(msg.to_bytes())):
+            return True
+        self.stats["shed_frames"] += 1
+        return False
+
+    # -- inbound -------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats["connections"] += 1
+        decoder = FrameDecoder()
+        conn: _ClientConn | None = None
+        try:
+            while not self._draining:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for body in decoder.feed(chunk):
+                    conn = self._on_frame(conn, body, writer)
+                    if conn is _CLOSE:
+                        return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except FrameError:
+            # Unframeable bytes: the stream cannot resync; drop it.
+            self._quarantine("framing")
+        finally:
+            if isinstance(conn, _ClientConn):
+                self._detach(conn)
+            else:
+                writer.close()
+
+    def _on_frame(
+        self,
+        conn: "_ClientConn | None",
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> Any:
+        """Decode, validate, dedup and route one frame.  Returns the
+        (possibly newly bound) connection, or :data:`_CLOSE`."""
+        try:
+            msg = Message.from_bytes(body, strict=True)
+        except FrameError:
+            self._quarantine("decode")
+            if conn is not None:
+                self._strike(conn.client)
+            return conn
+        if conn is None:
+            return self._handle_hello(msg, writer)
+        if msg.src != conn.client:
+            # The session is bound; an envelope claiming another id is
+            # a spoof attempt from an authenticated client.
+            self._quarantine("src-spoof")
+            self._strike(conn.client)
+            return conn
+        if conn.client in self.condemned:
+            self._quarantine("condemned")
+            return _CLOSE
+        if not self.dedup.accept(msg.src, msg.incarnation, msg.seq):
+            self.stats["dup_filtered"] += 1
+            return conn
+        self.stats["frames"] += 1
+        self._m_frames.inc(kind=msg.kind)
+        self._route(conn, msg)
+        return conn
+
+    def _handle_hello(
+        self, msg: Message, writer: asyncio.StreamWriter
+    ) -> Any:
+        """The first frame on a connection must bind a client id."""
+        if msg.kind != HELLO:
+            self._quarantine("no-hello")
+            return _CLOSE
+        reason = check_hello(msg.payload, self.config.max_clients)
+        if reason is not None:
+            self._quarantine("bad-hello")
+            return _CLOSE
+        client = msg.payload["client"]
+        if client in self.condemned:
+            self._quarantine("condemned")
+            return _CLOSE
+        existing = self.clients.get(client)
+        if existing is not None:
+            if msg.incarnation <= existing.incarnation and not existing.closed:
+                # A duplicate live session for the same id: refuse the
+                # newcomer (an id thief, or a client bug).
+                self._quarantine("duplicate-client")
+                return _CLOSE
+            # Crash-restart: the bumped incarnation supersedes the dead
+            # session, and the old life's replayed frames are floored.
+            existing.close()
+        if msg.incarnation > 0:
+            self.dedup.forget_older_incarnations(client, msg.incarnation)
+        if not self.dedup.accept(msg.src, msg.incarnation, msg.seq):
+            self.stats["dup_filtered"] += 1
+            return _CLOSE
+        conn = _ClientConn(
+            client, msg.incarnation, writer, self.config.outbox_depth
+        )
+        conn.task = asyncio.ensure_future(conn.drain_loop())
+        self.clients[client] = conn
+        self.stats["frames"] += 1
+        self._m_frames.inc(kind=HELLO)
+        self.send(client, WELCOME, {"v": SERVE_VERSION, "inc": msg.incarnation})
+        return conn
+
+    def _route(self, conn: _ClientConn, msg: Message) -> None:
+        rid = msg.payload.get("rid")
+        if msg.kind == BYE:
+            self.send(conn.client, GOODBYE, {"rid": rid})
+            conn.offer(None)
+            return
+        if msg.kind == HELLO:
+            # Idempotent re-hello on a bound session.
+            self.send(
+                conn.client, WELCOME, {"v": SERVE_VERSION, "inc": msg.incarnation}
+            )
+            return
+        if msg.kind == CREATE:
+            self._handle_create(conn, msg, rid)
+            return
+        if msg.kind in (JOIN, LEAVE, ARRIVE):
+            self._handle_group_frame(conn, msg, rid)
+            return
+        self._quarantine("unknown-kind")
+        self._strike(conn.client)
+
+    def _handle_create(self, conn: _ClientConn, msg: Message, rid: Any) -> None:
+        if self._draining:
+            self._reject(conn.client, rid, "shutting-down")
+            return
+        name = msg.payload.get("g")
+        capacity = msg.payload.get("capacity", self.config.default_capacity)
+        barriers = msg.payload.get("barriers", self.config.default_barriers)
+        if (
+            not check_group_name(name)
+            or not check_round(capacity)
+            or not check_round(barriers)
+            or not 1 <= capacity <= self.config.max_members
+            or not 1 <= barriers <= self.config.max_barriers
+        ):
+            self._reject(conn.client, rid, "bad-request")
+            self._strike(conn.client)
+            return
+        if name in self.groups:
+            self._reject(conn.client, rid, "group-exists")
+            return
+        if len(self.groups) >= self.config.max_groups:
+            self._reject(conn.client, rid, "server-full")
+            return
+        group = BarrierGroup(
+            name,
+            barriers,
+            send=self.send,
+            limits=GroupLimits(
+                capacity=capacity,
+                queue_depth=self.config.queue_depth,
+                lease_s=self.config.lease_s,
+            ),
+            on_strike=self._strike,
+        )
+        group.start()
+        self.groups[name] = group
+        self.send(
+            conn.client,
+            "g.ok",
+            {"g": name, "rid": rid, "capacity": capacity, "barriers": barriers},
+        )
+
+    def _handle_group_frame(
+        self, conn: _ClientConn, msg: Message, rid: Any
+    ) -> None:
+        name = msg.payload.get("g")
+        if not check_group_name(name):
+            self._reject(conn.client, rid, "bad-request")
+            self._strike(conn.client)
+            return
+        group = self.groups.get(name)
+        if group is None:
+            self._reject(conn.client, rid, "no-such-group")
+            return
+        verb = {JOIN: "join", LEAVE: "leave", ARRIVE: "arrive"}[msg.kind]
+        payload = dict(msg.payload)
+        payload["inc"] = msg.incarnation
+        if not group.offer(conn.client, verb, payload):
+            # Transient: the group's inbox is full.  The client's
+            # resend loop backs off and retries; no state was taken.
+            self._reject(conn.client, rid, "backpressure")
+        elif verb == "arrive":
+            self._watch_latency(group)
+
+    def _watch_latency(self, group: BarrierGroup) -> None:
+        """Fold any newly closed round latencies into the histogram and
+        the per-group completion counter (cheap: amortized O(1))."""
+        recorded = getattr(group, "_latency_recorded", 0)
+        fresh = group.round_latencies[recorded:]
+        if fresh:
+            group._latency_recorded = recorded + len(fresh)  # type: ignore[attr-defined]
+            for value in fresh:
+                self._m_latency.observe(value)
+            self._m_completions.inc(len(fresh), group=group.name)
+
+    # -- defense -------------------------------------------------------
+    def _quarantine(self, reason: str) -> None:
+        self.stats["quarantined"] += 1
+        self._m_quarantined.inc()
+
+    def _strike(self, client: int) -> int:
+        """One daemon-wide suspicion strike; condemnation at the limit.
+        Returns the running count (groups consult it for ejection)."""
+        count = self._strikes.get(client, 0) + 1
+        self._strikes[client] = count
+        if count >= STRIKE_LIMIT and client not in self.condemned:
+            self.condemned.add(client)
+            for group in self.groups.values():
+                if client in group.members or client in group.ever_members:
+                    group.eject(client, "condemned")
+            conn = self.clients.get(client)
+            if conn is not None:
+                self.send(client, REJECT, {"reason": "condemned"})
+                conn.offer(None)
+        return count
+
+    def _reject(self, client: int, rid: Any, reason: str) -> None:
+        self.send(client, REJECT, {"rid": rid, "reason": reason})
+
+    def _detach(self, conn: _ClientConn) -> None:
+        """A connection ended; the seat (if any) survives on its lease
+        so a crash-restart client can reclaim it."""
+        current = self.clients.get(conn.client)
+        if current is conn:
+            del self.clients[conn.client]
+        conn.close()
+
+
+#: Sentinel: the reader should drop the connection now.
+_CLOSE = object()

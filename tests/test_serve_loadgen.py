@@ -1,0 +1,152 @@
+"""The seeded load generator: scripted roles, replay-identical digests,
+and deterministic server-side outcomes over real sockets."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.loadgen import LoadConfig, build_scripts, run_load
+
+SMALL = dict(
+    groups=2,
+    clients_per_group=8,
+    barriers=5,
+    leavers=1,
+    crashers=1,
+    slow=1,
+    byzantine=1,
+    probes=2,
+    timeout_s=30.0,
+)
+
+
+async def _one_run(seed: int, **overrides):
+    daemon = await ServeDaemon(ServeConfig(port=0)).start()
+    port = int(daemon.address.rsplit(":", 1)[1])
+    config = LoadConfig(seed=seed, port=port, **{**SMALL, **overrides})
+    result = await run_load(config)
+    outcomes = daemon.outcomes()
+    await daemon.shutdown()
+    return result, outcomes
+
+
+def test_scripts_are_a_pure_function_of_config():
+    config = LoadConfig(seed=11, **SMALL)
+    first = build_scripts(config)
+    second = build_scripts(config)
+    assert first == second
+    # Distinct, collision-free client ids across all roles.
+    ids = [s.client_id for s in first]
+    assert len(ids) == len(set(ids))
+    roles = {}
+    for s in first:
+        roles[s.role] = roles.get(s.role, 0) + 1
+    assert roles == {
+        "founder": 2 * (8 - 3) - 1,  # one group also hosts the byzantine
+        "leaver": 2,
+        "crasher": 2,
+        "slow": 2,
+        "byzantine": 1,
+        "probe": 4,
+    }
+
+
+def test_replay_identical_digests_and_server_outcomes():
+    """The serve-smoke contract: same seed, fresh daemon, byte-identical
+    digest -- and the server's own logical outcome matches too."""
+
+    async def go():
+        r1, o1 = await _one_run(seed=7)
+        r2, o2 = await _one_run(seed=7)
+        assert not r1.errors and not r2.errors
+        assert r1.digest == r2.digest
+        assert o1 == o2
+        return r1, o1
+
+    result, outcomes = asyncio.run(go())
+    # Every scripted fate shows up in the outcome counts.
+    counts = result.to_dict()["outcome_counts"]
+    assert counts["ejected"] == 1          # the byzantine client
+    assert counts["left"] == 2             # one leaver per group
+    assert counts["rejected"] == 4         # two probes per group
+    assert counts["finished"] == 20 - 1 - 2 - 4
+    # Crashers finished with a bumped incarnation.
+    crashed = [o for o in result.outcomes if o["role"] == "crasher"]
+    assert len(crashed) == 2
+    assert all(o["incarnation"] == 1 for o in crashed)
+    assert all(o["outcome"] == "finished" for o in crashed)
+    # Every group completed all its barriers despite the churn.
+    for group in outcomes.values():
+        assert group["completed"] == 5
+        assert group["done"] is True
+
+
+def test_different_seed_different_digest():
+    async def go():
+        r1, _ = await _one_run(seed=1)
+        r2, _ = await _one_run(seed=2)
+        return r1, r2
+
+    r1, r2 = asyncio.run(go())
+    assert not r1.errors and not r2.errors
+    assert r1.digest != r2.digest
+
+
+def test_latency_quantiles_are_populated():
+    async def go():
+        result, _ = await _one_run(seed=5)
+        return result
+
+    result = asyncio.run(go())
+    report = result.to_dict()
+    assert report["rounds_measured"] > 0
+    assert 0 < report["latency_p50_s"] <= report["latency_p99_s"]
+
+
+def test_soak_waves_share_one_daemon_with_invariant_digests():
+    """The nightly-soak contract: successive waves against ONE
+    long-lived daemon, each under a fresh group prefix and client-id
+    range (the daemon's dedup/condemnation state is per-id and
+    persists), all replaying to the same prefix/base-invariant digest
+    as a run with the default naming."""
+
+    async def go():
+        daemon = await ServeDaemon(ServeConfig(port=0, max_groups=64)).start()
+        port = int(daemon.address.rsplit(":", 1)[1])
+        waves = []
+        for wave in (1, 2, 3):
+            config = LoadConfig(
+                seed=7,
+                port=port,
+                group_prefix=f"soak{wave}-",
+                client_base=wave * 1000 + 1,
+                **SMALL,
+            )
+            waves.append(await run_load(config))
+        await daemon.shutdown()
+        return waves
+
+    waves = asyncio.run(go())
+    for wave in waves:
+        assert not wave.errors
+    assert len({w.digest for w in waves}) == 1
+    # ...and that digest matches a default-named run on a fresh daemon.
+    fresh, _ = asyncio.run(_one_run(seed=7))
+    assert fresh.digest == waves[0].digest
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LoadConfig(clients_per_group=3, leavers=1, crashers=1, slow=1,
+                   byzantine=1)
+    with pytest.raises(ValueError):
+        LoadConfig(barriers=1)
+    with pytest.raises(ValueError):
+        LoadConfig(groups=0)
+    with pytest.raises(ValueError):
+        LoadConfig(group_prefix="")
+    with pytest.raises(ValueError):
+        LoadConfig(client_base=0)
